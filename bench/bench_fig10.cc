@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 10: performance without the readers/writer lock. Once no
+ * transaction can serialize, the global serialization lock is removed
+ * from the TM runtime (and the contention manager set to
+ * retry-immediately). The paper's finding: the lock was the primary
+ * source of overhead at high thread counts, and without it the TM
+ * build comes within ~30% of the lock-based baseline.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+
+    SeriesSpec ip_nolock{"IP-NoLock", "IP-onCommit", noLockRuntime()};
+    SeriesSpec it_nolock{"IT-NoLock", "IT-onCommit", noLockRuntime()};
+
+    runFigure("Figure 10: removing the readers/writer lock",
+              {
+                  branchSeries("Baseline"),
+                  branchSeries("IP-onCommit"),
+                  branchSeries("IT-onCommit"),
+                  ip_nolock,
+                  it_nolock,
+              },
+              opts);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 4: performance of baseline transactional memcached — the
+ * lock-based Baseline, the semaphore refactor, and the first
+ * transactional branches (IP / IT), with and without callable
+ * annotations.
+ *
+ * Paper findings to look for in the output: the condvar->semaphore
+ * switch is performance-neutral; IP scales better than IT at this
+ * stage; the callable annotation makes no difference.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runFigure("Figure 4: baseline transactional memcached",
+              {
+                  branchSeries("Baseline"),
+                  branchSeries("Semaphore"),
+                  branchSeries("IP"),
+                  branchSeries("IT"),
+                  branchSeries("IP-Callable"),
+                  branchSeries("IT-Callable"),
+              },
+              opts);
+    return 0;
+}

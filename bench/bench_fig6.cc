@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 6: performance of the maximally transactionalized memcached
+ * (volatiles and refcounts as transactions). The paper's finding: at
+ * all thread counts performance degrades relative to the Callable
+ * branches, because txn counts grow and delayed serialization points
+ * make doomed transactions pay the instrumented slow path first.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runFigure("Figure 6: maximally transactionalized memcached",
+              {
+                  branchSeries("Baseline"),
+                  branchSeries("IP-Callable"),
+                  branchSeries("IT-Callable"),
+                  branchSeries("IP-Max"),
+                  branchSeries("IT-Max"),
+              },
+              opts);
+    return 0;
+}

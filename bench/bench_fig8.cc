@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 8: performance with transaction-safe library functions. The
+ * paper's finding: a notable improvement over Max, especially at high
+ * thread counts, though not yet matching IP-Callable.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runFigure("Figure 8: transaction-safe libraries",
+              {
+                  branchSeries("Baseline"),
+                  branchSeries("IP-Callable"),
+                  branchSeries("IT-Callable"),
+                  branchSeries("IP-Max"),
+                  branchSeries("IT-Max"),
+                  branchSeries("IP-Lib"),
+                  branchSeries("IT-Lib"),
+              },
+              opts);
+    return 0;
+}

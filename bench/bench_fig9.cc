@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 9: performance with onCommit handlers. The paper's finding:
+ * running times drop to almost the previous best (IP-Callable), and
+ * with no mandatory serialization the transactional item locks (IT)
+ * finally beat privatization (IP).
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runFigure("Figure 9: onCommit handlers",
+              {
+                  branchSeries("Baseline"),
+                  branchSeries("IP-Callable"),
+                  branchSeries("IT-Callable"),
+                  branchSeries("IP-Lib"),
+                  branchSeries("IT-Lib"),
+                  branchSeries("IP-onCommit"),
+                  branchSeries("IT-onCommit"),
+              },
+              opts);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Table 1: frequency and cause of serialized transactions for a
+ * 4-thread execution of the stage-3 branches.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runSerializationTable("Table 1: serialization causes (stage 3)",
+                          {
+                              branchSeries("IP"),
+                              branchSeries("IT"),
+                              branchSeries("IP-Callable"),
+                              branchSeries("IT-Callable"),
+                          },
+                          opts);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table 2: serialization causes after the Max stage (4 threads).
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runSerializationTable("Table 2: serialization causes (Max stage)",
+                          {
+                              branchSeries("IP-Callable"),
+                              branchSeries("IT-Callable"),
+                              branchSeries("IP-Max"),
+                              branchSeries("IT-Max"),
+                          },
+                          opts);
+    return 0;
+}

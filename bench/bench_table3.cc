@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table 3: serialization causes after the Lib stage (4 threads).
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runSerializationTable("Table 3: serialization causes (Lib stage)",
+                          {
+                              branchSeries("IP-Callable"),
+                              branchSeries("IT-Callable"),
+                              branchSeries("IP-Max"),
+                              branchSeries("IT-Max"),
+                              branchSeries("IP-Lib"),
+                              branchSeries("IT-Lib"),
+                          },
+                          opts);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 4: serialization causes after the onCommit stage (4 threads).
+ * The headline row: the onCommit branches have zero start-serial and
+ * zero in-flight switches; only abort-driven serialization remains.
+ */
+
+#include "figure_harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+    const HarnessOpts opts = parseArgs(argc, argv);
+    runSerializationTable("Table 4: serialization causes (onCommit stage)",
+                          {
+                              branchSeries("IP-Callable"),
+                              branchSeries("IT-Callable"),
+                              branchSeries("IP-Lib"),
+                              branchSeries("IT-Lib"),
+                              branchSeries("IP-onCommit"),
+                              branchSeries("IT-onCommit"),
+                          },
+                          opts);
+    return 0;
+}

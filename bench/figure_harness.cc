@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Figure/table harness implementation.
+ */
+
+#include "figure_harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tm/api.h"
+
+namespace tmemc::bench
+{
+
+HarnessOpts
+parseArgs(int argc, char **argv)
+{
+    HarnessOpts opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--ops") == 0) {
+            opts.opsPerThread = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            opts.trials =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr,
+                                                        10));
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            opts.threads.clear();
+            const char *list = next();
+            for (const char *p = list; *p != '\0';) {
+                opts.threads.push_back(
+                    static_cast<std::uint32_t>(std::strtoul(p, nullptr,
+                                                            10)));
+                while (*p != '\0' && *p != ',')
+                    ++p;
+                if (*p == ',')
+                    ++p;
+            }
+        } else if (std::strcmp(arg, "--window") == 0) {
+            opts.windowSize = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--value") == 0) {
+            opts.valueSize = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--set-fraction") == 0) {
+            opts.setFraction = std::strtod(next(), nullptr);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.emitCsv = true;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opts.opsPerThread = 5000;
+            opts.trials = 1;
+            opts.windowSize = 2000;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf(
+                "options: --ops N --trials K --threads a,b,c --window W\n"
+                "         --value BYTES --set-fraction F --csv --quick\n"
+                "paper parameters: --ops 625000 --trials 5 "
+                "--threads 1,2,4,8,12\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (try --help)", arg);
+        }
+    }
+    return opts;
+}
+
+tm::RuntimeCfg
+gccDefaultRuntime()
+{
+    return tm::RuntimeCfg{};
+}
+
+tm::RuntimeCfg
+noLockRuntime()
+{
+    tm::RuntimeCfg cfg;
+    cfg.useSerialLock = false;
+    cfg.cm = tm::CmKind::NoCM;
+    return cfg;
+}
+
+SeriesSpec
+branchSeries(const std::string &branch)
+{
+    return SeriesSpec{branch, branch, gccDefaultRuntime()};
+}
+
+Cell
+runCell(const SeriesSpec &spec, std::uint32_t threads,
+        const HarnessOpts &opts)
+{
+    std::vector<double> times;
+    for (std::uint32_t trial = 0; trial < opts.trials; ++trial) {
+        tm::Runtime::get().configure(spec.runtime);
+        tm::Runtime::get().resetStats();
+
+        mc::Settings settings;
+        settings.maxBytes = 256 * 1024 * 1024;
+        settings.hashPowerInit = 12;
+        auto cache = mc::makeCache(spec.cacheBranch, settings, threads);
+        if (cache == nullptr)
+            fatal("unknown branch '%s'", spec.cacheBranch.c_str());
+
+        workload::MemslapCfg w;
+        w.concurrency = threads;
+        w.executeNumber = opts.opsPerThread;
+        w.windowSize = opts.windowSize;
+        w.valueSize = opts.valueSize;
+        w.setFraction = opts.setFraction;
+        w.seed = 20140301 + trial;
+        const auto result = workload::runMemslap(*cache, w);
+        times.push_back(result.seconds);
+    }
+    Cell cell;
+    for (double t : times)
+        cell.meanSeconds += t;
+    cell.meanSeconds /= static_cast<double>(times.size());
+    double var = 0.0;
+    for (double t : times)
+        var += (t - cell.meanSeconds) * (t - cell.meanSeconds);
+    cell.stddevSeconds =
+        times.size() > 1
+            ? std::sqrt(var / static_cast<double>(times.size() - 1))
+            : 0.0;
+    cell.opsPerSec =
+        static_cast<double>(threads) *
+        static_cast<double>(opts.opsPerThread) / cell.meanSeconds;
+    return cell;
+}
+
+void
+runFigure(const std::string &title, const std::vector<SeriesSpec> &series,
+          const HarnessOpts &opts)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("workload: %llu ops/thread, %llu-key window/thread, "
+                "%.0f%% sets, %zu-byte values, %u trial(s)\n",
+                static_cast<unsigned long long>(opts.opsPerThread),
+                static_cast<unsigned long long>(opts.windowSize),
+                opts.setFraction * 100.0, opts.valueSize, opts.trials);
+    std::printf("cells: seconds for the fixed per-thread op count "
+                "(flat line across threads = perfect scaling)\n\n");
+
+    std::printf("%-8s", "threads");
+    for (const auto &s : series)
+        std::printf(" %20s", s.label.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<Cell>> grid;
+    for (std::uint32_t t : opts.threads) {
+        grid.emplace_back();
+        std::printf("%-8u", t);
+        std::fflush(stdout);
+        for (const auto &s : series) {
+            const Cell cell = runCell(s, t, opts);
+            grid.back().push_back(cell);
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.3f (+/-%.3f)",
+                          cell.meanSeconds, cell.stddevSeconds);
+            std::printf(" %20s", buf);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    if (opts.emitCsv) {
+        std::printf("\ncsv,threads");
+        for (const auto &s : series)
+            std::printf(",%s", s.label.c_str());
+        std::printf("\n");
+        for (std::size_t r = 0; r < opts.threads.size(); ++r) {
+            std::printf("csv,%u", opts.threads[r]);
+            for (const Cell &c : grid[r])
+                std::printf(",%.6f", c.meanSeconds);
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+void
+runSerializationTable(const std::string &title,
+                      const std::vector<SeriesSpec> &series,
+                      const HarnessOpts &opts)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("4-thread execution, %llu ops/thread (paper: 625000)\n\n",
+                static_cast<unsigned long long>(opts.opsPerThread));
+    std::printf("%-16s %12s %18s %18s %12s\n", "Branch", "Transactions",
+                "In-Flight Switch", "Start Serial", "Abort Serial");
+
+    for (const auto &s : series) {
+        tm::Runtime::get().configure(s.runtime);
+        tm::Runtime::get().resetStats();
+
+        mc::Settings settings;
+        settings.maxBytes = 256 * 1024 * 1024;
+        settings.hashPowerInit = 12;
+        auto cache = mc::makeCache(s.cacheBranch, settings, 4);
+        if (cache == nullptr)
+            fatal("unknown branch '%s'", s.cacheBranch.c_str());
+
+        workload::MemslapCfg w;
+        w.concurrency = 4;
+        w.executeNumber = opts.opsPerThread;
+        w.windowSize = opts.windowSize;
+        w.valueSize = opts.valueSize;
+        w.setFraction = opts.setFraction;
+        workload::runMemslap(*cache, w);
+        cache.reset();  // Include maintenance-thread transactions.
+
+        const auto snap = tm::Runtime::get().snapshot();
+        std::printf("%s\n", snap.formatTableRow(s.label).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace tmemc::bench

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared driver for the figure/table reproduction binaries.
+ *
+ * Each paper figure is a set of (label, cache branch, TM runtime
+ * config) series swept over worker-thread counts; each paper table is
+ * the serialization profile of a set of branches at 4 threads. This
+ * harness runs those sweeps with the memslap-like workload and prints
+ * rows shaped like the paper's.
+ *
+ * The paper's parameters were --execute-number=625000 per thread with
+ * 5 trials on a 12-core Xeon 5650; the defaults here are scaled down
+ * (--ops to override) so a full figure regenerates in minutes on a
+ * small container. Time-per-fixed-work is reported exactly as in the
+ * figures: perfect scaling is a flat line across thread counts.
+ */
+
+#ifndef TMEMC_BENCH_FIGURE_HARNESS_H
+#define TMEMC_BENCH_FIGURE_HARNESS_H
+
+#include <string>
+#include <vector>
+
+#include "mc/cache_iface.h"
+#include "tm/attr.h"
+#include "workload/memslap.h"
+
+namespace tmemc::bench
+{
+
+/** One curve in a figure. */
+struct SeriesSpec
+{
+    std::string label;        //!< Legend label ("IP-Callable", ...).
+    std::string cacheBranch;  //!< Branch name for makeCache().
+    tm::RuntimeCfg runtime;   //!< TM runtime configuration.
+};
+
+/** Harness options (from the command line). */
+struct HarnessOpts
+{
+    std::vector<std::uint32_t> threads{1, 2, 4, 8, 12};
+    std::uint64_t opsPerThread = 20000;
+    std::uint32_t trials = 3;
+    std::uint64_t windowSize = 10000;
+    std::size_t valueSize = 100;
+    double setFraction = 0.1;
+    bool emitCsv = false;
+};
+
+/** Measured cell: mean and standard deviation over trials. */
+struct Cell
+{
+    double meanSeconds = 0.0;
+    double stddevSeconds = 0.0;
+    double opsPerSec = 0.0;
+};
+
+/** Parse --ops/--trials/--threads/--value/--csv/--set-fraction. */
+HarnessOpts parseArgs(int argc, char **argv);
+
+/** Run one (series, threads) cell: trials x (fresh cache + workload). */
+Cell runCell(const SeriesSpec &spec, std::uint32_t threads,
+             const HarnessOpts &opts);
+
+/**
+ * Run and print a full figure: one row per thread count, one column
+ * per series, each cell "seconds (+/- sd)".
+ */
+void runFigure(const std::string &title,
+               const std::vector<SeriesSpec> &series,
+               const HarnessOpts &opts);
+
+/**
+ * Run and print a serialization table (paper Tables 1-4): each branch
+ * at 4 worker threads, columns Transactions / In-Flight Switch /
+ * Start Serial / Abort Serial.
+ */
+void runSerializationTable(const std::string &title,
+                           const std::vector<SeriesSpec> &series,
+                           const HarnessOpts &opts);
+
+/** Default runtime config (GCC: eager algo, serialize-after-100). */
+tm::RuntimeCfg gccDefaultRuntime();
+
+/** NoLock runtime (Figure 10): no serial lock, no CM. */
+tm::RuntimeCfg noLockRuntime();
+
+/** Spec helpers for the standard branch ladder. */
+SeriesSpec branchSeries(const std::string &branch);
+
+} // namespace tmemc::bench
+
+#endif // TMEMC_BENCH_FIGURE_HARNESS_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Contention explorer: the paper's Figure 11 question — which STM
+ * algorithm and contention manager should an expert pick? — on a
+ * tunable microworkload instead of the full cache.
+ *
+ * Threads increment counters drawn from a small hot set; --hot
+ * controls how contended the workload is. Compare commits/second and
+ * abort rates across algorithm x contention-manager combinations.
+ *
+ * Usage: contention_explorer [threads] [hot-set-size]
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "tm/api.h"
+
+namespace
+{
+
+using namespace tmemc;
+
+const tm::TxnAttr site{"explorer:rmw", tm::TxnKind::Atomic, false};
+
+constexpr int kCells = 1024;
+std::uint64_t gCells[kCells];
+
+struct Combo
+{
+    const char *label;
+    tm::AlgoKind algo;
+    tm::CmKind cm;
+    bool serialLock;
+};
+
+double
+runCombo(const Combo &combo, std::uint32_t threads, int hot,
+         std::uint64_t ops_per_thread, double &aborts_per_commit)
+{
+    tm::RuntimeCfg cfg;
+    cfg.algo = combo.algo;
+    cfg.cm = combo.cm;
+    cfg.useSerialLock = combo.serialLock;
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+    for (auto &c : gCells)
+        c = 0;
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            XorShift128 rng(t + 99);
+            for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+                const int a = static_cast<int>(rng.nextBounded(hot));
+                const int b = static_cast<int>(rng.nextBounded(hot));
+                tm::run(site, [&](tm::TxDesc &tx) {
+                    // A small read-modify-write transaction over two
+                    // hot cells.
+                    tm::txStore<std::uint64_t>(
+                        tx, &gCells[a], tm::txLoad(tx, &gCells[a]) + 1);
+                    tm::txStore<std::uint64_t>(
+                        tx, &gCells[b], tm::txLoad(tx, &gCells[b]) + 1);
+                });
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const double secs = timer.elapsedSeconds();
+
+    const auto snap = tm::Runtime::get().snapshot();
+    aborts_per_commit =
+        snap.total.commits > 0
+            ? static_cast<double>(snap.total.aborts) /
+                  static_cast<double>(snap.total.commits)
+            : 0.0;
+
+    // Sanity: increments must never be lost.
+    std::uint64_t total = 0;
+    for (auto &c : gCells)
+        total += c;
+    if (total != 2 * threads * ops_per_thread)
+        std::fprintf(stderr, "LOST UPDATES in %s!\n", combo.label);
+    return static_cast<double>(threads) *
+           static_cast<double>(ops_per_thread) / secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t threads =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+    const int hot = argc > 2 ? std::atoi(argv[2]) : 16;
+    const std::uint64_t ops = 50000;
+
+    const Combo combos[] = {
+        {"GCC default (serialize@100)", tm::AlgoKind::GccEager,
+         tm::CmKind::SerialAfterN, true},
+        {"GCC-NoCM (no serial lock)", tm::AlgoKind::GccEager,
+         tm::CmKind::NoCM, false},
+        {"GCC-Backoff", tm::AlgoKind::GccEager, tm::CmKind::Backoff,
+         false},
+        {"GCC-Hourglass", tm::AlgoKind::GccEager, tm::CmKind::Hourglass,
+         false},
+        {"Lazy-NoCM", tm::AlgoKind::Lazy, tm::CmKind::NoCM, false},
+        {"NOrec-NoCM", tm::AlgoKind::NOrec, tm::CmKind::NoCM, false},
+        {"Serial (reference)", tm::AlgoKind::Serial,
+         tm::CmKind::SerialAfterN, true},
+    };
+
+    std::printf("contention explorer: %u threads, hot set %d, "
+                "%llu txns/thread\n\n",
+                threads, hot, static_cast<unsigned long long>(ops));
+    std::printf("%-30s %14s %16s\n", "configuration", "txns/sec",
+                "aborts/commit");
+    for (const Combo &combo : combos) {
+        double apc = 0.0;
+        const double rate = runCombo(combo, threads, hot, ops, apc);
+        std::printf("%-30s %14.0f %16.3f\n", combo.label, rate, apc);
+    }
+    std::printf("\npaper takeaway (Section 4): real workloads are "
+                "sensitive to these\nchoices; direct update wins on "
+                "latency despite high abort rates, and\nhourglass "
+                "throttling tracks no-CM while guaranteeing progress.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A transactional memcached "server": the full stack — worklist
+ * dispatcher (libevent substitute), text protocol, and a cache branch
+ * of your choice — driven by in-process clients.
+ *
+ * Usage: tm_kv_server [branch] [workers] [requests-per-client]
+ *   branch defaults to IT-onCommit; try Baseline, IP-Callable, ...
+ *
+ * Build & run:  ./build/examples/tm_kv_server IT-onCommit 4 2000
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "mc/cache_iface.h"
+#include "mc/protocol.h"
+#include "mc/worklist.h"
+#include "tm/api.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc;
+    const std::string branch = argc > 1 ? argv[1] : "IT-onCommit";
+    const std::uint32_t workers =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+    const int requests = argc > 3 ? std::atoi(argv[3]) : 2000;
+
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+
+    mc::Settings settings;
+    settings.maxBytes = 64 * 1024 * 1024;
+    auto cache = mc::makeCache(branch, settings, workers);
+    if (cache == nullptr) {
+        std::fprintf(stderr, "unknown branch '%s'\n", branch.c_str());
+        return 1;
+    }
+    std::printf("tm_kv_server: branch=%s workers=%u\n",
+                cache->branchName(), workers);
+
+    // The server: a worklist whose handler runs the protocol.
+    mc::Worklist worklist(workers,
+                          [&](std::uint32_t w, const mc::ConnWork &work) {
+                              return mc::protocolExecute(*cache, w,
+                                                         work.request);
+                          });
+
+    // A version probe, like a client's first exchange.
+    std::atomic<int> outstanding{0};
+    auto submit = [&](std::string req,
+                      std::function<void(std::string)> check) {
+        outstanding.fetch_add(1);
+        worklist.submit(std::move(req), [&, check](std::string reply) {
+            if (check)
+                check(std::move(reply));
+            outstanding.fetch_sub(1);
+        });
+    };
+    submit("version\r\n", [](std::string reply) {
+        std::printf("server says: %s", reply.c_str());
+    });
+
+    // In-process clients hammering the protocol.
+    WallTimer timer;
+    std::atomic<std::uint64_t> stored{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<std::thread> clients;
+    for (std::uint32_t c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+            XorShift128 rng(c + 1);
+            for (int i = 0; i < requests; ++i) {
+                const std::string key =
+                    "user:" + std::to_string(rng.nextBounded(500));
+                if (rng.nextDouble() < 0.2) {
+                    const std::string val =
+                        "profile-data-" + std::to_string(i);
+                    char req[256];
+                    std::snprintf(req, sizeof(req),
+                                  "set %s 0 0 %zu\r\n%s\r\n", key.c_str(),
+                                  val.size(), val.c_str());
+                    submit(req, [&](std::string reply) {
+                        if (reply == "STORED\r\n")
+                            stored.fetch_add(1);
+                    });
+                } else {
+                    submit("get " + key + "\r\n",
+                           [&](std::string reply) {
+                               if (reply.rfind("VALUE ", 0) == 0)
+                                   hits.fetch_add(1);
+                           });
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    while (outstanding.load() != 0)
+        std::this_thread::yield();
+    const double secs = timer.elapsedSeconds();
+
+    std::printf("%d requests in %.3f s (%.0f req/s); stored=%llu "
+                "hits=%llu\n",
+                3 * requests, secs, 3 * requests / secs,
+                static_cast<unsigned long long>(stored.load()),
+                static_cast<unsigned long long>(hits.load()));
+
+    // Ask the server for its stats the way a client would.
+    submit("stats\r\n", [](std::string reply) {
+        std::printf("\n%s", reply.c_str());
+    });
+    while (outstanding.load() != 0)
+        std::this_thread::yield();
+
+    const auto snap = tm::Runtime::get().snapshot();
+    if (snap.total.txns > 0) {
+        std::printf("\nTM: %llu txns, %llu commits, %llu aborts, "
+                    "start-serial=%llu in-flight=%llu\n",
+                    static_cast<unsigned long long>(snap.total.txns),
+                    static_cast<unsigned long long>(snap.total.commits),
+                    static_cast<unsigned long long>(snap.total.aborts),
+                    static_cast<unsigned long long>(snap.total.startSerial),
+                    static_cast<unsigned long long>(
+                        snap.total.inflightSwitch));
+    }
+    return 0;
+}

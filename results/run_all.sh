@@ -1,0 +1,14 @@
+#!/bin/bash
+cd /root/repo
+OPS=${1:-10000}
+TRIALS=${2:-2}
+OUT=results/bench_default.txt
+: > $OUT
+for b in fig4 table1 fig6 table2 fig8 table3 fig9 table4 fig10 fig11 lockprof ext_fused ablation_callable; do
+  echo "=== bench_$b ===" >> $OUT
+  timeout 2400 ./build/bench/bench_$b --ops $OPS --trials $TRIALS >> $OUT 2>&1
+done
+echo "=== micro ===" >> $OUT
+timeout 1200 ./build/bench/bench_micro_tm --benchmark_min_time=0.05s >> $OUT 2>&1
+timeout 1200 ./build/bench/bench_micro_tmsafe --benchmark_min_time=0.05s >> $OUT 2>&1
+echo ALL_BENCHES_DONE >> $OUT

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Spin-wait and exponential-backoff primitives.
+ *
+ * Both the TM contention managers and the lock-based memcached baseline
+ * use these; keeping them shared guarantees the comparison in the
+ * benchmarks is not skewed by different pause implementations.
+ */
+
+#ifndef TMEMC_COMMON_BACKOFF_H
+#define TMEMC_COMMON_BACKOFF_H
+
+#include <cstdint>
+#include <thread>
+
+#include "common/compiler.h"
+
+namespace tmemc
+{
+
+/** Single CPU relax hint (PAUSE on x86). */
+TMEMC_ALWAYS_INLINE void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin for roughly @p iters relax iterations. */
+inline void
+spinFor(std::uint64_t iters)
+{
+    for (std::uint64_t i = 0; i < iters; ++i)
+        cpuRelax();
+}
+
+/**
+ * Randomized exponential backoff, as used by the Backoff contention
+ * manager (Herlihy et al., PODC '03 style). Each call to pause() spins
+ * for a uniformly random duration whose ceiling doubles per failure.
+ */
+class ExpBackoff
+{
+  public:
+    /**
+     * @param min_spins Floor of the first pause window.
+     * @param max_spins Ceiling the window saturates at.
+     * @param seed      Per-thread seed for the window randomization.
+     */
+    explicit ExpBackoff(std::uint64_t min_spins = 32,
+                        std::uint64_t max_spins = 1 << 16,
+                        std::uint64_t seed = 0x2545f4914f6cdd1dull)
+        : minSpins_(min_spins), maxSpins_(max_spins), window_(min_spins),
+          state_(seed | 1)
+    {}
+
+    /** Back off for a randomized interval and widen the window. */
+    void
+    pause()
+    {
+        // xorshift64 for the jitter; cheap and per-instance.
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        spinFor(state_ % window_ + 1);
+        if (window_ < maxSpins_)
+            window_ *= 2;
+    }
+
+    /** Reset the window after a success. */
+    void reset() { window_ = minSpins_; }
+
+  private:
+    std::uint64_t minSpins_;
+    std::uint64_t maxSpins_;
+    std::uint64_t window_;
+    std::uint64_t state_;
+};
+
+} // namespace tmemc
+
+#endif // TMEMC_COMMON_BACKOFF_H

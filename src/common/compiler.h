@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Compiler portability helpers shared across the tmemc codebase.
+ *
+ * These mirror the small set of annotations GCC's libitm relies on:
+ * branch-prediction hints, forced inlining for instrumentation
+ * fast paths, and cache-line geometry.
+ */
+
+#ifndef TMEMC_COMMON_COMPILER_H
+#define TMEMC_COMMON_COMPILER_H
+
+#include <cstddef>
+
+namespace tmemc
+{
+
+/** Cache line size used for padding shared metadata. */
+constexpr std::size_t cachelineBytes = 64;
+
+} // namespace tmemc
+
+#if defined(__GNUC__) || defined(__clang__)
+#  define TMEMC_LIKELY(x)   __builtin_expect(!!(x), 1)
+#  define TMEMC_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#  define TMEMC_ALWAYS_INLINE inline __attribute__((always_inline))
+#  define TMEMC_NOINLINE __attribute__((noinline))
+#else
+#  define TMEMC_LIKELY(x)   (x)
+#  define TMEMC_UNLIKELY(x) (x)
+#  define TMEMC_ALWAYS_INLINE inline
+#  define TMEMC_NOINLINE
+#endif
+
+#endif // TMEMC_COMMON_COMPILER_H

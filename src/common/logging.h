@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic() is for internal invariant violations (a tmemc bug); it aborts.
+ * fatal() is for unrecoverable user/configuration errors; it exits(1).
+ * warn() and inform() report conditions without stopping execution.
+ */
+
+#ifndef TMEMC_COMMON_LOGGING_H
+#define TMEMC_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmemc
+{
+
+/**
+ * Print a formatted message to stderr with a severity prefix.
+ *
+ * @param prefix Severity tag, e.g. "panic".
+ * @param fmt    printf-style format string.
+ * @param ap     Variadic arguments for @p fmt.
+ */
+inline void
+vreport(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] inline void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+/** Report an unrecoverable configuration error and exit. */
+[[noreturn]] inline void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+inline void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+/** Report an informational status message. */
+inline void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace tmemc
+
+#endif // TMEMC_COMMON_LOGGING_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Cache-line padding wrapper for per-thread and per-slot shared metadata.
+ *
+ * The orec table, per-thread statistics, and the global serialization
+ * lock are all hot shared structures; false sharing between adjacent
+ * slots would distort exactly the contention effects the paper measures,
+ * so every such slot is padded to a cache line.
+ */
+
+#ifndef TMEMC_COMMON_PADDED_H
+#define TMEMC_COMMON_PADDED_H
+
+#include <cstddef>
+
+#include "common/compiler.h"
+
+namespace tmemc
+{
+
+/** Value of type T padded out to at least one full cache line. */
+template <typename T>
+struct alignas(cachelineBytes) Padded
+{
+    T value{};
+
+    /** Convenience accessors so Padded<T> reads like a T. */
+    T &operator*() { return value; }
+    const T &operator*() const { return value; }
+    T *operator->() { return &value; }
+    const T *operator->() const { return &value; }
+};
+
+} // namespace tmemc
+
+#endif // TMEMC_COMMON_PADDED_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * The workload driver needs per-thread deterministic streams so that a
+ * given (seed, thread, op-index) triple always produces the same request,
+ * making benchmark runs and failure reproductions byte-for-byte
+ * repeatable. We use xorshift128+ for speed and a precomputed-CDF Zipf
+ * sampler for skewed key popularity.
+ */
+
+#ifndef TMEMC_COMMON_RNG_H
+#define TMEMC_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tmemc
+{
+
+/**
+ * xorshift128+ PRNG. Small state, fast, and good enough statistical
+ * quality for workload generation (not for cryptography).
+ */
+class XorShift128
+{
+  public:
+    /** Seed the generator; a zero seed is remapped to a fixed constant. */
+    explicit XorShift128(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        if (seed == 0)
+            seed = 0x9e3779b97f4a7c15ull;
+        // SplitMix64 expansion of the seed into the two state words.
+        for (auto *word : {&s0_, &s1_}) {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            *word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / (1ull << 53));
+    }
+
+  private:
+    std::uint64_t s0_ = 0;
+    std::uint64_t s1_ = 0;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n) with exponent theta.
+ *
+ * Uses an exact inverse-CDF table; construction is O(n), sampling is
+ * O(log n). Suitable for the key-popularity skew memslap-style
+ * workloads exhibit.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Universe size (number of distinct keys).
+     * @param theta Skew; 0 degenerates to uniform, 0.99 is YCSB-like.
+     */
+    ZipfSampler(std::size_t n, double theta)
+        : cdf_(n)
+    {
+        if (n == 0)
+            panic("ZipfSampler requires a non-empty universe");
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            cdf_[i] /= sum;
+    }
+
+    /** Sample a rank in [0, n); rank 0 is the most popular. */
+    std::size_t
+    sample(XorShift128 &rng) const
+    {
+        const double u = rng.nextDouble();
+        std::size_t lo = 0;
+        std::size_t hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Universe size. */
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace tmemc
+
+#endif // TMEMC_COMMON_RNG_H

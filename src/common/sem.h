@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Thin RAII wrapper over POSIX semaphores.
+ *
+ * The paper's Section 3.2 replaces pthread condition variables with
+ * semaphores so the associated locks can become transactions; using
+ * real sem_t keeps the reproduction's synchronization primitives the
+ * same as the original code's.
+ */
+
+#ifndef TMEMC_COMMON_SEM_H
+#define TMEMC_COMMON_SEM_H
+
+#include <semaphore.h>
+
+#include "common/logging.h"
+
+namespace tmemc
+{
+
+/** Counting semaphore backed by sem_t. */
+class Semaphore
+{
+  public:
+    explicit Semaphore(unsigned initial = 0)
+    {
+        if (sem_init(&sem_, 0, initial) != 0)
+            fatal("sem_init failed");
+    }
+
+    ~Semaphore() { sem_destroy(&sem_); }
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    /** V: wake one waiter (async-signal-safe; usable in handlers). */
+    void post() { sem_post(&sem_); }
+
+    /** P: block until a post is available. */
+    void
+    wait()
+    {
+        while (sem_wait(&sem_) != 0) {
+            // Retry on EINTR.
+        }
+    }
+
+    /** Non-blocking P. @return true if a post was consumed. */
+    bool tryWait() { return sem_trywait(&sem_) == 0; }
+
+  private:
+    sem_t sem_;
+};
+
+} // namespace tmemc
+
+#endif // TMEMC_COMMON_SEM_H

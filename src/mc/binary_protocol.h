@@ -1,0 +1,140 @@
+/**
+ * @file
+ * memcached binary protocol, as exercised by the paper's workload
+ * (memslap was run with --binary).
+ *
+ * Implements the frame layout of the memcached binary protocol
+ * (magic/opcode/key-length/extras-length/status/body-length/opaque/
+ * cas) for the opcodes the study needs: GET/GETK, SET/ADD/REPLACE,
+ * DELETE, INCREMENT/DECREMENT, NOOP, VERSION, STAT, FLUSH.
+ *
+ * Multi-byte fields are network byte order; the 16-bit conversions go
+ * through tmsafe::tm_htons's uninstrumented twin (htons was one of the
+ * unsafe calls the paper had to handle, Section 3.4 — here it appears
+ * on the private request buffer, before any transaction, exactly as in
+ * memcached's conn parsing).
+ */
+
+#ifndef TMEMC_MC_BINARY_PROTOCOL_H
+#define TMEMC_MC_BINARY_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "mc/cache_iface.h"
+
+namespace tmemc::mc
+{
+
+/** Binary-protocol magic bytes. */
+enum class BinMagic : std::uint8_t
+{
+    Request = 0x80,
+    Response = 0x81,
+};
+
+/** Opcodes (memcached protocol_binary.h values). */
+enum class BinOp : std::uint8_t
+{
+    Get = 0x00,
+    Set = 0x01,
+    Add = 0x02,
+    Replace = 0x03,
+    Delete = 0x04,
+    Increment = 0x05,
+    Decrement = 0x06,
+    Flush = 0x08,
+    Noop = 0x0a,
+    Version = 0x0b,
+    GetK = 0x0c,
+    Append = 0x0e,
+    Prepend = 0x0f,
+    Stat = 0x10,
+    Touch = 0x1c,
+};
+
+/** Response status codes. */
+enum class BinStatus : std::uint16_t
+{
+    Ok = 0x0000,
+    KeyNotFound = 0x0001,
+    KeyExists = 0x0002,
+    ValueTooLarge = 0x0003,
+    InvalidArguments = 0x0004,
+    NotStored = 0x0005,
+    NonNumeric = 0x0006,
+    OutOfMemory = 0x0082,
+    UnknownCommand = 0x0081,
+};
+
+/** Fixed 24-byte frame header. */
+struct BinHeader
+{
+    std::uint8_t magic = 0;
+    std::uint8_t opcode = 0;
+    std::uint16_t keyLength = 0;    //!< Network order on the wire.
+    std::uint8_t extrasLength = 0;
+    std::uint8_t dataType = 0;
+    std::uint16_t status = 0;       //!< vbucket id in requests.
+    std::uint32_t bodyLength = 0;   //!< extras + key + value.
+    std::uint32_t opaque = 0;
+    std::uint64_t cas = 0;
+};
+
+constexpr std::size_t kBinHeaderSize = 24;
+
+/** Serialize a header into 24 wire bytes (network byte order). */
+void binEncodeHeader(const BinHeader &h, std::uint8_t *out);
+
+/**
+ * Parse 24 wire bytes into a header.
+ * @return false if the magic byte is not a request/response magic.
+ */
+bool binDecodeHeader(const std::uint8_t *in, BinHeader &h);
+
+/** Build a complete request frame. */
+std::string binRequest(BinOp op, const std::string &key,
+                       const std::string &value = "",
+                       const std::string &extras = "",
+                       std::uint64_t cas = 0, std::uint32_t opaque = 0);
+
+/** Convenience: SET request with the flags/expiry extras. */
+std::string binSetRequest(const std::string &key,
+                          const std::string &value,
+                          std::uint32_t flags = 0,
+                          std::uint32_t expiry = 0,
+                          BinOp op = BinOp::Set, std::uint64_t cas = 0);
+
+/** Convenience: INCR/DECR request with delta/initial/expiry extras. */
+std::string binArithRequest(BinOp op, const std::string &key,
+                            std::uint64_t delta);
+
+/** Decoded response, for clients and tests. */
+struct BinResponse
+{
+    BinStatus status = BinStatus::Ok;
+    BinOp opcode = BinOp::Noop;
+    std::string key;
+    std::string extras;
+    std::string value;
+    std::uint64_t cas = 0;
+    std::uint32_t opaque = 0;
+};
+
+/**
+ * Parse one response frame from @p wire.
+ * @return Bytes consumed, or 0 if the buffer does not hold a frame.
+ */
+std::size_t binParseResponse(const std::string &wire, BinResponse &out);
+
+/**
+ * Execute one binary request against the cache and return the
+ * response frame(s) (STAT produces several).
+ * @return Empty string if the buffer does not contain a full frame.
+ */
+std::string binaryExecute(CacheIface &cache, std::uint32_t worker,
+                          const std::string &request);
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_BINARY_PROTOCOL_H

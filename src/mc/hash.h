@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Key hashing. memcached 1.4.15 uses Bob Jenkins' lookup3; any strong
+ * 32-bit mix works for the study, so we use a MurmurHash3-style
+ * finalizer over 8-byte blocks. Keys are always private memory when
+ * hashed (request buffers), so no instrumentation is needed — matching
+ * memcached, where hashing happens before any lock is taken.
+ */
+
+#ifndef TMEMC_MC_HASH_H
+#define TMEMC_MC_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tmemc::mc
+{
+
+/** 32-bit hash of a private key buffer. */
+inline std::uint32_t
+hashKey(const void *key, std::size_t nkey)
+{
+    const auto *p = static_cast<const unsigned char *>(key);
+    std::uint64_t h = 0x9368e53c2f6af274ull ^ (nkey * 0xff51afd7ed558ccdull);
+    while (nkey >= 8) {
+        std::uint64_t k;
+        std::memcpy(&k, p, 8);
+        k *= 0xc6a4a7935bd1e995ull;
+        k ^= k >> 47;
+        h = (h ^ k) * 0xc6a4a7935bd1e995ull;
+        p += 8;
+        nkey -= 8;
+    }
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, nkey);
+    h ^= tail;
+    h *= 0xc6a4a7935bd1e995ull;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_HASH_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Item layout, modelled on memcached 1.4.15's `item` struct: hash-chain
+ * and LRU links, a reference count maintained with atomic
+ * read-modify-write in the lock-based branches (memcached's
+ * `lock_incr` inline assembly), linkage flags, and inline key+value
+ * data.
+ *
+ * Accesses to item fields go through a branch's memory-context object,
+ * so one definition serves the uninstrumented, privatizing, and fully
+ * transactional branches.
+ */
+
+#ifndef TMEMC_MC_ITEM_H
+#define TMEMC_MC_ITEM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmemc::mc
+{
+
+/** Item linkage flags (memcached it_flags). */
+enum ItemFlags : std::uint32_t
+{
+    kItemLinked = 1,   //!< Present in the hash table and LRU.
+    kItemSlabbed = 2,  //!< On a slab free list.
+};
+
+/**
+ * A cache item. Header plus inline data: nkey key bytes followed by
+ * nbytes value bytes. Alignment is 8 so TM word accesses to the header
+ * fields never straddle.
+ */
+struct alignas(8) Item
+{
+    Item *hNext;              //!< Hash chain.
+    Item *prev;               //!< LRU towards head.
+    Item *next;               //!< LRU towards tail.
+    std::uint64_t refcount;   //!< Reference count (see file comment).
+    std::uint64_t casId;      //!< Compare-and-swap identity.
+    std::uint64_t lastBump;   //!< Logical time of last LRU bump.
+    std::int64_t exptime;     //!< Logical expiry time; 0 = never.
+    std::uint32_t itFlags;    //!< ItemFlags.
+    std::uint32_t nbytes;     //!< Value length.
+    std::uint16_t nkey;       //!< Key length.
+    std::uint8_t clsid;       //!< Owning slab class.
+    std::uint8_t pad0;
+    std::uint32_t pad1;
+
+    /** Start of the inline key bytes. */
+    char *key() { return reinterpret_cast<char *>(this + 1); }
+    const char *key() const
+    {
+        return reinterpret_cast<const char *>(this + 1);
+    }
+
+    /** Start of the inline value bytes (8-aligned after the key). */
+    char *
+    value()
+    {
+        return key() + ((nkey + 7u) & ~7u);
+    }
+    const char *
+    value() const
+    {
+        return key() + ((nkey + 7u) & ~7u);
+    }
+
+    /** Total footprint of an item with the given key/value sizes. */
+    static std::size_t
+    totalSize(std::size_t nkey, std::size_t nbytes)
+    {
+        return sizeof(Item) + ((nkey + 7) & ~std::size_t{7}) + nbytes;
+    }
+};
+
+static_assert(sizeof(Item) % 8 == 0, "item header must stay word-aligned");
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_ITEM_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-slab-class LRU lists, after memcached's items.c heads/tails
+ * arrays. Cache-lock domain: every link/unlink/bump happens inside a
+ * cache section.
+ */
+
+#ifndef TMEMC_MC_LRU_H
+#define TMEMC_MC_LRU_H
+
+#include "mc/item.h"
+
+namespace tmemc::mc
+{
+
+/** Maximum number of slab classes (memcached: MAX_NUMBER_OF_SLAB_CLASSES). */
+constexpr std::uint32_t kMaxSlabClasses = 48;
+
+/** LRU state: one doubly linked list per slab class. */
+struct LruState
+{
+    Item *heads[kMaxSlabClasses] = {};
+    Item *tails[kMaxSlabClasses] = {};
+    std::uint64_t sizes[kMaxSlabClasses] = {};
+};
+
+/** Insert @p it at the head (most recently used) of its class list. */
+template <typename Ctx>
+void
+lruLink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
+{
+    Item *head = c.load(&s.heads[cls]);
+    c.store(&it->prev, static_cast<Item *>(nullptr));
+    c.store(&it->next, head);
+    if (head != nullptr)
+        c.store(&head->prev, it);
+    c.store(&s.heads[cls], it);
+    if (c.load(&s.tails[cls]) == nullptr)
+        c.store(&s.tails[cls], it);
+    c.store(&s.sizes[cls], c.load(&s.sizes[cls]) + 1);
+}
+
+/** Remove @p it from its class list. */
+template <typename Ctx>
+void
+lruUnlink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
+{
+    Item *prev = c.load(&it->prev);
+    Item *next = c.load(&it->next);
+    if (prev != nullptr)
+        c.store(&prev->next, next);
+    else
+        c.store(&s.heads[cls], next);
+    if (next != nullptr)
+        c.store(&next->prev, prev);
+    else
+        c.store(&s.tails[cls], prev);
+    c.store(&it->prev, static_cast<Item *>(nullptr));
+    c.store(&it->next, static_cast<Item *>(nullptr));
+    c.store(&s.sizes[cls], c.load(&s.sizes[cls]) - 1);
+}
+
+/** Move @p it to the head of its list (item_update). */
+template <typename Ctx>
+void
+lruBump(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
+{
+    if (c.load(&s.heads[cls]) == it)
+        return;
+    lruUnlink(c, s, it, cls);
+    lruLink(c, s, it, cls);
+}
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_LRU_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cache statistics, split the way memcached 1.4.15 splits them: a set
+ * of global counters behind the stats lock, plus per-thread counters
+ * behind per-thread locks ("much effort has gone into moving these
+ * counters into per-thread structures, some remain as global
+ * variables").
+ *
+ * Fields are plain integers: how they are read and written (plain,
+ * atomic, or transactional) is the branch's business, via its memory
+ * context.
+ */
+
+#ifndef TMEMC_MC_MCSTATS_H
+#define TMEMC_MC_MCSTATS_H
+
+#include <cstdint>
+
+namespace tmemc::mc
+{
+
+/** Global statistics (stats_lock domain). */
+struct GlobalStats
+{
+    std::uint64_t currItems = 0;
+    std::uint64_t totalItems = 0;
+    std::uint64_t currBytes = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expiredUnfetched = 0;
+    std::uint64_t hashExpansions = 0;
+    std::uint64_t slabPagesMoved = 0;
+    std::uint64_t casBadval = 0;
+    /**
+     * Status flag nudged by the allocator when memory is nearly
+     * exhausted. memcached keeps flags like this as volatiles that
+     * stats-domain critical sections re-read; it is the unconditional
+     * volatile access that makes stats transactions start serial
+     * before the Max stage.
+     */
+    std::uint64_t memLimitNear = 0;
+};
+
+/** Per-thread statistics (per-thread lock domain). */
+struct ThreadStatsBlock
+{
+    std::uint64_t cmdGet = 0;
+    std::uint64_t cmdSet = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t getMisses = 0;
+    std::uint64_t deleteHits = 0;
+    std::uint64_t deleteMisses = 0;
+    std::uint64_t incrHits = 0;
+    std::uint64_t incrMisses = 0;
+    std::uint64_t decrHits = 0;
+    std::uint64_t decrMisses = 0;
+    std::uint64_t casHits = 0;
+    std::uint64_t casMisses = 0;
+    std::uint64_t touchHits = 0;
+    std::uint64_t touchMisses = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+
+    void
+    add(const ThreadStatsBlock &o)
+    {
+        cmdGet += o.cmdGet;
+        cmdSet += o.cmdSet;
+        getHits += o.getHits;
+        getMisses += o.getMisses;
+        deleteHits += o.deleteHits;
+        deleteMisses += o.deleteMisses;
+        incrHits += o.incrHits;
+        incrMisses += o.incrMisses;
+        decrHits += o.decrHits;
+        decrMisses += o.decrMisses;
+        casHits += o.casHits;
+        casMisses += o.casMisses;
+        touchHits += o.touchHits;
+        touchMisses += o.touchMisses;
+        bytesRead += o.bytesRead;
+        bytesWritten += o.bytesWritten;
+    }
+};
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_MCSTATS_H

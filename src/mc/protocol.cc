@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Text-protocol implementation.
+ */
+
+#include "mc/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "mc/ctx.h"
+
+namespace tmemc::mc
+{
+
+namespace
+{
+
+/** Split the command line (up to \r\n) into whitespace-separated
+ *  tokens; returns the offset just past the line terminator. */
+std::size_t
+tokenizeLine(const std::string &req, std::vector<std::string> &tokens)
+{
+    std::size_t eol = req.find("\r\n");
+    if (eol == std::string::npos)
+        eol = req.size();
+    std::size_t i = 0;
+    while (i < eol) {
+        while (i < eol &&
+               std::isspace(static_cast<unsigned char>(req[i])))
+            ++i;
+        std::size_t j = i;
+        while (j < eol &&
+               !std::isspace(static_cast<unsigned char>(req[j])))
+            ++j;
+        if (j > i)
+            tokens.emplace_back(req.substr(i, j - i));
+        i = j;
+    }
+    return eol + 2 <= req.size() ? eol + 2 : req.size();
+}
+
+std::string
+storeReply(OpStatus st)
+{
+    switch (st) {
+      case OpStatus::Ok:
+        return "STORED\r\n";
+      case OpStatus::NotStored:
+        return "NOT_STORED\r\n";
+      case OpStatus::Exists:
+        return "EXISTS\r\n";
+      case OpStatus::Miss:
+        return "NOT_FOUND\r\n";
+      case OpStatus::OutOfMemory:
+        return "SERVER_ERROR out of memory storing object\r\n";
+      case OpStatus::BadValue:
+        return "CLIENT_ERROR cannot increment or decrement "
+               "non-numeric value\r\n";
+    }
+    return "SERVER_ERROR\r\n";
+}
+
+} // namespace
+
+std::string
+protocolExecute(CacheIface &cache, std::uint32_t worker,
+                const std::string &request)
+{
+    std::vector<std::string> tok;
+    const std::size_t body_off = tokenizeLine(request, tok);
+    if (tok.empty())
+        return "ERROR\r\n";
+    const std::string &cmd = tok[0];
+
+    if (cmd == "get" || cmd == "gets") {
+        if (tok.size() < 2)
+            return "ERROR\r\n";
+        const std::string &key = tok[1];
+        std::vector<char> buf(65536);
+        const auto r =
+            cache.get(worker, key.data(), key.size(), buf.data(),
+                      buf.size());
+        if (r.status != OpStatus::Ok)
+            return "END\r\n";
+        char header[256];
+        int n;
+        if (cmd == "gets") {
+            n = std::snprintf(header, sizeof(header),
+                              "VALUE %s 0 %zu %llu\r\n", key.c_str(),
+                              r.vlen,
+                              static_cast<unsigned long long>(r.casId));
+        } else {
+            n = std::snprintf(header, sizeof(header),
+                              "VALUE %s 0 %zu\r\n", key.c_str(), r.vlen);
+        }
+        std::string reply(header, static_cast<std::size_t>(n));
+        reply.append(buf.data(), std::min(r.vlen, buf.size()));
+        reply.append("\r\nEND\r\n");
+        return reply;
+    }
+
+    if (cmd == "set" || cmd == "add" || cmd == "replace" || cmd == "cas") {
+        const bool is_cas = cmd == "cas";
+        const std::size_t need = is_cas ? 6 : 5;
+        if (tok.size() < need)
+            return "ERROR\r\n";
+        const std::string &key = tok[1];
+        const long exptime = std::strtol(tok[3].c_str(), nullptr, 10);
+        const std::size_t bytes =
+            std::strtoull(tok[4].c_str(), nullptr, 10);
+        const std::uint64_t cas =
+            is_cas ? std::strtoull(tok[5].c_str(), nullptr, 10) : 0;
+        if (body_off + bytes > request.size())
+            return "CLIENT_ERROR bad data chunk\r\n";
+        StoreMode mode = StoreMode::Set;
+        if (cmd == "add")
+            mode = StoreMode::Add;
+        else if (cmd == "replace")
+            mode = StoreMode::Replace;
+        else if (is_cas)
+            mode = StoreMode::Cas;
+        const auto st = cache.store(worker, key.data(), key.size(),
+                                    request.data() + body_off, bytes,
+                                    mode, cas);
+        if (st == OpStatus::Ok && exptime > 0)
+            cache.touch(worker, key.data(), key.size(), exptime);
+        return storeReply(st);
+    }
+
+    if (cmd == "append" || cmd == "prepend") {
+        if (tok.size() < 5)
+            return "ERROR\r\n";
+        const std::string &key = tok[1];
+        const std::size_t bytes =
+            std::strtoull(tok[4].c_str(), nullptr, 10);
+        if (body_off + bytes > request.size())
+            return "CLIENT_ERROR bad data chunk\r\n";
+        const auto st =
+            cache.concat(worker, key.data(), key.size(),
+                         request.data() + body_off, bytes,
+                         cmd == "append");
+        return storeReply(st);
+    }
+
+    if (cmd == "delete") {
+        if (tok.size() < 2)
+            return "ERROR\r\n";
+        const auto st = cache.del(worker, tok[1].data(), tok[1].size());
+        return st == OpStatus::Ok ? "DELETED\r\n" : "NOT_FOUND\r\n";
+    }
+
+    if (cmd == "incr" || cmd == "decr") {
+        if (tok.size() < 3)
+            return "ERROR\r\n";
+        const std::uint64_t delta =
+            std::strtoull(tok[2].c_str(), nullptr, 10);
+        std::uint64_t value = 0;
+        const auto st = cache.arith(worker, tok[1].data(), tok[1].size(),
+                                    delta, cmd == "incr", value);
+        if (st != OpStatus::Ok)
+            return "NOT_FOUND\r\n";
+        char buf[32];
+        const int n = std::snprintf(buf, sizeof(buf), "%llu\r\n",
+                                    static_cast<unsigned long long>(value));
+        return std::string(buf, static_cast<std::size_t>(n));
+    }
+
+    if (cmd == "touch") {
+        if (tok.size() < 3)
+            return "ERROR\r\n";
+        const long exptime = std::strtol(tok[2].c_str(), nullptr, 10);
+        const auto st =
+            cache.touch(worker, tok[1].data(), tok[1].size(), exptime);
+        return st == OpStatus::Ok ? "TOUCHED\r\n" : "NOT_FOUND\r\n";
+    }
+
+    if (cmd == "stats") {
+        std::vector<char> buf(16384);
+        const std::size_t n =
+            cache.statsText(worker, buf.data(), buf.size());
+        return std::string(buf.data(), n) + "END\r\n";
+    }
+
+    if (cmd == "flush_all") {
+        cache.flushAll(worker);
+        return "OK\r\n";
+    }
+
+    if (cmd == "version") {
+        return std::string("VERSION ") + worklistVersion() + "\r\n";
+    }
+
+    return "ERROR\r\n";
+}
+
+} // namespace tmemc::mc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * memcached text-protocol layer: parse commands from a connection
+ * buffer, execute them against a CacheIface, and format replies.
+ *
+ * Supports the commands the study's workloads and examples exercise:
+ *
+ *   get <key>\r\n
+ *   set|add|replace <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+ *   cas <key> <flags> <exptime> <bytes> <casid>\r\n<data>\r\n
+ *   delete <key>\r\n
+ *   incr|decr <key> <delta>\r\n
+ *   touch <key> <exptime>\r\n
+ *   stats\r\n
+ *   flush_all\r\n
+ *   version\r\n
+ *
+ * Parsing happens on the private connection buffer before any lock or
+ * transaction is taken, exactly as in memcached; the conversion
+ * helpers used here are the uninstrumented clones.
+ */
+
+#ifndef TMEMC_MC_PROTOCOL_H
+#define TMEMC_MC_PROTOCOL_H
+
+#include <string>
+
+#include "mc/cache_iface.h"
+
+namespace tmemc::mc
+{
+
+/**
+ * Execute one protocol request and return the reply text.
+ * @param cache  Target cache.
+ * @param worker Worker-thread id (for per-thread statistics).
+ * @param request Raw request text (commands as documented above).
+ */
+std::string protocolExecute(CacheIface &cache, std::uint32_t worker,
+                            const std::string &request);
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_PROTOCOL_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Critical-section site descriptors.
+ *
+ * A SiteInfo is the static description of one critical section in the
+ * cache source: its name, the unsafe-operation categories that occur
+ * on *every* path through it, and the categories that occur on *some*
+ * path. This is the information the "compiler" (the Draft C++ TM
+ * Specification's static checker) derives: a transaction whose every
+ * path is unsafe at the current branch stage must begin in serial mode
+ * (Start Serial); one with conditional unsafe paths must be relaxed
+ * and switches in flight when a path is hit; one with neither can be
+ * marked atomic.
+ */
+
+#ifndef TMEMC_MC_SITE_H
+#define TMEMC_MC_SITE_H
+
+#include <cstdint>
+
+#include "mc/branch.h"
+
+namespace tmemc::mc
+{
+
+/** Bitmask over UnsafeCat. */
+using UnsafeMask = std::uint8_t;
+
+constexpr UnsafeMask
+maskOf(UnsafeCat cat)
+{
+    return static_cast<UnsafeMask>(1u << static_cast<unsigned>(cat));
+}
+
+constexpr UnsafeMask kNoUnsafe = 0;
+constexpr UnsafeMask kRmw = maskOf(UnsafeCat::AtomicRmw);
+constexpr UnsafeMask kVolatile = maskOf(UnsafeCat::Volatile);
+constexpr UnsafeMask kLib = maskOf(UnsafeCat::Lib);
+constexpr UnsafeMask kIo = maskOf(UnsafeCat::Io);
+
+/** Static description of one critical-section site. */
+struct SiteInfo
+{
+    const char *name;
+    /** Categories on every path (earliest-op position). */
+    UnsafeMask alwaysUnsafe;
+    /** Categories on some path only. */
+    UnsafeMask maybeUnsafe;
+};
+
+/** True if any category in @p mask is still unsafe for @p cfg. */
+constexpr bool
+anyUnsafe(const BranchCfg &cfg, UnsafeMask mask)
+{
+    for (auto cat : {UnsafeCat::AtomicRmw, UnsafeCat::Volatile,
+                     UnsafeCat::Lib, UnsafeCat::Io}) {
+        if ((mask & maskOf(cat)) != 0 && cfg.isUnsafe(cat))
+            return true;
+    }
+    return false;
+}
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_SITE_H

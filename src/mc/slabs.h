@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Slab allocator, after memcached's slabs.c: geometrically sized
+ * chunk classes carved out of fixed-size pages, per-class free lists,
+ * and the bookkeeping the slab-rebalance maintenance thread uses to
+ * move pages between classes.
+ *
+ * slabs-lock domain, except the class geometry (chunk sizes), which
+ * is immutable after startup and read without instrumentation.
+ */
+
+#ifndef TMEMC_MC_SLABS_H
+#define TMEMC_MC_SLABS_H
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "mc/item.h"
+#include "mc/lru.h"
+#include "mc/settings.h"
+
+namespace tmemc::mc
+{
+
+/** One slab class. */
+struct SlabClass
+{
+    // Immutable geometry (startup only).
+    std::uint32_t chunkSize = 0;
+    std::uint32_t perPage = 0;
+
+    // slabs-lock domain.
+    Item *freeList = nullptr;  //!< Chained through hNext.
+    std::uint64_t freeCount = 0;
+    std::uint64_t usedChunks = 0;
+
+    /** Pages owned by this class (for the rebalancer). */
+    void **pages = nullptr;
+    std::uint64_t pageCount = 0;
+    std::uint64_t pageCap = 0;
+};
+
+/** Allocator state. */
+struct SlabState
+{
+    SlabClass classes[kMaxSlabClasses];
+    std::uint32_t numClasses = 0;  //!< Immutable after init.
+    std::size_t pageSize = 0;      //!< Immutable after init.
+
+    std::uint64_t memAllocated = 0;  //!< Bytes handed to pages.
+    std::uint64_t memLimit = 0;      //!< Budget (settings.maxBytes).
+
+    /** Volatile-category flag: a class is starved; wake the
+     *  rebalancer. One of the paper's renamed volatiles. */
+    std::uint64_t rebalSignal = 0;
+    /** Rebalance bookkeeping (guarded by the rebalance lock). */
+    std::uint64_t rebalSrc = 0;
+    std::uint64_t rebalDst = 0;
+};
+
+/** Build the class geometry at startup (single-threaded). */
+inline void
+slabsInit(SlabState &s, const Settings &cfg)
+{
+    s.pageSize = cfg.slabPageSize;
+    s.memLimit = cfg.maxBytes;
+    std::size_t size = cfg.slabChunkMin;
+    std::uint32_t i = 0;
+    for (; i < kMaxSlabClasses - 1 && size < cfg.itemSizeMax; ++i) {
+        size = (size + 7) & ~std::size_t{7};
+        s.classes[i].chunkSize = static_cast<std::uint32_t>(size);
+        s.classes[i].perPage =
+            static_cast<std::uint32_t>(cfg.slabPageSize / size);
+        if (s.classes[i].perPage == 0)
+            fatal("slab page size %zu too small for chunk %zu",
+                  cfg.slabPageSize, size);
+        size = static_cast<std::size_t>(
+            static_cast<double>(size) * cfg.slabGrowthFactor);
+    }
+    s.classes[i].chunkSize = static_cast<std::uint32_t>(cfg.itemSizeMax);
+    s.classes[i].perPage =
+        static_cast<std::uint32_t>(cfg.slabPageSize / cfg.itemSizeMax);
+    s.numClasses = i + 1;
+
+    // Page-ownership arrays for the rebalancer: any class could in
+    // principle own every page.
+    const std::uint64_t max_pages = cfg.maxBytes / cfg.slabPageSize + 1;
+    for (std::uint32_t j = 0; j < s.numClasses; ++j) {
+        s.classes[j].pageCap = max_pages;
+        s.classes[j].pages = static_cast<void **>(
+            std::calloc(max_pages, sizeof(void *)));
+    }
+}
+
+/** Smallest class whose chunks fit @p bytes; kMaxSlabClasses if none. */
+inline std::uint32_t
+slabClsid(const SlabState &s, std::size_t bytes)
+{
+    for (std::uint32_t i = 0; i < s.numClasses; ++i) {
+        if (s.classes[i].chunkSize >= bytes)
+            return i;
+    }
+    return kMaxSlabClasses;
+}
+
+/**
+ * Carve a fresh page into chunks for class @p cls and thread them
+ * onto its free list. Caller is inside a slabs section and has
+ * checked the memory budget.
+ */
+template <typename Ctx>
+void
+slabsCarvePage(Ctx &c, SlabState &s, std::uint32_t cls, void *page)
+{
+    SlabClass &k = s.classes[cls];
+    const std::uint32_t chunk = k.chunkSize;  // Immutable.
+    const std::uint32_t n = k.perPage;
+
+    // Fresh page: build the chain with plain stores (captured memory),
+    // then publish it onto the shared free list with instrumented ones.
+    auto *base = static_cast<char *>(page);
+    for (std::uint32_t j = 0; j + 1 < n; ++j) {
+        auto *it = reinterpret_cast<Item *>(base + std::size_t{j} * chunk);
+        it->hNext = reinterpret_cast<Item *>(base +
+                                             (std::size_t{j} + 1) * chunk);
+        it->itFlags = kItemSlabbed;
+        it->clsid = static_cast<std::uint8_t>(cls);
+    }
+    auto *last = reinterpret_cast<Item *>(base + std::size_t{n - 1} * chunk);
+    last->itFlags = kItemSlabbed;
+    last->clsid = static_cast<std::uint8_t>(cls);
+
+    Item *old_head = c.load(&k.freeList);
+    c.store(&last->hNext, old_head);
+    c.store(&k.freeList, reinterpret_cast<Item *>(base));
+    c.store(&k.freeCount, c.load(&k.freeCount) + n);
+
+    // Record page ownership for the rebalancer.
+    std::uint64_t count = c.load(&k.pageCount);
+    c.store(&k.pages[count], page);
+    c.store(&k.pageCount, count + 1);
+}
+
+/**
+ * Pop a chunk for class @p cls, growing by one page if the budget
+ * allows. @return nullptr when the class is exhausted and the memory
+ * limit prevents growth (caller evicts, and may signal rebalance).
+ */
+template <typename Ctx>
+Item *
+slabsAlloc(Ctx &c, SlabState &s, std::uint32_t cls)
+{
+    SlabClass &k = s.classes[cls];
+    Item *head = c.load(&k.freeList);
+    if (head == nullptr) {
+        const std::uint64_t allocated = c.load(&s.memAllocated);
+        if (allocated + s.pageSize > s.memLimit)
+            return nullptr;  // At the limit: caller must evict.
+        void *page = c.allocRaw(s.pageSize);
+        c.store(&s.memAllocated, allocated + s.pageSize);
+        slabsCarvePage(c, s, cls, page);
+        head = c.load(&k.freeList);
+    }
+    c.store(&k.freeList, c.load(&head->hNext));
+    c.store(&k.freeCount, c.load(&k.freeCount) - 1);
+    c.store(&k.usedChunks, c.load(&k.usedChunks) + 1);
+    c.store(&head->hNext, static_cast<Item *>(nullptr));
+    c.store(&head->itFlags, std::uint32_t{0});
+    return head;
+}
+
+/** Return a chunk to its class free list. */
+template <typename Ctx>
+void
+slabsFree(Ctx &c, SlabState &s, Item *it, std::uint32_t cls)
+{
+    SlabClass &k = s.classes[cls];
+    c.store(&it->itFlags, std::uint32_t{kItemSlabbed});
+    c.store(&it->hNext, c.load(&k.freeList));
+    c.store(&k.freeList, it);
+    c.store(&k.freeCount, c.load(&k.freeCount) + 1);
+    c.store(&k.usedChunks, c.load(&k.usedChunks) - 1);
+}
+
+/** Is @p ptr inside @p page (page-size from state)? */
+inline bool
+inPage(const SlabState &s, const void *page, const void *ptr)
+{
+    const auto p = reinterpret_cast<std::uintptr_t>(page);
+    const auto q = reinterpret_cast<std::uintptr_t>(ptr);
+    return q >= p && q < p + s.pageSize;
+}
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_SLABS_H

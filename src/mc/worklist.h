@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Worklist / connection dispatcher: the libevent substitute.
+ *
+ * memcached's threads.c hands accepted connections to worker threads
+ * through per-worker queues, with a libevent notification pipe waking
+ * the worker. This reproduces that pattern — per-worker MPSC queues, a
+ * semaphore wakeup, and a round-robin dispatcher — without the
+ * network: "connections" carry request buffers produced in-process.
+ *
+ * worklistVersion() stands in for event_get_version(), the unsafe
+ * library call the paper had to move out of a transaction (Section
+ * 3.5).
+ */
+
+#ifndef TMEMC_MC_WORKLIST_H
+#define TMEMC_MC_WORKLIST_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sem.h"
+#include "mc/ctx.h"
+
+namespace tmemc::mc
+{
+
+/** A queued unit of connection work. */
+struct ConnWork
+{
+    std::uint64_t connId = 0;
+    std::string request;               //!< Raw protocol text.
+    std::function<void(std::string)> onReply;  //!< Response sink.
+};
+
+/**
+ * Per-worker MPSC work queue with semaphore wakeup (the libevent
+ * notify-pipe analogue).
+ */
+class WorkQueue
+{
+  public:
+    void
+    push(ConnWork work)
+    {
+        {
+            std::lock_guard<std::mutex> guard(mu_);
+            items_.push_back(std::move(work));
+        }
+        ready_.post();
+    }
+
+    /** Block for the next item; empty request string signals shutdown. */
+    ConnWork
+    pop()
+    {
+        ready_.wait();
+        std::lock_guard<std::mutex> guard(mu_);
+        ConnWork work = std::move(items_.front());
+        items_.pop_front();
+        return work;
+    }
+
+  private:
+    std::mutex mu_;
+    std::deque<ConnWork> items_;
+    Semaphore ready_;
+};
+
+/**
+ * Round-robin dispatcher over N worker threads, each running a
+ * caller-provided handler for every queued request.
+ */
+class Worklist
+{
+  public:
+    using Handler =
+        std::function<std::string(std::uint32_t worker, const ConnWork &)>;
+
+    Worklist(std::uint32_t workers, Handler handler)
+        : queues_(workers), handler_(std::move(handler))
+    {
+        for (std::uint32_t w = 0; w < workers; ++w) {
+            threads_.emplace_back([this, w] { workerLoop(w); });
+        }
+    }
+
+    ~Worklist()
+    {
+        for (auto &q : queues_)
+            q.push(ConnWork{});  // Empty request = shutdown.
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    /** Dispatch one request; the reply callback runs on the worker. */
+    void
+    submit(std::string request, std::function<void(std::string)> on_reply)
+    {
+        const std::uint64_t id =
+            nextConn_.fetch_add(1, std::memory_order_relaxed);
+        ConnWork work;
+        work.connId = id;
+        work.request = std::move(request);
+        work.onReply = std::move(on_reply);
+        queues_[id % queues_.size()].push(std::move(work));
+    }
+
+    std::uint32_t workers() const
+    {
+        return static_cast<std::uint32_t>(queues_.size());
+    }
+
+  private:
+    void
+    workerLoop(std::uint32_t w)
+    {
+        for (;;) {
+            ConnWork work = queues_[w].pop();
+            if (work.request.empty())
+                return;
+            std::string reply = handler_(w, work);
+            if (work.onReply)
+                work.onReply(std::move(reply));
+        }
+    }
+
+    std::vector<WorkQueue> queues_;
+    Handler handler_;
+    std::vector<std::thread> threads_;
+    std::atomic<std::uint64_t> nextConn_{0};
+};
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_WORKLIST_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Serial "algorithm": every transaction runs serial-irrevocably under
+ * the global write lock. Used as a correctness reference in tests and
+ * as a debugging aid; the orchestration layer short-circuits all
+ * instrumentation in serial mode, so these methods are unreachable.
+ */
+
+#include "common/logging.h"
+#include "tm/algo.h"
+#include "tm/runtime.h"
+
+namespace tmemc::tm
+{
+
+namespace
+{
+
+class SerialAlgo : public Algo
+{
+  public:
+    const char *name() const override { return "serial"; }
+
+    void
+    begin(Runtime &rt, TxDesc &d) override
+    {
+        panic("SerialAlgo::begin: serial mode bypasses the algorithm");
+    }
+
+    std::uint64_t
+    loadWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
+    {
+        panic("SerialAlgo::loadWord unreachable");
+    }
+
+    void
+    storeWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr,
+              std::uint64_t val, std::uint64_t mask) override
+    {
+        panic("SerialAlgo::storeWord unreachable");
+    }
+
+    std::uint64_t
+    commit(Runtime &rt, TxDesc &d) override
+    {
+        panic("SerialAlgo::commit unreachable");
+    }
+
+    void
+    rollback(Runtime &rt, TxDesc &d) override
+    {
+        panic("SerialAlgo::rollback unreachable");
+    }
+
+    bool isReadOnly(const TxDesc &d) const override { return false; }
+};
+
+SerialAlgo gAlgo;
+
+} // namespace
+
+Algo &
+serialAlgo()
+{
+    return gAlgo;
+}
+
+Algo &
+algoFor(AlgoKind kind)
+{
+    switch (kind) {
+      case AlgoKind::GccEager:
+        return gccEagerAlgo();
+      case AlgoKind::Lazy:
+        return lazyAlgo();
+      case AlgoKind::NOrec:
+        return norecAlgo();
+      case AlgoKind::Serial:
+        return serialAlgo();
+    }
+    return gccEagerAlgo();
+}
+
+} // namespace tmemc::tm

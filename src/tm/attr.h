@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Static transaction attributes and runtime configuration.
+ *
+ * These types model the static information the Draft C++ TM
+ * Specification conveys through keywords and annotations:
+ *
+ *  - TxnKind::Atomic / TxnKind::Relaxed correspond to
+ *    __transaction_atomic and __transaction_relaxed.
+ *  - TxnAttr::startsSerial models the compiler's static determination
+ *    that every code path through a relaxed transaction performs an
+ *    unsafe operation, so the transaction must begin in
+ *    serial-irrevocable mode ("Start Serial" in the paper's tables).
+ *  - FnAttr models the transaction_safe / transaction_callable /
+ *    transaction_pure function annotations plus the unannotated case.
+ *
+ * RuntimeCfg selects the pieces of the TM runtime the paper varies in
+ * Section 4: the STM algorithm, the contention manager, and whether the
+ * global readers/writer serialization lock exists at all.
+ */
+
+#ifndef TMEMC_TM_ATTR_H
+#define TMEMC_TM_ATTR_H
+
+#include <cstdint>
+
+namespace tmemc::tm
+{
+
+/** Transaction kind per the Draft C++ TM Specification. */
+enum class TxnKind : std::uint8_t
+{
+    /**
+     * Statically checked to contain no unsafe operations; guaranteed
+     * never to serialize for safety reasons.
+     */
+    Atomic,
+    /**
+     * May perform unsafe operations (I/O, volatiles, unannotated
+     * calls); becomes serial-irrevocable when it encounters one.
+     */
+    Relaxed,
+};
+
+/** Why a transaction ran (or finished) in serial-irrevocable mode. */
+enum class SerialCause : std::uint8_t
+{
+    None,      //!< Never serialized.
+    Start,     //!< Unsafe on every path: began in serial mode.
+    InFlight,  //!< Hit an unsafe operation mid-flight and switched.
+    Abort,     //!< Serialized by the contention manager for progress.
+};
+
+/**
+ * Static description of a transaction site (one __transaction_* block
+ * in the source). Instances are expected to have static storage
+ * duration; the runtime keys per-site profiling off their addresses.
+ */
+struct TxnAttr
+{
+    /** Human-readable site name (file:function style). */
+    const char *name = "anonymous";
+    /** Atomic or relaxed. */
+    TxnKind kind = TxnKind::Atomic;
+    /**
+     * True when the "compiler" (our branch configuration) determined
+     * that every path performs an unsafe operation, so speculation is
+     * pointless and the transaction begins serial.
+     */
+    bool startsSerial = false;
+};
+
+/** Function annotations from the specification (+ GCC's extension). */
+enum class FnAttr : std::uint8_t
+{
+    Unannotated,  //!< No annotation; callable only if safety inferred.
+    Safe,         //!< transaction_safe: statically free of unsafe ops.
+    Callable,     //!< transaction_callable: instrumented, may be unsafe.
+    Pure,         //!< transaction_pure: uninstrumented, trusted.
+};
+
+/** Selectable STM algorithms (paper Section 4 / Figure 11). */
+enum class AlgoKind : std::uint8_t
+{
+    GccEager,  //!< GCC default: direct update, eager orec locking.
+    Lazy,      //!< Same orec table, buffered update, commit-time locks.
+    NOrec,     //!< Value-based validation on a global seqlock.
+    Serial,    //!< Always serial-irrevocable (debugging / reference).
+};
+
+/** Selectable contention managers (paper Figure 11). */
+enum class CmKind : std::uint8_t
+{
+    SerialAfterN,  //!< GCC default: serialize after N consecutive aborts.
+    NoCM,          //!< Retry immediately, forever.
+    Backoff,       //!< Randomized exponential backoff on abort.
+    Hourglass,     //!< Starving txn blocks new txns until it commits.
+};
+
+/** Runtime configuration for the TM library. */
+struct RuntimeCfg
+{
+    AlgoKind algo = AlgoKind::GccEager;
+    CmKind cm = CmKind::SerialAfterN;
+    /** Consecutive aborts before SerialAfterN serializes (GCC: 100). */
+    std::uint32_t serialAfterAborts = 100;
+    /** Consecutive aborts before Hourglass turns toxic (paper: 128). */
+    std::uint32_t hourglassThreshold = 128;
+    /**
+     * Whether the global readers/writer serialization lock exists.
+     * GCC ships with it; the paper's Figure 10 removes it once no
+     * relaxed transaction remains. With it removed, irrevocability is
+     * impossible and any unsafe operation is a fatal error.
+     */
+    bool useSerialLock = true;
+    /**
+     * Whether calls to Unannotated functions from relaxed transactions
+     * are treated as safe because the "compiler" saw their bodies.
+     * GCC infers safety aggressively, which is why the paper found no
+     * performance difference from the callable annotation; setting
+     * this to false models a conservative compiler (ablation study).
+     */
+    bool inferCallableSafety = true;
+    /** log2 of the ownership-record table size. */
+    std::uint32_t orecTableBits = 18;
+};
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_ATTR_H

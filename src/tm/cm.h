@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Contention managers (paper Section 4 / Figure 11).
+ *
+ * The contention manager decides what a transaction does around aborts:
+ * nothing (NoCM), wait (Backoff), serialize for progress (SerialAfterN,
+ * GCC's default policy of becoming serial after 100 consecutive
+ * aborts), or block the rest of the world until the starving
+ * transaction commits (Hourglass, after Fich et al. and Liu & Spear's
+ * "toxic transactions").
+ */
+
+#ifndef TMEMC_TM_CM_H
+#define TMEMC_TM_CM_H
+
+#include "tm/txdesc.h"
+
+namespace tmemc::tm
+{
+
+class Runtime;
+
+/** Abstract contention manager. */
+class ContentionManager
+{
+  public:
+    virtual ~ContentionManager() = default;
+
+    /** Stable name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Called before every (re)begin; may block (Hourglass). */
+    virtual void beforeBegin(Runtime &rt, TxDesc &d) {}
+
+    /**
+     * Called after a conflict abort has been rolled back.
+     * @return true if the retry must run in serial-irrevocable mode.
+     */
+    virtual bool afterAbort(Runtime &rt, TxDesc &d) { return false; }
+
+    /** Called after a successful commit. */
+    virtual void afterCommit(Runtime &rt, TxDesc &d) {}
+};
+
+/** Singleton accessors (defined in cm.cc). */
+ContentionManager &noCm();
+ContentionManager &backoffCm();
+ContentionManager &hourglassCm();
+ContentionManager &serialAfterNCm();
+
+/** Resolve a CmKind to its singleton. */
+ContentionManager &cmFor(CmKind kind);
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_CM_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * onCommit / onAbort handler registries (the GCC extension the paper
+ * relies on in Section 3.5 to move I/O and sem_post out of
+ * transactions).
+ *
+ * onCommit handlers run after the transaction commits and has released
+ * every lock (including the global serial lock), in registration order.
+ * onAbort handlers run after a rollback has undone all memory effects,
+ * before the retry. Handlers registered by a nested (flattened)
+ * transaction belong to the outermost one.
+ */
+
+#ifndef TMEMC_TM_HANDLERS_H
+#define TMEMC_TM_HANDLERS_H
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tmemc::tm
+{
+
+/** Deferred-action list for one transaction attempt. */
+class HandlerList
+{
+  public:
+    /** Register a handler to run later. */
+    void
+    push(std::function<void()> fn)
+    {
+        handlers_.push_back(std::move(fn));
+    }
+
+    /** Run all handlers in registration order, then clear. */
+    void
+    runAndClear()
+    {
+        // Handlers may register further transactions but not further
+        // handlers on this list; swap out first so that is safe.
+        std::vector<std::function<void()>> local;
+        local.swap(handlers_);
+        for (auto &fn : local)
+            fn();
+    }
+
+    /** Drop all handlers without running them. */
+    void clear() { handlers_.clear(); }
+
+    bool empty() const { return handlers_.empty(); }
+    std::size_t size() const { return handlers_.size(); }
+
+  private:
+    std::vector<std::function<void()>> handlers_;
+};
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_HANDLERS_H

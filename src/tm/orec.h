@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ownership-record (orec) table shared by the GccEager and Lazy
+ * algorithms.
+ *
+ * Each orec protects a hash stripe of program memory. The word layout
+ * follows libitm's method-ml style:
+ *
+ *  - LSB clear: the orec is unlocked and the upper 63 bits hold the
+ *    version (the global-clock value of the last commit that wrote the
+ *    stripe), i.e. word == version << 1.
+ *  - LSB set: the orec is write-locked and the upper bits hold the
+ *    owning transaction descriptor, i.e. word == (uintptr_t)desc | 1.
+ *
+ * TxDesc objects are cache-line aligned, so their low bit is free.
+ */
+
+#ifndef TMEMC_TM_OREC_H
+#define TMEMC_TM_OREC_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/compiler.h"
+#include "tm/raw.h"
+
+namespace tmemc::tm
+{
+
+class TxDesc;
+
+/** A single ownership record. */
+using OrecWord = std::atomic<std::uint64_t>;
+
+/** Decoded view of an orec word. */
+struct OrecSnapshot
+{
+    std::uint64_t word;  //!< Raw word as loaded.
+
+    bool locked() const { return word & 1; }
+
+    /** Owning descriptor; only meaningful when locked(). */
+    TxDesc *
+    owner() const
+    {
+        return reinterpret_cast<TxDesc *>(word & ~std::uint64_t{1});
+    }
+
+    /** Version; only meaningful when !locked(). */
+    std::uint64_t version() const { return word >> 1; }
+};
+
+/** Encode an unlocked orec word holding @p version. */
+inline std::uint64_t
+orecVersionWord(std::uint64_t version)
+{
+    return version << 1;
+}
+
+/** Encode a locked orec word owned by @p desc. */
+inline std::uint64_t
+orecLockWord(const TxDesc *desc)
+{
+    return reinterpret_cast<std::uintptr_t>(desc) | 1;
+}
+
+/**
+ * Hash table of ownership records. One global instance lives in the
+ * Runtime; its size is configured at initialization.
+ */
+class OrecTable
+{
+  public:
+    /** @param bits log2 of the number of orecs. */
+    explicit OrecTable(std::uint32_t bits)
+        : mask_((std::size_t{1} << bits) - 1),
+          table_(std::make_unique<OrecWord[]>(std::size_t{1} << bits))
+    {
+        for (std::size_t i = 0; i <= mask_; ++i)
+            table_[i].store(0, std::memory_order_relaxed);
+    }
+
+    /** Orec covering the TM word at @p word_base. */
+    TMEMC_ALWAYS_INLINE OrecWord &
+    forWord(std::uintptr_t word_base)
+    {
+        // Shift past the word-offset bits, then mix the upper bits so
+        // adjacent structures do not all collide on low-entropy slots.
+        std::uintptr_t h = word_base >> 3;
+        h ^= h >> 13;
+        return table_[h & mask_];
+    }
+
+    /** Number of orecs in the table. */
+    std::size_t size() const { return mask_ + 1; }
+
+  private:
+    std::size_t mask_;
+    std::unique_ptr<OrecWord[]> table_;
+};
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_OREC_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Race-tolerant raw word access and word/mask arithmetic.
+ *
+ * The direct-update algorithm writes program memory in place while
+ * concurrent transactions may be reading it; doing that with plain
+ * loads/stores would be a data race in the C++ memory model. All raw
+ * memory touched by the TM instrumentation therefore goes through the
+ * relaxed atomic accessors below (this is exactly what libitm does).
+ *
+ * The word/mask helpers convert arbitrary byte ranges into aligned
+ * 64-bit word accesses with byte-enable masks, which is the granularity
+ * at which every algorithm in src/tm operates.
+ */
+
+#ifndef TMEMC_TM_RAW_H
+#define TMEMC_TM_RAW_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/compiler.h"
+
+namespace tmemc::tm
+{
+
+/** TM access granularity in bytes. */
+constexpr std::size_t wordBytes = 8;
+
+/** Align an address down to its containing TM word. */
+TMEMC_ALWAYS_INLINE std::uintptr_t
+wordBase(const void *addr)
+{
+    return reinterpret_cast<std::uintptr_t>(addr) & ~(wordBytes - 1);
+}
+
+/** Byte offset of an address within its TM word. */
+TMEMC_ALWAYS_INLINE std::size_t
+wordOffset(const void *addr)
+{
+    return reinterpret_cast<std::uintptr_t>(addr) & (wordBytes - 1);
+}
+
+/**
+ * Byte-enable mask covering @p len bytes starting at byte @p off of a
+ * word. Each enabled byte contributes 0xff to the mask.
+ * @pre off + len <= wordBytes.
+ */
+TMEMC_ALWAYS_INLINE std::uint64_t
+byteMask(std::size_t off, std::size_t len)
+{
+    if (len >= wordBytes)
+        return ~0ull;
+    const std::uint64_t ones = (1ull << (8 * len)) - 1;
+    return ones << (8 * off);
+}
+
+/** Merge masked bytes of @p val over @p base. */
+TMEMC_ALWAYS_INLINE std::uint64_t
+maskMerge(std::uint64_t base, std::uint64_t val, std::uint64_t mask)
+{
+    return (base & ~mask) | (val & mask);
+}
+
+/** Relaxed atomic load of an aligned 64-bit word. */
+TMEMC_ALWAYS_INLINE std::uint64_t
+rawLoad(const void *word_addr)
+{
+    return __atomic_load_n(static_cast<const std::uint64_t *>(word_addr),
+                           __ATOMIC_RELAXED);
+}
+
+/** Relaxed atomic store of an aligned 64-bit word. */
+TMEMC_ALWAYS_INLINE void
+rawStore(void *word_addr, std::uint64_t val)
+{
+    __atomic_store_n(static_cast<std::uint64_t *>(word_addr), val,
+                     __ATOMIC_RELAXED);
+}
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_RAW_H

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Runtime singleton, thread registry, quiescence, and the
+ * begin/commit/abort orchestration behind tm::run().
+ */
+
+#include "tm/runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "tm/api.h"
+
+namespace tmemc::tm
+{
+
+Runtime::Runtime()
+{
+    configure(RuntimeCfg{});
+}
+
+Runtime &
+Runtime::get()
+{
+    static Runtime instance;
+    return instance;
+}
+
+void
+Runtime::configure(const RuntimeCfg &cfg)
+{
+    // Validate before taking regLock_: fatal() runs exit(), which runs
+    // this thread's TLS destructors, which re-enter the registry lock.
+    if (!cfg.useSerialLock && cfg.cm == CmKind::SerialAfterN) {
+        fatal("SerialAfterN contention management requires the serial "
+              "lock; configure a different CM for NoLock mode");
+    }
+    if (!cfg.useSerialLock && cfg.algo == AlgoKind::Serial)
+        fatal("the Serial algorithm requires the serial lock");
+
+    bool in_flight = false;
+    std::lock_guard<std::mutex> guard(regLock_);
+    for (TxDesc *d : threads_) {
+        if (d->state != RunState::Inactive)
+            in_flight = true;
+    }
+    if (in_flight)
+        panic("Runtime::configure called with a transaction in flight");
+
+    cfg_ = cfg;
+    algo_ = &algoFor(cfg.algo);
+    cm_ = &cmFor(cfg.cm);
+    orecs_ = std::make_unique<OrecTable>(cfg.orecTableBits);
+    clock.store(0, std::memory_order_relaxed);
+    norecSeq.store(0, std::memory_order_relaxed);
+    toxic.store(nullptr, std::memory_order_relaxed);
+}
+
+void
+Runtime::registerThread(TxDesc *d)
+{
+    std::lock_guard<std::mutex> guard(regLock_);
+    d->threadId = nextThreadId_++;
+    threads_.push_back(d);
+}
+
+void
+Runtime::unregisterThread(TxDesc *d)
+{
+    std::lock_guard<std::mutex> guard(regLock_);
+    departed_.push_back(d->stats);
+    std::erase(threads_, d);
+}
+
+void
+Runtime::quiesce(std::uint64_t commit_time, const TxDesc *self)
+{
+    // Hold the registry lock for the whole wait so no descriptor can
+    // be destroyed under us. This cannot deadlock: callers quiesce
+    // only after unpublishing their own attempt, so a second committer
+    // blocked on this mutex no longer holds anyone else up.
+    std::lock_guard<std::mutex> guard(regLock_);
+    for (TxDesc *other : threads_) {
+        if (other == self)
+            continue;
+        for (;;) {
+            const std::uint64_t pub =
+                other->pubStart.load(std::memory_order_acquire);
+            if (pub == 0 || pub - 1 >= commit_time)
+                break;
+            std::this_thread::yield();
+        }
+    }
+}
+
+StatsSnapshot
+Runtime::snapshot()
+{
+    std::lock_guard<std::mutex> guard(regLock_);
+    StatsSnapshot snap;
+    auto fold = [&](const ThreadStats &ts) {
+        snap.total.add(ts.total);
+        for (const auto &[attr, block] : ts.perSite)
+            snap.perSite[attr].add(block);
+        for (const auto &[attr, causes] : ts.switchBlame) {
+            for (const auto &[what, count] : causes)
+                snap.switchBlame[attr][what] += count;
+        }
+        snap.abortsPerThread.push_back(ts.total.aborts);
+        snap.commitsPerThread.push_back(ts.total.commits);
+    };
+    for (const TxDesc *d : threads_)
+        fold(d->stats);
+    for (const ThreadStats &ts : departed_)
+        fold(ts);
+    return snap;
+}
+
+void
+Runtime::resetStats()
+{
+    std::lock_guard<std::mutex> guard(regLock_);
+    for (TxDesc *d : threads_)
+        d->stats = ThreadStats{};
+    departed_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Thread-local descriptor
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Registers the descriptor on construction, retires it on thread exit. */
+struct DescHolder
+{
+    TxDesc desc;
+
+    DescHolder() { Runtime::get().registerThread(&desc); }
+    ~DescHolder() { Runtime::get().unregisterThread(&desc); }
+};
+
+thread_local DescHolder tlsDesc;
+
+} // namespace
+
+TxDesc &
+myDesc()
+{
+    return tlsDesc.desc;
+}
+
+bool
+inTransaction()
+{
+    return tlsDesc.desc.nesting > 0;
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+namespace detail
+{
+
+void
+setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr)
+{
+    if (attr.startsSerial && attr.kind == TxnKind::Atomic)
+        panic("atomic transaction '%s' cannot be start-serial", attr.name);
+    d.attr = &attr;
+    d.kind = attr.kind;
+    d.serialCause = attr.startsSerial ? SerialCause::Start
+                                      : SerialCause::None;
+    d.pendingSerialRestart = attr.startsSerial;
+    d.abortIsSwitch = false;
+    d.consecAborts = 0;
+    d.stats.total.txns++;
+    d.stats.site(&attr).txns++;
+    d.onCommitHandlers.clear();
+    d.onAbortHandlers.clear();
+    d.commitFrees.clear();
+    d.abortFrees.clear();
+}
+
+void
+beginAttempt(Runtime &rt, TxDesc &d)
+{
+    rt.cm().beforeBegin(rt, d);
+
+    const bool serial =
+        d.pendingSerialRestart || rt.cfg().algo == AlgoKind::Serial;
+    d.clearSets();
+    d.nesting = 1;
+    if (serial) {
+        if (!rt.cfg().useSerialLock) {
+            fatal("transaction '%s' requires serialization, but the "
+                  "serial lock was removed (NoLock mode); cause=%d",
+                  d.attr->name, static_cast<int>(d.serialCause));
+        }
+        rt.serialLock.writeLock();
+        d.state = RunState::SerialIrrevocable;
+        return;
+    }
+    if (rt.cfg().useSerialLock)
+        rt.serialLock.readLock();
+    d.state = RunState::Speculative;
+    rt.algo().begin(rt, d);
+}
+
+void
+commitAttempt(Runtime &rt, TxDesc &d)
+{
+    if (d.state == RunState::Speculative) {
+        // Throws TxAbort if validation fails.
+        const std::uint64_t quiesce_at = rt.algo().commit(rt, d);
+        d.unpublishStart();
+        if (rt.cfg().useSerialLock)
+            rt.serialLock.readUnlock();
+        // Privatization safety / safe reclamation: wait out every
+        // transaction that started before this commit. Must happen
+        // after unpublishing so concurrent committers cannot deadlock.
+        if (quiesce_at != 0)
+            rt.quiesce(quiesce_at, &d);
+    } else {
+        rt.serialLock.writeUnlock();
+    }
+}
+
+void
+finishCommit(Runtime &rt, TxDesc &d)
+{
+    StatBlock &site = d.stats.site(d.attr);
+    d.stats.total.commits++;
+    site.commits++;
+    switch (d.serialCause) {
+      case SerialCause::Start:
+        d.stats.total.startSerial++;
+        site.startSerial++;
+        break;
+      case SerialCause::InFlight:
+        d.stats.total.inflightSwitch++;
+        site.inflightSwitch++;
+        break;
+      case SerialCause::Abort:
+        d.stats.total.abortSerial++;
+        site.abortSerial++;
+        break;
+      case SerialCause::None:
+        break;
+    }
+    if (d.state == RunState::SerialIrrevocable) {
+        d.stats.total.serialCommits++;
+        site.serialCommits++;
+    } else if (rt.algo().isReadOnly(d)) {
+        d.stats.total.readOnlyCommits++;
+        site.readOnlyCommits++;
+    }
+    d.state = RunState::Inactive;
+    d.nesting = 0;
+    rt.cm().afterCommit(rt, d);
+
+    // Deferred frees: safe now — commit() already quiesced, so no
+    // doomed transaction still holds speculative references.
+    for (void *p : d.commitFrees)
+        std::free(p);
+    d.commitFrees.clear();
+    d.abortFrees.clear();
+    d.onAbortHandlers.clear();
+
+    // onCommit handlers run after every lock is released (GCC
+    // semantics); they may themselves start transactions.
+    d.onCommitHandlers.runAndClear();
+}
+
+void
+handleAbort(Runtime &rt, TxDesc &d)
+{
+    if (d.state == RunState::SerialIrrevocable)
+        panic("serial-irrevocable transaction '%s' aborted", d.attr->name);
+    rt.algo().rollback(rt, d);
+    d.unpublishStart();
+    if (rt.cfg().useSerialLock)
+        rt.serialLock.readUnlock();
+    d.state = RunState::Inactive;
+    d.nesting = 0;
+
+    // Reclaim speculative allocations.
+    for (void *p : d.abortFrees)
+        std::free(p);
+    d.abortFrees.clear();
+    d.commitFrees.clear();
+
+    d.onAbortHandlers.runAndClear();
+    d.onCommitHandlers.clear();
+
+    if (d.abortIsSwitch) {
+        // The rollback exists only to restart in serial mode; it does
+        // not feed the contention manager.
+        d.abortIsSwitch = false;
+        return;
+    }
+
+    d.stats.total.aborts++;
+    d.stats.site(d.attr).aborts++;
+    d.consecAborts++;
+    if (rt.cm().afterAbort(rt, d) && !d.pendingSerialRestart) {
+        d.pendingSerialRestart = true;
+        if (d.serialCause == SerialCause::None)
+            d.serialCause = SerialCause::Abort;
+    }
+}
+
+} // namespace detail
+
+namespace detail
+{
+
+void
+handleRetry(Runtime &rt, TxDesc &d)
+{
+    // Snapshot the commit clocks before releasing anything, so a
+    // commit that lands during our rollback is not missed.
+    const std::uint64_t clock_then =
+        rt.clock.load(std::memory_order_acquire);
+    const std::uint64_t seq_then =
+        rt.norecSeq.load(std::memory_order_acquire);
+
+    rt.algo().rollback(rt, d);
+    d.unpublishStart();
+    if (rt.cfg().useSerialLock)
+        rt.serialLock.readUnlock();
+    d.state = RunState::Inactive;
+    d.nesting = 0;
+    for (void *p : d.abortFrees)
+        std::free(p);
+    d.abortFrees.clear();
+    d.commitFrees.clear();
+    d.onAbortHandlers.runAndClear();
+    d.onCommitHandlers.clear();
+    d.stats.total.retries++;
+    d.stats.site(d.attr).retries++;
+
+    // Wait for any writer commit. A full implementation would watch
+    // only the read set's orecs; waiting on the global clocks is the
+    // simple, conservative version (cf. NOrec-style retry).
+    for (;;) {
+        if (rt.clock.load(std::memory_order_acquire) != clock_then ||
+            rt.norecSeq.load(std::memory_order_acquire) != seq_then)
+            return;
+        std::this_thread::yield();
+    }
+}
+
+} // namespace detail
+
+void
+retry(TxDesc &d)
+{
+    if (d.nesting == 0)
+        panic("tm::retry() outside a transaction");
+    if (d.state == RunState::SerialIrrevocable) {
+        panic("tm::retry() in serial-irrevocable transaction '%s': an "
+              "irrevocable transaction excludes the commits it would "
+              "wait for",
+              d.attr ? d.attr->name : "?");
+    }
+    throw TxRetry{};
+}
+
+void
+unsafeOp(TxDesc &d, const char *what)
+{
+    if (d.nesting == 0)
+        return;  // Non-transactional context: nothing to do.
+    if (d.kind == TxnKind::Atomic) {
+        panic("atomic transaction '%s' attempted unsafe operation '%s' "
+              "(the specification rejects this statically)",
+              d.attr ? d.attr->name : "?", what);
+    }
+    if (d.state == RunState::SerialIrrevocable)
+        return;  // Already irrevocable.
+
+    // GCC's in-flight switch: abort the speculative attempt and restart
+    // the transaction serially (paper Section 3.3).
+    if (d.serialCause == SerialCause::None ||
+        d.serialCause == SerialCause::Start) {
+        d.serialCause = SerialCause::InFlight;
+    }
+    // Record what forced the switch (the diagnostic the paper had to
+    // build into GCC via execinfo).
+    d.stats.switchBlame[d.attr][what]++;
+    d.pendingSerialRestart = true;
+    d.abortIsSwitch = true;
+    throw TxAbort{};
+}
+
+void
+noteCall(TxDesc &d, FnAttr fn_attr, const char *name)
+{
+    if (d.nesting == 0)
+        return;
+    switch (fn_attr) {
+      case FnAttr::Safe:
+      case FnAttr::Callable:
+      case FnAttr::Pure:
+        return;
+      case FnAttr::Unannotated:
+        if (!Runtime::get().cfg().inferCallableSafety)
+            unsafeOp(d, name);
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handler and allocation API
+// ---------------------------------------------------------------------
+
+void
+onCommit(TxDesc &d, std::function<void()> fn)
+{
+    if (d.nesting == 0) {
+        fn();  // Outside a transaction: run immediately.
+        return;
+    }
+    d.onCommitHandlers.push(std::move(fn));
+}
+
+void
+onAbort(TxDesc &d, std::function<void()> fn)
+{
+    if (d.nesting == 0)
+        return;
+    d.onAbortHandlers.push(std::move(fn));
+}
+
+void *
+txMalloc(TxDesc &d, std::size_t bytes)
+{
+    void *p = std::malloc(bytes);
+    if (p == nullptr)
+        fatal("txMalloc: out of memory (%zu bytes)", bytes);
+    if (d.nesting > 0 && d.state == RunState::Speculative)
+        d.abortFrees.push_back(p);
+    return p;
+}
+
+void
+txFree(TxDesc &d, void *ptr)
+{
+    if (ptr == nullptr)
+        return;
+    if (d.nesting == 0) {
+        std::free(ptr);
+        return;
+    }
+    d.commitFrees.push_back(ptr);
+}
+
+// ---------------------------------------------------------------------
+// Byte-granular transactional access
+// ---------------------------------------------------------------------
+
+void
+txLoadBytes(TxDesc &d, void *dst, const void *src, std::size_t n)
+{
+    if (d.nesting == 0 || d.state == RunState::Inactive)
+        panic("txLoadBytes outside a transaction");
+    Runtime &rt = Runtime::get();
+    auto *out = static_cast<unsigned char *>(dst);
+    std::uintptr_t cur = reinterpret_cast<std::uintptr_t>(src);
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::uintptr_t base = cur & ~std::uintptr_t{wordBytes - 1};
+        const std::size_t off = cur - base;
+        const std::size_t len = std::min(wordBytes - off, remaining);
+        const std::uint64_t w = detail::loadWordDispatch(rt, d, base);
+        std::memcpy(out, reinterpret_cast<const char *>(&w) + off, len);
+        out += len;
+        cur += len;
+        remaining -= len;
+    }
+}
+
+void
+txStoreBytes(TxDesc &d, void *dst, const void *src, std::size_t n)
+{
+    if (d.nesting == 0 || d.state == RunState::Inactive)
+        panic("txStoreBytes outside a transaction");
+    Runtime &rt = Runtime::get();
+    const auto *in = static_cast<const unsigned char *>(src);
+    std::uintptr_t cur = reinterpret_cast<std::uintptr_t>(dst);
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::uintptr_t base = cur & ~std::uintptr_t{wordBytes - 1};
+        const std::size_t off = cur - base;
+        const std::size_t len = std::min(wordBytes - off, remaining);
+        std::uint64_t w = 0;
+        std::memcpy(reinterpret_cast<char *>(&w) + off, in, len);
+        detail::storeWordDispatch(rt, d, base, w, byteMask(off, len));
+        in += len;
+        cur += len;
+        remaining -= len;
+    }
+}
+
+} // namespace tmemc::tm

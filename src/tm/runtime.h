@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Global TM runtime: configuration, clocks, orec table, the serial
+ * lock, thread registry, and the begin/commit/abort orchestration used
+ * by tm::run().
+ *
+ * This is the library analogue of libitm's global state. It is a
+ * process-wide singleton; configure() swaps algorithms, contention
+ * managers, and the presence of the global readers/writer lock between
+ * experiments (it must be called while no transaction is in flight).
+ */
+
+#ifndef TMEMC_TM_RUNTIME_H
+#define TMEMC_TM_RUNTIME_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tm/algo.h"
+#include "tm/attr.h"
+#include "tm/cm.h"
+#include "tm/orec.h"
+#include "tm/serial_lock.h"
+#include "tm/stats.h"
+#include "tm/txdesc.h"
+
+namespace tmemc::tm
+{
+
+/** Process-wide TM runtime state. */
+class Runtime
+{
+  public:
+    /** The singleton instance. */
+    static Runtime &get();
+
+    /**
+     * Reconfigure the runtime. Resets the orec table, clocks, and
+     * statistics. Must be called while no transaction is active;
+     * violating that is a fatal error.
+     */
+    void configure(const RuntimeCfg &cfg);
+
+    /** Current configuration. */
+    const RuntimeCfg &cfg() const { return cfg_; }
+
+    /** Active algorithm / contention manager. */
+    Algo &algo() { return *algo_; }
+    ContentionManager &cm() { return *cm_; }
+
+    /** Global commit-timestamp clock (GccEager / Lazy). */
+    std::atomic<std::uint64_t> clock{0};
+    /** Global sequence lock (NOrec). */
+    std::atomic<std::uint64_t> norecSeq{0};
+    /** The global readers/writer serialization lock. */
+    SerialLock serialLock;
+    /** Hourglass neck: when set, only the owner may begin. */
+    std::atomic<TxDesc *> toxic{nullptr};
+
+    /** Ownership-record table. */
+    OrecTable &orecs() { return *orecs_; }
+
+    // ------------------------------------------------------------------
+    // Thread registry (the separate thread-creation lock GCC needed
+    // once the readers/writer lock was removed)
+    // ------------------------------------------------------------------
+    void registerThread(TxDesc *d);
+    void unregisterThread(TxDesc *d);
+
+    /**
+     * Commit-time quiescence for privatization safety: wait until no
+     * transaction that started before @p commit_time is still running.
+     */
+    void quiesce(std::uint64_t commit_time, const TxDesc *self);
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+    /** Aggregate statistics across live and departed threads. */
+    StatsSnapshot snapshot();
+    /** Zero all statistics (between benchmark phases). */
+    void resetStats();
+
+  private:
+    Runtime();
+
+    RuntimeCfg cfg_;
+    Algo *algo_ = nullptr;
+    ContentionManager *cm_ = nullptr;
+    std::unique_ptr<OrecTable> orecs_;
+
+    std::mutex regLock_;
+    std::vector<TxDesc *> threads_;
+    std::vector<ThreadStats> departed_;
+    std::uint64_t nextThreadId_ = 1;
+};
+
+namespace detail
+{
+
+/** Begin one attempt (speculative or serial) of the top-level txn. */
+void beginAttempt(Runtime &rt, TxDesc &d);
+
+/** Commit the running attempt; throws TxAbort on validation failure. */
+void commitAttempt(Runtime &rt, TxDesc &d);
+
+/** Post-commit epilogue: stats, deferred frees, onCommit handlers. */
+void finishCommit(Runtime &rt, TxDesc &d);
+
+/** Roll back after TxAbort: undo, CM consultation, onAbort handlers. */
+void handleAbort(Runtime &rt, TxDesc &d);
+
+/**
+ * Roll back after TxRetry, then block until some transaction commits
+ * a write (global-clock movement), so the re-execution can observe a
+ * different state.
+ */
+void handleRetry(Runtime &rt, TxDesc &d);
+
+/** Set up descriptor state for a new top-level transaction. */
+void setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr);
+
+} // namespace detail
+
+/**
+ * Declare that the current operation is unsafe (I/O, volatile access,
+ * unannotated call, ...). In an atomic transaction this is a fatal
+ * error, modelling the specification's static rejection. In a
+ * speculative relaxed transaction it aborts and restarts the
+ * transaction in serial-irrevocable mode (what GCC does for an
+ * in-flight switch). Once serial, it is a no-op.
+ */
+void unsafeOp(TxDesc &d, const char *what);
+
+/**
+ * Model a call to a function with annotation @p fn_attr from inside a
+ * transaction. Unannotated callees force serialization unless the
+ * runtime is configured to infer safety (as GCC does).
+ */
+void noteCall(TxDesc &d, FnAttr fn_attr, const char *name);
+
+/**
+ * Condition synchronization: abort the current transaction, block the
+ * thread until another transaction commits, and re-execute from the
+ * start. Call when a transactionally-read predicate does not hold
+ * (e.g. "queue is empty"). Illegal in serial-irrevocable mode: an
+ * irrevocable transaction excludes the very commits it would wait for.
+ */
+[[noreturn]] void retry(TxDesc &d);
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_RUNTIME_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistics formatting: the Tables 1-4 row renderer and the per-site
+ * profile report.
+ */
+
+#include "tm/stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tmemc::tm
+{
+
+namespace
+{
+
+/** Render "count (pct%)" in the paper's table style. */
+std::string
+countWithPct(std::uint64_t count, std::uint64_t denom)
+{
+    char buf[64];
+    if (denom == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(count));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu (%.1f%%)",
+                      static_cast<unsigned long long>(count),
+                      100.0 * static_cast<double>(count) /
+                          static_cast<double>(denom));
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+StatsSnapshot::formatTableRow(const std::string &branch_name) const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-16s %12llu %18s %18s %12llu",
+                  branch_name.c_str(),
+                  static_cast<unsigned long long>(total.txns),
+                  countWithPct(total.inflightSwitch, total.txns).c_str(),
+                  countWithPct(total.startSerial, total.txns).c_str(),
+                  static_cast<unsigned long long>(total.abortSerial));
+    return buf;
+}
+
+std::string
+StatsSnapshot::formatBlame() const
+{
+    std::ostringstream os;
+    os << "serialization blame (unsafe op -> in-flight switches):\n";
+    bool any = false;
+    for (const auto &[attr, causes] : switchBlame) {
+        for (const auto &[what, count] : causes) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf), "  %-36s %-20s %10llu\n",
+                          attr->name, what,
+                          static_cast<unsigned long long>(count));
+            os << buf;
+            any = true;
+        }
+    }
+    if (!any)
+        os << "  (no in-flight switches)\n";
+    return os.str();
+}
+
+std::string
+StatsSnapshot::formatProfile() const
+{
+    std::ostringstream os;
+    os << "per-site transaction profile (execinfo-substitute):\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-40s %10s %10s %10s %8s %8s %8s\n", "site", "txns",
+                  "commits", "aborts", "startS", "inflight", "abortS");
+    os << buf;
+    for (const auto &[attr, b] : perSite) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-40s %10llu %10llu %10llu %8llu %8llu %8llu\n",
+                      attr->name,
+                      static_cast<unsigned long long>(b.txns),
+                      static_cast<unsigned long long>(b.commits),
+                      static_cast<unsigned long long>(b.aborts),
+                      static_cast<unsigned long long>(b.startSerial),
+                      static_cast<unsigned long long>(b.inflightSwitch),
+                      static_cast<unsigned long long>(b.abortSerial));
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace tmemc::tm

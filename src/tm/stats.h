@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Transaction statistics, including the serialization-cause taxonomy
+ * the paper reports in Tables 1-4.
+ *
+ * Counters are kept per thread (padded, no sharing on the hot path) and
+ * aggregated on demand. In addition to global counters we keep a
+ * per-site profile keyed by TxnAttr address; this stands in for the
+ * execinfo-based profiling extension the authors added to GCC's TM
+ * ("Expect Limited Tool Support", Section 6).
+ */
+
+#ifndef TMEMC_TM_STATS_H
+#define TMEMC_TM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tm/attr.h"
+
+namespace tmemc::tm
+{
+
+/** Counter block; one per thread and one per (thread, site). */
+struct StatBlock
+{
+    std::uint64_t txns = 0;            //!< Top-level transactions begun.
+    std::uint64_t commits = 0;         //!< Top-level commits.
+    std::uint64_t aborts = 0;          //!< Rollbacks (all causes).
+    std::uint64_t startSerial = 0;     //!< Began in serial mode.
+    std::uint64_t inflightSwitch = 0;  //!< Switched to serial mid-flight.
+    std::uint64_t abortSerial = 0;     //!< Serialized for progress by CM.
+    std::uint64_t serialCommits = 0;   //!< Commits that ran serial.
+    std::uint64_t readOnlyCommits = 0; //!< Commits with empty write set.
+    std::uint64_t retries = 0;         //!< tm::retry() waits.
+
+    /** Accumulate another block into this one. */
+    void
+    add(const StatBlock &o)
+    {
+        txns += o.txns;
+        commits += o.commits;
+        aborts += o.aborts;
+        startSerial += o.startSerial;
+        inflightSwitch += o.inflightSwitch;
+        abortSerial += o.abortSerial;
+        serialCommits += o.serialCommits;
+        readOnlyCommits += o.readOnlyCommits;
+        retries += o.retries;
+    }
+};
+
+/** Per-thread statistics, attached to a TxDesc. */
+struct ThreadStats
+{
+    StatBlock total;
+    /** Per-site profile; TxnAttr instances are static, so keying on
+     *  the pointer is stable. Only touched outside the measurement
+     *  fast path at begin/commit/abort. */
+    std::map<const TxnAttr *, StatBlock> perSite;
+
+    /**
+     * Serialization blame: for each site, how many in-flight switches
+     * each unsafe operation caused. This is the diagnostic the paper's
+     * authors had to hack into GCC with execinfo ("manually diagnosing
+     * the causes of aborts and serialization ... was challenging").
+     * Keys are the string literals passed to unsafeOp().
+     */
+    std::map<const TxnAttr *, std::map<const char *, std::uint64_t>>
+        switchBlame;
+
+    StatBlock &
+    site(const TxnAttr *attr)
+    {
+        return perSite[attr];
+    }
+};
+
+/** Aggregated snapshot across all registered threads. */
+struct StatsSnapshot
+{
+    StatBlock total;
+    std::map<const TxnAttr *, StatBlock> perSite;
+    std::map<const TxnAttr *, std::map<const char *, std::uint64_t>>
+        switchBlame;
+
+    /** Per-thread abort counts; Figure 11's commentary uses the
+     *  cross-thread variance in abort rate. */
+    std::vector<std::uint64_t> abortsPerThread;
+    std::vector<std::uint64_t> commitsPerThread;
+
+    /** Render the Tables 1-4 row for this snapshot. */
+    std::string formatTableRow(const std::string &branch_name) const;
+
+    /** Render the full per-site profile (tool-support substitute). */
+    std::string formatProfile() const;
+
+    /** Render the per-site serialization-blame report: which unsafe
+     *  operation forced each site's in-flight switches. */
+    std::string formatBlame() const;
+};
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_STATS_H

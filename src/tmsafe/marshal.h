@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stack-marshaling helpers: the paper's Figure 7 pattern.
+ *
+ * GCC's TM does not instrument accesses to the stack or to captured
+ * memory. The paper exploits that to call unsafe library functions from
+ * transactions: shared data is copied ("marshaled") into an on-stack
+ * buffer with instrumented reads, the library function — wrapped as
+ * transaction_pure — runs on the private copy, and results are
+ * marshaled back with instrumented writes.
+ *
+ * The paper is explicit that this technique is *not* generally safe
+ * (buffered-update STMs, libraries that grow side effects, buffer-size
+ * guesses, multi-call atomicity). We reproduce it faithfully, caps and
+ * all: kMaxMarshalIn/kMaxMarshalOut are the "generous 4KB/8KB" buffers
+ * the authors used at the one call site whose bound they could not
+ * derive.
+ */
+
+#ifndef TMEMC_TMSAFE_MARSHAL_H
+#define TMEMC_TMSAFE_MARSHAL_H
+
+#include <cstddef>
+
+#include "common/logging.h"
+#include "tm/api.h"
+
+namespace tmemc::tmsafe
+{
+
+/** Cap on marshaled input buffers (paper: "a generous 4KB"). */
+constexpr std::size_t kMaxMarshalIn = 4096;
+/** Cap on marshaled output buffers (paper: "8KB for the output"). */
+constexpr std::size_t kMaxMarshalOut = 8192;
+
+/**
+ * Marshal @p n bytes of shared memory at @p shared_src into the
+ * private (stack or captured) buffer @p priv_dst with instrumented
+ * reads. The writes to @p priv_dst are intentionally uninstrumented —
+ * that is the point of the pattern, and why it requires a
+ * direct-update or captured-memory-aware STM.
+ */
+inline void
+marshalIn(tm::TxDesc &d, void *priv_dst, const void *shared_src,
+          std::size_t n)
+{
+    if (n > kMaxMarshalIn)
+        panic("marshalIn: %zu bytes exceeds the %zu-byte input buffer cap",
+              n, kMaxMarshalIn);
+    tm::txLoadBytes(d, priv_dst, shared_src, n);
+}
+
+/**
+ * Marshal @p n bytes of a private buffer back into shared memory at
+ * @p shared_dst with instrumented writes.
+ */
+inline void
+marshalOut(tm::TxDesc &d, void *shared_dst, const void *priv_src,
+           std::size_t n)
+{
+    if (n > kMaxMarshalOut)
+        panic("marshalOut: %zu bytes exceeds the %zu-byte output buffer "
+              "cap", n, kMaxMarshalOut);
+    tm::txStoreBytes(d, shared_dst, priv_src, n);
+}
+
+} // namespace tmemc::tmsafe
+
+#endif // TMEMC_TMSAFE_MARSHAL_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Naive transaction-safe realloc.
+ */
+
+#include "tmsafe/tm_alloc.h"
+
+#include <cstring>
+
+namespace tmemc::tmsafe
+{
+
+void *
+tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
+           std::size_t new_size)
+{
+    void *fresh = tm::txMalloc(d, new_size);
+    if (old_ptr != nullptr && old_size > 0) {
+        const std::size_t copy = old_size < new_size ? old_size : new_size;
+        // Instrumented reads of the shared old buffer; plain writes to
+        // the captured new buffer.
+        char chunk[64];
+        std::size_t done = 0;
+        while (done < copy) {
+            const std::size_t len =
+                copy - done < sizeof(chunk) ? copy - done : sizeof(chunk);
+            tm::txLoadBytes(d, chunk, static_cast<char *>(old_ptr) + done,
+                            len);
+            std::memcpy(static_cast<char *>(fresh) + done, chunk, len);
+            done += len;
+        }
+        tm::txFree(d, old_ptr);
+    }
+    return fresh;
+}
+
+} // namespace tmemc::tmsafe

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Transaction-safe allocation: the naive realloc from the paper.
+ *
+ * "We re-implemented realloc in the naive way, by always allocating a
+ * new buffer and using memcpy. We were able to optimize this slightly,
+ * since the initial size of the input is always known in memcached."
+ *
+ * The copy reads the old buffer with instrumented loads; the writes to
+ * the fresh buffer are uninstrumented because freshly allocated memory
+ * is captured (thread-private until published). The old buffer's free
+ * is deferred to commit; on abort the new buffer is reclaimed.
+ */
+
+#ifndef TMEMC_TMSAFE_TM_ALLOC_H
+#define TMEMC_TMSAFE_TM_ALLOC_H
+
+#include <cstddef>
+
+#include "tm/api.h"
+
+namespace tmemc::tmsafe
+{
+
+/**
+ * Transaction-safe realloc with a known old size.
+ * @param d        Enclosing transaction.
+ * @param old_ptr  Shared buffer to grow (may be null: acts as malloc).
+ * @param old_size Number of live bytes in @p old_ptr (the memcached
+ *                 optimization: the input size is always known).
+ * @param new_size Requested size.
+ * @return The new (captured) buffer.
+ */
+void *tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
+                 std::size_t new_size);
+
+} // namespace tmemc::tmsafe
+
+#endif // TMEMC_TMSAFE_TM_ALLOC_H

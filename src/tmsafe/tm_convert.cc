@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Marshaling-based conversion functions.
+ */
+
+#include "tmsafe/tm_convert.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "tmsafe/marshal.h"
+
+namespace tmemc::tmsafe
+{
+
+namespace
+{
+
+/** Stack bound for marshaled numeric strings. */
+constexpr std::size_t kNumBuf = 128;
+
+/**
+ * Marshal up to @p max_len bytes of @p nptr onto the stack,
+ * NUL-terminated. Stops early at the string's own NUL: the transaction
+ * must not read shared bytes past the terminator, both for correctness
+ * (they may be unmapped) and to keep the read set minimal.
+ */
+std::size_t
+marshalString(tm::TxDesc &d, char *buf, const char *nptr,
+              std::size_t max_len)
+{
+    if (max_len > kNumBuf - 1)
+        max_len = kNumBuf - 1;
+    std::size_t i = 0;
+    for (; i < max_len; ++i) {
+        buf[i] = tm::txLoad(d, nptr + i);
+        if (buf[i] == '\0')
+            return i;
+    }
+    buf[i] = '\0';
+    return i;
+}
+
+/**
+ * The [[transaction_pure]] wrappers around the libc functions
+ * (paper Figure 7: "wrap library function foo inside a pure
+ * function"). They receive only private parameters.
+ */
+long
+pure_strtol(const char *in, char **endp, int base)
+{
+    return std::strtol(in, endp, base);
+}
+
+unsigned long long
+pure_strtoull(const char *in, char **endp, int base)
+{
+    return std::strtoull(in, endp, base);
+}
+
+} // namespace
+
+int
+tm_isspace(int c)
+{
+    // transaction_pure: touches no shared memory at all.
+    return std::isspace(static_cast<unsigned char>(c));
+}
+
+long
+tm_strtol(tm::TxDesc &d, const char *nptr, std::size_t max_len,
+          std::size_t *consumed, int base)
+{
+    char buf[kNumBuf];
+    marshalString(d, buf, nptr, max_len);
+    char *end = buf;
+    const long v = pure_strtol(buf, &end, base);
+    if (consumed != nullptr)
+        *consumed = static_cast<std::size_t>(end - buf);
+    return v;
+}
+
+unsigned long long
+tm_strtoull(tm::TxDesc &d, const char *nptr, std::size_t max_len,
+            std::size_t *consumed, int base)
+{
+    char buf[kNumBuf];
+    marshalString(d, buf, nptr, max_len);
+    char *end = buf;
+    const unsigned long long v = pure_strtoull(buf, &end, base);
+    if (consumed != nullptr)
+        *consumed = static_cast<std::size_t>(end - buf);
+    return v;
+}
+
+int
+tm_atoi(tm::TxDesc &d, const char *nptr, std::size_t max_len)
+{
+    return static_cast<int>(tm_strtol(d, nptr, max_len, nullptr, 10));
+}
+
+} // namespace tmemc::tmsafe

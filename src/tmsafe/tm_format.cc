@@ -1,0 +1,117 @@
+/**
+ * @file
+ * snprintf clones and byte-order helpers.
+ */
+
+#include "tmsafe/tm_format.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "tmsafe/marshal.h"
+
+namespace tmemc::tmsafe
+{
+
+namespace
+{
+
+/** Stack bound for formatted output (within the marshal-out cap). */
+constexpr std::size_t kFmtBuf = 512;
+
+/** Pure wrappers: private parameters only (paper Figure 7). */
+int
+pure_snprintf_ull(char *out, std::size_t n, unsigned long long v)
+{
+    return std::snprintf(out, n, "%llu", v);
+}
+
+int
+pure_snprintf_str(char *out, std::size_t n, const char *s)
+{
+    return std::snprintf(out, n, "%s", s);
+}
+
+int
+pure_snprintf_stat(char *out, std::size_t n, const char *name,
+                   unsigned long long v)
+{
+    return std::snprintf(out, n, "STAT %s %llu\r\n", name, v);
+}
+
+/** Marshal the formatted private buffer to the shared destination. */
+void
+emit(tm::TxDesc &d, char *dst, std::size_t n, const char *buf, int len)
+{
+    if (len < 0)
+        return;
+    std::size_t copy = static_cast<std::size_t>(len) + 1;  // include NUL
+    if (copy > n)
+        copy = n;
+    if (copy > 0) {
+        marshalOut(d, dst, buf, copy);
+        if (copy == n && n > 0)
+            tm::txStore(d, dst + n - 1, '\0');
+    }
+}
+
+} // namespace
+
+int
+tm_snprintf_ull(tm::TxDesc &d, char *dst, std::size_t n,
+                unsigned long long v)
+{
+    char buf[kFmtBuf];
+    const int len = pure_snprintf_ull(buf, sizeof(buf), v);
+    emit(d, dst, n, buf, len);
+    return len;
+}
+
+int
+tm_snprintf_str(tm::TxDesc &d, char *dst, std::size_t n, const char *src,
+                std::size_t src_max)
+{
+    // Marshal the shared source string in, then format privately.
+    char in[kFmtBuf];
+    std::size_t i = 0;
+    const std::size_t lim = src_max < kFmtBuf - 1 ? src_max : kFmtBuf - 1;
+    for (; i < lim; ++i) {
+        in[i] = tm::txLoad(d, src + i);
+        if (in[i] == '\0')
+            break;
+    }
+    in[i] = '\0';
+
+    char buf[kFmtBuf];
+    const int len = pure_snprintf_str(buf, sizeof(buf), in);
+    emit(d, dst, n, buf, len);
+    return len;
+}
+
+int
+tm_snprintf_stat(tm::TxDesc &d, char *dst, std::size_t n, const char *name,
+                 unsigned long long v)
+{
+    char buf[kFmtBuf];
+    const int len = pure_snprintf_stat(buf, sizeof(buf), name, v);
+    emit(d, dst, n, buf, len);
+    return len;
+}
+
+std::uint16_t
+tm_htons(std::uint16_t host_val)
+{
+    if constexpr (std::endian::native == std::endian::little)
+        return static_cast<std::uint16_t>((host_val << 8) |
+                                          (host_val >> 8));
+    return host_val;
+}
+
+std::uint16_t
+tm_ntohs(std::uint16_t net_val)
+{
+    return tm_htons(net_val);
+}
+
+} // namespace tmemc::tmsafe

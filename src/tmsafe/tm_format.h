@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Transaction-safe formatting: snprintf clones and htons.
+ *
+ * GCC did not support variable arguments in transaction-safe functions,
+ * so the paper "manually clone[d] and replace[d] every variable-argument
+ * function with a unique version for every combination of parameters
+ * that appeared in the program". These are those clones for the
+ * signatures memcached needs: rendering an unsigned counter (incr/decr
+ * results), a string field, and a key-value stats line.
+ *
+ * Each clone formats into a stack buffer with a pure snprintf wrapper
+ * and marshals the result into the shared destination (paper Figure 7:
+ * "snprintf required all its parameters to be marshaled onto the stack,
+ * and its output parameter to be marshaled back to shared memory").
+ */
+
+#ifndef TMEMC_TMSAFE_TM_FORMAT_H
+#define TMEMC_TMSAFE_TM_FORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tm/api.h"
+
+namespace tmemc::tmsafe
+{
+
+/**
+ * snprintf clone for "%llu" (numeric item values).
+ * @return Number of characters that would have been written (libc
+ *         snprintf contract).
+ */
+int tm_snprintf_ull(tm::TxDesc &d, char *dst, std::size_t n,
+                    unsigned long long v);
+
+/**
+ * snprintf clone for "%s" where the argument is a shared string of at
+ * most @p src_max meaningful bytes.
+ */
+int tm_snprintf_str(tm::TxDesc &d, char *dst, std::size_t n,
+                    const char *src, std::size_t src_max);
+
+/**
+ * snprintf clone for the "STAT <name> <value>\r\n" stats-line shape.
+ * @p name must be private memory (a literal); the value is a scalar.
+ */
+int tm_snprintf_stat(tm::TxDesc &d, char *dst, std::size_t n,
+                     const char *name, unsigned long long v);
+
+/** Transaction-pure htons (scalar in, scalar out; paper Section 3.4). */
+std::uint16_t tm_htons(std::uint16_t host_val);
+
+/** Transaction-pure ntohs. */
+std::uint16_t tm_ntohs(std::uint16_t net_val);
+
+} // namespace tmemc::tmsafe
+
+#endif // TMEMC_TMSAFE_TM_FORMAT_H

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * memslap-like driver implementation.
+ */
+
+#include "workload/memslap.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "mc/binary_protocol.h"
+
+namespace tmemc::workload
+{
+
+void
+formatKey(char *out, std::size_t key_size, std::uint32_t thread,
+          std::uint64_t index)
+{
+    // Fixed-width keys, zero-padded, like memslap's generated keys.
+    const int n = std::snprintf(out, key_size + 1, "k%03u-%016llx",
+                                thread,
+                                static_cast<unsigned long long>(index));
+    for (std::size_t i = static_cast<std::size_t>(n); i < key_size; ++i)
+        out[i] = 'x';
+    out[key_size] = '\0';
+}
+
+namespace
+{
+
+/** Fill a deterministic printable value. */
+void
+formatValue(char *out, std::size_t value_size, std::uint32_t thread,
+            std::uint64_t index)
+{
+    for (std::size_t i = 0; i < value_size; ++i) {
+        out[i] = static_cast<char>('a' + ((thread + index + i) % 26));
+    }
+}
+
+} // namespace
+
+MemslapResult
+runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg)
+{
+    const std::uint32_t threads = cfg.concurrency == 0 ? 1
+                                                       : cfg.concurrency;
+
+    // ------------------------------------------------------------------
+    // Warm phase: populate each thread's key window (unmeasured).
+    // ------------------------------------------------------------------
+    {
+        std::vector<std::thread> warmers;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            warmers.emplace_back([&, t] {
+                std::vector<char> key(cfg.keySize + 1);
+                std::vector<char> val(cfg.valueSize);
+                for (std::uint64_t i = 0; i < cfg.windowSize; ++i) {
+                    formatKey(key.data(), cfg.keySize, t, i);
+                    formatValue(val.data(), cfg.valueSize, t, i);
+                    cache.store(t, key.data(), cfg.keySize, val.data(),
+                                cfg.valueSize);
+                }
+            });
+        }
+        for (auto &w : warmers)
+            w.join();
+    }
+
+    // ------------------------------------------------------------------
+    // Measured phase.
+    // ------------------------------------------------------------------
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> failures{0};
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            XorShift128 rng(cfg.seed * 1315423911u + t);
+            ZipfSampler *zipf = nullptr;
+            ZipfSampler zipf_storage(
+                cfg.zipfTheta > 0 ? cfg.windowSize : 1,
+                cfg.zipfTheta > 0 ? cfg.zipfTheta : 1.0);
+            if (cfg.zipfTheta > 0)
+                zipf = &zipf_storage;
+
+            std::vector<char> key(cfg.keySize + 1);
+            std::vector<char> val(cfg.valueSize);
+            std::vector<char> out(cfg.valueSize + 64);
+            std::uint64_t local_hits = 0;
+            std::uint64_t local_misses = 0;
+            std::uint64_t local_failures = 0;
+
+            for (std::uint64_t i = 0; i < cfg.executeNumber; ++i) {
+                const std::uint64_t idx =
+                    zipf ? zipf->sample(rng)
+                         : rng.nextBounded(cfg.windowSize);
+                formatKey(key.data(), cfg.keySize, t, idx);
+                const double roll = rng.nextDouble();
+                if (cfg.binaryProtocol) {
+                    // memslap --binary: frame the op, parse the reply.
+                    const std::string k(key.data(), cfg.keySize);
+                    std::string reply;
+                    if (roll < cfg.setFraction) {
+                        formatValue(val.data(), cfg.valueSize, t, idx);
+                        reply = mc::binaryExecute(
+                            cache, t,
+                            mc::binSetRequest(
+                                k, std::string(val.data(),
+                                               cfg.valueSize)));
+                        mc::BinResponse r;
+                        if (mc::binParseResponse(reply, r) == 0 ||
+                            r.status != mc::BinStatus::Ok)
+                            ++local_failures;
+                    } else {
+                        reply = mc::binaryExecute(
+                            cache, t, mc::binRequest(mc::BinOp::Get, k));
+                        mc::BinResponse r;
+                        if (mc::binParseResponse(reply, r) != 0 &&
+                            r.status == mc::BinStatus::Ok)
+                            ++local_hits;
+                        else
+                            ++local_misses;
+                    }
+                    continue;
+                }
+                if (roll < cfg.setFraction) {
+                    formatValue(val.data(), cfg.valueSize, t, idx);
+                    const auto st = cache.store(t, key.data(), cfg.keySize,
+                                                val.data(),
+                                                cfg.valueSize);
+                    if (st != mc::OpStatus::Ok)
+                        ++local_failures;
+                } else if (roll < cfg.setFraction + cfg.arithFraction) {
+                    std::uint64_t v = 0;
+                    cache.arith(t, key.data(), cfg.keySize, 1, true, v);
+                } else if (roll < cfg.setFraction + cfg.arithFraction +
+                                      cfg.deleteFraction) {
+                    cache.del(t, key.data(), cfg.keySize);
+                } else {
+                    const auto r = cache.get(t, key.data(), cfg.keySize,
+                                             out.data(), out.size());
+                    if (r.status == mc::OpStatus::Ok)
+                        ++local_hits;
+                    else
+                        ++local_misses;
+                }
+            }
+            hits.fetch_add(local_hits, std::memory_order_relaxed);
+            misses.fetch_add(local_misses, std::memory_order_relaxed);
+            failures.fetch_add(local_failures, std::memory_order_relaxed);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    MemslapResult res;
+    res.seconds = timer.elapsedSeconds();
+    res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
+    res.hits = hits.load();
+    res.misses = misses.load();
+    res.failures = failures.load();
+    return res;
+}
+
+} // namespace tmemc::workload

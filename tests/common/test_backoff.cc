@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for backoff and padding utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+#include "common/padded.h"
+
+namespace
+{
+
+using tmemc::ExpBackoff;
+using tmemc::Padded;
+
+TEST(ExpBackoff, PauseTerminates)
+{
+    ExpBackoff b(4, 64);
+    for (int i = 0; i < 100; ++i)
+        b.pause();  // Window saturates; must not hang.
+    SUCCEED();
+}
+
+TEST(ExpBackoff, ResetRestoresWindow)
+{
+    ExpBackoff b(4, 1 << 20);
+    for (int i = 0; i < 10; ++i)
+        b.pause();
+    b.reset();
+    b.pause();
+    SUCCEED();
+}
+
+TEST(Padded, OccupiesFullCacheLine)
+{
+    static_assert(sizeof(Padded<int>) >= tmemc::cachelineBytes);
+    static_assert(alignof(Padded<int>) == tmemc::cachelineBytes);
+    Padded<int> p;
+    *p = 41;
+    EXPECT_EQ(*p + 1, 42);
+}
+
+TEST(Padded, ArrayElementsDoNotShareLines)
+{
+    Padded<int> arr[2];
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[0]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[1]);
+    EXPECT_GE(b - a, tmemc::cachelineBytes);
+}
+
+} // namespace

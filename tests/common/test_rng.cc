@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace
+{
+
+using tmemc::XorShift128;
+using tmemc::ZipfSampler;
+
+TEST(XorShift128, DeterministicForSameSeed)
+{
+    XorShift128 a(42);
+    XorShift128 b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShift128, DifferentSeedsDiverge)
+{
+    XorShift128 a(1);
+    XorShift128 b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(XorShift128, ZeroSeedIsRemapped)
+{
+    XorShift128 a(0);
+    // Must not be a constant stream.
+    const std::uint64_t x = a.next();
+    const std::uint64_t y = a.next();
+    EXPECT_NE(x, y);
+}
+
+TEST(XorShift128, BoundedStaysInRange)
+{
+    XorShift128 a(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = a.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(XorShift128, DoubleStaysInUnitInterval)
+{
+    XorShift128 a(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = a.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(XorShift128, BoundedIsRoughlyUniform)
+{
+    XorShift128 a(1234);
+    constexpr int buckets = 10;
+    constexpr int samples = 100000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < samples; ++i)
+        counts[a.nextBounded(buckets)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, samples / buckets * 0.9);
+        EXPECT_LT(c, samples / buckets * 1.1);
+    }
+}
+
+TEST(ZipfSampler, RanksWithinUniverse)
+{
+    XorShift128 rng(5);
+    ZipfSampler zipf(100, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(ZipfSampler, SkewPrefersLowRanks)
+{
+    XorShift128 rng(6);
+    ZipfSampler zipf(1000, 0.99);
+    int low = 0;
+    constexpr int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        low += (zipf.sample(rng) < 10);
+    // With theta=0.99 over 1000 keys, the top-10 keys should soak up
+    // a large share (analytically ~39%); uniform would give 1%.
+    EXPECT_GT(low, samples / 5);
+}
+
+TEST(ZipfSampler, ZeroThetaIsUniform)
+{
+    XorShift128 rng(8);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    constexpr int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        counts[zipf.sample(rng)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, samples / 10 * 0.9);
+        EXPECT_LT(c, samples / 10 * 1.1);
+    }
+}
+
+} // namespace

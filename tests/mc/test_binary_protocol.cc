@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the memcached binary protocol (the memslap --binary path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/binary_protocol.h"
+#include "mc/cache_iface.h"
+#include "tm/api.h"
+#include "workload/memslap.h"
+
+namespace
+{
+
+using namespace tmemc;
+using namespace tmemc::mc;
+
+class BinaryProtocolTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        Settings s;
+        s.maxBytes = 8 * 1024 * 1024;
+        cache_ = makeCache(GetParam(), s, 2);
+        ASSERT_NE(cache_, nullptr);
+    }
+
+    BinResponse
+    exec(const std::string &req)
+    {
+        const std::string wire = binaryExecute(*cache_, 0, req);
+        BinResponse r;
+        EXPECT_GT(binParseResponse(wire, r), 0u);
+        return r;
+    }
+
+    std::unique_ptr<CacheIface> cache_;
+};
+
+TEST_P(BinaryProtocolTest, HeaderRoundTrips)
+{
+    BinHeader h;
+    h.magic = static_cast<std::uint8_t>(BinMagic::Request);
+    h.opcode = static_cast<std::uint8_t>(BinOp::Set);
+    h.keyLength = 0x1234;
+    h.extrasLength = 8;
+    h.status = 0x0005;
+    h.bodyLength = 0xdeadbeef;
+    h.opaque = 0xcafebabe;
+    h.cas = 0x0123456789abcdefull;
+    std::uint8_t wire[kBinHeaderSize];
+    binEncodeHeader(h, wire);
+    // Spot-check network byte order.
+    EXPECT_EQ(wire[2], 0x12);
+    EXPECT_EQ(wire[3], 0x34);
+    BinHeader back;
+    ASSERT_TRUE(binDecodeHeader(wire, back));
+    EXPECT_EQ(back.keyLength, h.keyLength);
+    EXPECT_EQ(back.bodyLength, h.bodyLength);
+    EXPECT_EQ(back.opaque, h.opaque);
+    EXPECT_EQ(back.cas, h.cas);
+}
+
+TEST_P(BinaryProtocolTest, BadMagicRejected)
+{
+    std::uint8_t wire[kBinHeaderSize] = {0x42};
+    BinHeader h;
+    EXPECT_FALSE(binDecodeHeader(wire, h));
+}
+
+TEST_P(BinaryProtocolTest, SetThenGet)
+{
+    const auto set = exec(binSetRequest("bkey", "bvalue"));
+    EXPECT_EQ(set.status, BinStatus::Ok);
+    EXPECT_NE(set.cas, 0u);
+
+    const auto get = exec(binRequest(BinOp::Get, "bkey"));
+    EXPECT_EQ(get.status, BinStatus::Ok);
+    EXPECT_EQ(get.value, "bvalue");
+    EXPECT_EQ(get.extras.size(), 4u);  // flags
+    EXPECT_TRUE(get.key.empty());      // GET omits the key.
+
+    const auto getk = exec(binRequest(BinOp::GetK, "bkey"));
+    EXPECT_EQ(getk.key, "bkey");
+    EXPECT_EQ(getk.value, "bvalue");
+}
+
+TEST_P(BinaryProtocolTest, GetMiss)
+{
+    const auto r = exec(binRequest(BinOp::Get, "absent"));
+    EXPECT_EQ(r.status, BinStatus::KeyNotFound);
+}
+
+TEST_P(BinaryProtocolTest, AddAndReplaceSemantics)
+{
+    EXPECT_EQ(exec(binSetRequest("a", "1", 0, 0, BinOp::Add)).status,
+              BinStatus::Ok);
+    EXPECT_EQ(exec(binSetRequest("a", "2", 0, 0, BinOp::Add)).status,
+              BinStatus::NotStored);
+    EXPECT_EQ(exec(binSetRequest("a", "3", 0, 0, BinOp::Replace)).status,
+              BinStatus::Ok);
+    EXPECT_EQ(exec(binSetRequest("zz", "4", 0, 0, BinOp::Replace)).status,
+              BinStatus::NotStored);
+}
+
+TEST_P(BinaryProtocolTest, CasViaSetHeader)
+{
+    const auto set = exec(binSetRequest("c", "v1"));
+    const auto good =
+        exec(binSetRequest("c", "v2", 0, 0, BinOp::Set, set.cas));
+    EXPECT_EQ(good.status, BinStatus::Ok);
+    const auto stale =
+        exec(binSetRequest("c", "v3", 0, 0, BinOp::Set, set.cas));
+    EXPECT_EQ(stale.status, BinStatus::KeyExists);
+}
+
+TEST_P(BinaryProtocolTest, DeleteAndNoop)
+{
+    exec(binSetRequest("d", "x"));
+    EXPECT_EQ(exec(binRequest(BinOp::Delete, "d")).status, BinStatus::Ok);
+    EXPECT_EQ(exec(binRequest(BinOp::Delete, "d")).status,
+              BinStatus::KeyNotFound);
+    EXPECT_EQ(exec(binRequest(BinOp::Noop, "")).status, BinStatus::Ok);
+}
+
+TEST_P(BinaryProtocolTest, IncrDecrBinaryValues)
+{
+    exec(binSetRequest("n", "100"));
+    const auto up = exec(binArithRequest(BinOp::Increment, "n", 23));
+    EXPECT_EQ(up.status, BinStatus::Ok);
+    ASSERT_EQ(up.value.size(), 8u);
+    // 64-bit big-endian result.
+    std::uint64_t v = 0;
+    for (unsigned char c : up.value)
+        v = (v << 8) | c;
+    EXPECT_EQ(v, 123u);
+    const auto down = exec(binArithRequest(BinOp::Decrement, "n", 23));
+    std::uint64_t w = 0;
+    for (unsigned char c : down.value)
+        w = (w << 8) | c;
+    EXPECT_EQ(w, 100u);
+}
+
+TEST_P(BinaryProtocolTest, VersionAndFlush)
+{
+    const auto v = exec(binRequest(BinOp::Version, ""));
+    EXPECT_EQ(v.status, BinStatus::Ok);
+    EXPECT_NE(v.value.find("tmemc"), std::string::npos);
+    exec(binSetRequest("f", "x"));
+    EXPECT_EQ(exec(binRequest(BinOp::Flush, "")).status, BinStatus::Ok);
+    EXPECT_EQ(exec(binRequest(BinOp::Get, "f")).status,
+              BinStatus::KeyNotFound);
+}
+
+TEST_P(BinaryProtocolTest, StatStreamTerminated)
+{
+    exec(binSetRequest("s", "x"));
+    const std::string wire =
+        binaryExecute(*cache_, 0, binRequest(BinOp::Stat, ""));
+    // Parse all frames; the last must have an empty key and value.
+    std::size_t pos = 0;
+    int frames = 0;
+    BinResponse last;
+    while (pos < wire.size()) {
+        BinResponse r;
+        const std::size_t used = binParseResponse(wire.substr(pos), r);
+        ASSERT_GT(used, 0u);
+        pos += used;
+        last = r;
+        ++frames;
+    }
+    EXPECT_GT(frames, 3);
+    EXPECT_TRUE(last.key.empty());
+    EXPECT_TRUE(last.value.empty());
+}
+
+TEST_P(BinaryProtocolTest, TruncatedFrameReturnsNothing)
+{
+    const std::string req = binSetRequest("k", "value");
+    EXPECT_EQ(binaryExecute(*cache_, 0, req.substr(0, 10)), "");
+    EXPECT_EQ(binaryExecute(*cache_, 0, req.substr(0, req.size() - 2)),
+              "");
+}
+
+INSTANTIATE_TEST_SUITE_P(SomeBranches, BinaryProtocolTest,
+                         ::testing::Values("Baseline", "IT-onCommit"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(BinaryWorkload, MemslapBinaryModeRuns)
+{
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    Settings s;
+    s.maxBytes = 32 * 1024 * 1024;
+    auto cache = makeCache("IT-onCommit", s, 2);
+    workload::MemslapCfg cfg;
+    cfg.concurrency = 2;
+    cfg.executeNumber = 2000;
+    cfg.windowSize = 500;
+    cfg.binaryProtocol = true;
+    const auto r = runMemslap(*cache, cfg);
+    EXPECT_EQ(r.ops, 4000u);
+    EXPECT_GT(r.hits, 0u);
+    EXPECT_EQ(r.misses, 0u);
+    EXPECT_EQ(r.failures, 0u);
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the cache building blocks (assoc, lru, slabs) using
+ * the uninstrumented context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "mc/assoc.h"
+#include "mc/ctx.h"
+#include "mc/lru.h"
+#include "mc/slabs.h"
+
+namespace
+{
+
+using namespace tmemc;
+using namespace tmemc::mc;
+
+using Ctx = PlainCtx<kBaseline>;
+
+Item *
+makeItem(const std::string &key, std::uint32_t nbytes = 8)
+{
+    const std::size_t sz = Item::totalSize(key.size(), nbytes);
+    auto *it = static_cast<Item *>(std::calloc(1, sz));
+    it->nkey = static_cast<std::uint16_t>(key.size());
+    it->nbytes = nbytes;
+    std::memcpy(it->key(), key.data(), key.size());
+    return it;
+}
+
+TEST(Assoc, InsertFindUnlink)
+{
+    AssocState s;
+    assocInit(s, 4);
+    Ctx c;
+    Item *a = makeItem("alpha");
+    Item *b = makeItem("beta");
+    const std::uint32_t ha = hashKey("alpha", 5);
+    const std::uint32_t hb = hashKey("beta", 4);
+    assocInsert(c, s, a, ha);
+    assocInsert(c, s, b, hb);
+    EXPECT_EQ(s.itemCount, 2u);
+    EXPECT_EQ(assocFind(c, s, "alpha", 5, ha), a);
+    EXPECT_EQ(assocFind(c, s, "beta", 4, hb), b);
+    EXPECT_EQ(assocFind(c, s, "gamma", 5, hashKey("gamma", 5)), nullptr);
+    EXPECT_TRUE(assocUnlink(c, s, a, ha));
+    EXPECT_EQ(assocFind(c, s, "alpha", 5, ha), nullptr);
+    EXPECT_EQ(s.itemCount, 1u);
+    EXPECT_FALSE(assocUnlink(c, s, a, ha));  // Already gone.
+    std::free(a);
+    std::free(b);
+    std::free(s.primary);
+}
+
+TEST(Assoc, CollidingKeysShareBucket)
+{
+    AssocState s;
+    assocInit(s, 1);  // Two buckets: collisions guaranteed.
+    Ctx c;
+    std::vector<Item *> items;
+    for (int i = 0; i < 16; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        Item *it = makeItem(key);
+        items.push_back(it);
+        assocInsert(c, s, it, hashKey(key.data(), key.size()));
+    }
+    for (int i = 0; i < 16; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        EXPECT_EQ(assocFind(c, s, key.data(), key.size(),
+                            hashKey(key.data(), key.size())),
+                  items[i]);
+    }
+    for (auto *it : items)
+        std::free(it);
+    std::free(s.primary);
+}
+
+TEST(Assoc, ExpansionPreservesAllItems)
+{
+    AssocState s;
+    assocInit(s, 3);  // 8 buckets.
+    Ctx c;
+    std::vector<Item *> items;
+    for (int i = 0; i < 64; ++i) {
+        const std::string key = "expand" + std::to_string(i);
+        Item *it = makeItem(key);
+        items.push_back(it);
+        assocInsert(c, s, it, hashKey(key.data(), key.size()));
+    }
+    assocStartExpand(c, s);
+    EXPECT_EQ(s.hashPower, 4u);
+    EXPECT_NE(s.expanding, 0u);
+    // Items must be findable at every point during the migration.
+    int steps = 0;
+    while (s.expanding != 0) {
+        for (int i = 0; i < 64; i += 7) {
+            const std::string key = "expand" + std::to_string(i);
+            ASSERT_EQ(assocFind(c, s, key.data(), key.size(),
+                                hashKey(key.data(), key.size())),
+                      items[i])
+                << "step " << steps;
+        }
+        assocExpandBucket(c, s);
+        ++steps;
+    }
+    EXPECT_EQ(steps, 8);  // One per old bucket.
+    for (int i = 0; i < 64; ++i) {
+        const std::string key = "expand" + std::to_string(i);
+        EXPECT_EQ(assocFind(c, s, key.data(), key.size(),
+                            hashKey(key.data(), key.size())),
+                  items[i]);
+    }
+    EXPECT_EQ(s.itemCount, 64u);
+    for (auto *it : items)
+        std::free(it);
+    std::free(s.primary);
+}
+
+TEST(Lru, LinkUnlinkBumpMaintainOrder)
+{
+    LruState s;
+    Ctx c;
+    Item *a = makeItem("a");
+    Item *b = makeItem("b");
+    Item *d = makeItem("d");
+    lruLink(c, s, a, 0);
+    lruLink(c, s, b, 0);
+    lruLink(c, s, d, 0);
+    // Head = most recent: d, b, a; tail = a.
+    EXPECT_EQ(s.heads[0], d);
+    EXPECT_EQ(s.tails[0], a);
+    EXPECT_EQ(s.sizes[0], 3u);
+
+    lruBump(c, s, a, 0);
+    EXPECT_EQ(s.heads[0], a);
+    EXPECT_EQ(s.tails[0], b);
+
+    lruUnlink(c, s, d, 0);
+    EXPECT_EQ(s.sizes[0], 2u);
+    EXPECT_EQ(s.heads[0], a);
+    EXPECT_EQ(a->next, b);
+    EXPECT_EQ(b->prev, a);
+
+    lruUnlink(c, s, a, 0);
+    lruUnlink(c, s, b, 0);
+    EXPECT_EQ(s.heads[0], nullptr);
+    EXPECT_EQ(s.tails[0], nullptr);
+    EXPECT_EQ(s.sizes[0], 0u);
+    std::free(a);
+    std::free(b);
+    std::free(d);
+}
+
+TEST(Slabs, GeometryGrowsByFactor)
+{
+    SlabState s;
+    Settings cfg;
+    cfg.slabChunkMin = 96;
+    cfg.slabGrowthFactor = 1.25;
+    cfg.itemSizeMax = 16 * 1024;
+    slabsInit(s, cfg);
+    ASSERT_GT(s.numClasses, 4u);
+    for (std::uint32_t i = 1; i < s.numClasses - 1; ++i) {
+        EXPECT_GT(s.classes[i].chunkSize, s.classes[i - 1].chunkSize);
+        EXPECT_LE(static_cast<double>(s.classes[i].chunkSize),
+                  s.classes[i - 1].chunkSize * 1.25 + 8);
+    }
+    EXPECT_EQ(s.classes[s.numClasses - 1].chunkSize, cfg.itemSizeMax);
+    for (std::uint32_t i = 0; i < s.numClasses; ++i)
+        std::free(s.classes[i].pages);
+}
+
+TEST(Slabs, ClsidPicksSmallestFit)
+{
+    SlabState s;
+    Settings cfg;
+    slabsInit(s, cfg);
+    const std::uint32_t c0 = slabClsid(s, 1);
+    EXPECT_EQ(c0, 0u);
+    const std::uint32_t ci = slabClsid(s, s.classes[2].chunkSize);
+    EXPECT_EQ(ci, 2u);
+    const std::uint32_t cj = slabClsid(s, s.classes[2].chunkSize + 1);
+    EXPECT_EQ(cj, 3u);
+    EXPECT_EQ(slabClsid(s, cfg.itemSizeMax + 1), kMaxSlabClasses);
+    for (std::uint32_t i = 0; i < s.numClasses; ++i)
+        std::free(s.classes[i].pages);
+}
+
+TEST(Slabs, AllocFreeRecyclesChunks)
+{
+    SlabState s;
+    Settings cfg;
+    cfg.maxBytes = 1024 * 1024;
+    cfg.slabPageSize = 16 * 1024;
+    slabsInit(s, cfg);
+    Ctx c;
+    Item *a = slabsAlloc(c, s, 0);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(s.classes[0].usedChunks, 1u);
+    EXPECT_EQ(s.classes[0].pageCount, 1u);
+    const std::uint64_t free_after_first = s.classes[0].freeCount;
+    EXPECT_EQ(free_after_first, s.classes[0].perPage - 1u);
+
+    slabsFree(c, s, a, 0);
+    EXPECT_EQ(s.classes[0].usedChunks, 0u);
+    Item *b = slabsAlloc(c, s, 0);
+    EXPECT_EQ(b, a);  // LIFO free list recycles.
+
+    // Drain the page completely; the next alloc carves a second page.
+    std::vector<Item *> all;
+    while (s.classes[0].freeCount > 0)
+        all.push_back(slabsAlloc(c, s, 0));
+    EXPECT_EQ(s.classes[0].pageCount, 1u);
+    Item *extra = slabsAlloc(c, s, 0);
+    ASSERT_NE(extra, nullptr);
+    EXPECT_EQ(s.classes[0].pageCount, 2u);
+
+    for (std::uint32_t i = 0; i < s.numClasses; ++i) {
+        for (std::uint64_t p = 0; p < s.classes[i].pageCount; ++p)
+            std::free(s.classes[i].pages[p]);
+        std::free(s.classes[i].pages);
+    }
+}
+
+TEST(Slabs, BudgetExhaustionReturnsNull)
+{
+    SlabState s;
+    Settings cfg;
+    cfg.maxBytes = 32 * 1024;  // Two 16 KiB pages.
+    cfg.slabPageSize = 16 * 1024;
+    slabsInit(s, cfg);
+    Ctx c;
+    std::vector<Item *> held;
+    for (;;) {
+        Item *it = slabsAlloc(c, s, 0);
+        if (it == nullptr)
+            break;
+        held.push_back(it);
+    }
+    EXPECT_EQ(held.size(),
+              static_cast<std::size_t>(2 * s.classes[0].perPage));
+    EXPECT_LE(s.memAllocated, cfg.maxBytes);
+    for (std::uint32_t i = 0; i < s.numClasses; ++i) {
+        for (std::uint64_t p = 0; p < s.classes[i].pageCount; ++p)
+            std::free(s.classes[i].pages[p]);
+        std::free(s.classes[i].pages);
+    }
+}
+
+TEST(Item, LayoutAndSizing)
+{
+    EXPECT_EQ(Item::totalSize(0, 0), sizeof(Item));
+    EXPECT_EQ(Item::totalSize(1, 0), sizeof(Item) + 8);
+    EXPECT_EQ(Item::totalSize(8, 4), sizeof(Item) + 8 + 4);
+    Item *it = makeItem("12345678", 16);
+    // Value starts 8-aligned right after the padded key.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(it->value()) % 8, 0u);
+    EXPECT_EQ(it->value(), it->key() + 8);
+    std::free(it);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Algorithm-specific behaviours: rollback restoring memory (direct
+ * update), redo-log merging (buffered update), conflict detection, and
+ * abort statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "tm/api.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr attr{"algo:test", tm::TxnKind::Atomic, false};
+
+class AlgoTest : public ::testing::TestWithParam<tm::AlgoKind>
+{
+  protected:
+    void SetUp() override { useRuntime(GetParam(), tm::CmKind::NoCM); }
+};
+
+TEST_P(AlgoTest, AbortRestoresMemory)
+{
+    if (GetParam() == tm::AlgoKind::Serial)
+        GTEST_SKIP() << "serial transactions never abort";
+    static std::uint64_t cell;
+    cell = 77;
+    int runs = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++runs;
+        tm::txStore<std::uint64_t>(tx, &cell, 123);
+        if (runs == 1) {
+            // Force one abort after the speculative write. For direct
+            // update the write is already in memory and must be undone
+            // before the retry re-reads it.
+            throw tm::TxAbort{};
+        }
+        EXPECT_EQ(tm::txLoad(tx, &cell), 123u);
+    });
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(cell, 123u);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.aborts, 1u);
+    EXPECT_EQ(snap.total.commits, 1u);
+}
+
+TEST_P(AlgoTest, AbortedTransactionInvisibleToOthers)
+{
+    if (GetParam() == tm::AlgoKind::Serial)
+        GTEST_SKIP() << "serial transactions never abort";
+    static std::uint64_t cell;
+    cell = 5;
+    static std::atomic<int> phase{0};
+    phase = 0;
+
+    std::thread t([&] {
+        int attempts = 0;
+        tm::run(attr, [&](tm::TxDesc &tx) {
+            if (++attempts > 1)
+                return;  // Second attempt: commit without writing.
+            tm::txStore<std::uint64_t>(tx, &cell, 999);
+            phase.store(1);
+            while (phase.load() != 2)
+                std::this_thread::yield();
+            throw tm::TxAbort{};
+        });
+    });
+    // This thread waits for the speculative write, then observes
+    // memory non-transactionally after the abort completes.
+    while (phase.load() != 1)
+        std::this_thread::yield();
+    phase.store(2);
+    t.join();
+    EXPECT_EQ(cell, 5u);
+}
+
+TEST_P(AlgoTest, PartialWordWritesMerge)
+{
+    static std::uint64_t word;
+    word = 0x1111111111111111ull;
+    tm::run(attr, [](tm::TxDesc &tx) {
+        auto *bytes = reinterpret_cast<unsigned char *>(&word);
+        tm::txStore<unsigned char>(tx, bytes + 2, 0xff);
+        tm::txStore<unsigned char>(tx, bytes + 5, 0xee);
+        // Read back the whole word through the transaction: must merge
+        // buffered bytes over memory for lazy algorithms.
+        const std::uint64_t seen = tm::txLoad(tx, &word);
+        EXPECT_EQ(seen & 0xff0000u, 0xff0000u);
+        EXPECT_EQ((seen >> 40) & 0xff, 0xeeu);
+        EXPECT_EQ(seen & 0xff, 0x11u);
+    });
+    EXPECT_EQ(word, 0x1111ee1111ff1111ull);
+}
+
+TEST_P(AlgoTest, WriteWriteConflictSerializesOutcome)
+{
+    // Two threads do read-modify-write on the same word; whatever the
+    // interleaving, the result equals sequential application.
+    static std::uint64_t cell;
+    cell = 0;
+    constexpr int per = 3000;
+    auto worker = [&] {
+        for (int i = 0; i < per; ++i) {
+            tm::run(attr, [](tm::TxDesc &tx) {
+                tm::txStore<std::uint64_t>(tx, &cell,
+                                           tm::txLoad(tx, &cell) + 1);
+            });
+        }
+    };
+    std::thread a(worker);
+    std::thread b(worker);
+    a.join();
+    b.join();
+    EXPECT_EQ(cell, 2u * per);
+}
+
+TEST_P(AlgoTest, LargeWriteSetCommits)
+{
+    constexpr int n = 4096;
+    static std::uint64_t arr[n];
+    std::memset(arr, 0, sizeof(arr));
+    tm::run(attr, [](tm::TxDesc &tx) {
+        for (int i = 0; i < n; ++i)
+            tm::txStore<std::uint64_t>(tx, &arr[i], i);
+    });
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(arr[i], static_cast<std::uint64_t>(i));
+}
+
+TEST_P(AlgoTest, ReadOnlyCommitCounted)
+{
+    static std::uint64_t cell = 3;
+    tm::Runtime::get().resetStats();
+    tm::run(attr, [](tm::TxDesc &tx) { (void)tm::txLoad(tx, &cell); });
+    const auto snap = tm::Runtime::get().snapshot();
+    if (GetParam() == tm::AlgoKind::Serial) {
+        EXPECT_EQ(snap.total.serialCommits, 1u);
+    } else {
+        EXPECT_EQ(snap.total.readOnlyCommits, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, AlgoTest,
+    ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
+                      tm::AlgoKind::NOrec, tm::AlgoKind::Serial),
+    [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
+        return tmemc::tests::algoName(info.param);
+    });
+
+} // namespace

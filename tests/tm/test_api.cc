@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the public TM API: transaction execution, return
+ * values, nesting, typed and byte-granular access, handlers, and
+ * transactional allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tm/api.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr atomicAttr{"test:atomic", tm::TxnKind::Atomic, false};
+const tm::TxnAttr relaxedAttr{"test:relaxed", tm::TxnKind::Relaxed, false};
+
+class ApiTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { useRuntime(tm::AlgoKind::GccEager); }
+};
+
+TEST_F(ApiTest, EmptyTransactionCommits)
+{
+    tm::run(atomicAttr, [](tm::TxDesc &) {});
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.commits, 1u);
+    EXPECT_EQ(snap.total.txns, 1u);
+    EXPECT_EQ(snap.total.aborts, 0u);
+}
+
+TEST_F(ApiTest, TransactionExpressionReturnsValue)
+{
+    static std::uint64_t cell = 41;
+    const std::uint64_t got = tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        return tm::txLoad(tx, &cell) + 1;
+    });
+    EXPECT_EQ(got, 42u);
+}
+
+TEST_F(ApiTest, StoreIsVisibleAfterCommit)
+{
+    static std::uint64_t cell = 0;
+    cell = 0;
+    tm::run(atomicAttr,
+            [](tm::TxDesc &tx) { tm::txStore<std::uint64_t>(tx, &cell, 7); });
+    EXPECT_EQ(cell, 7u);
+}
+
+TEST_F(ApiTest, ReadAfterWriteSeesOwnWrite)
+{
+    static std::uint64_t cell = 1;
+    cell = 1;
+    const std::uint64_t got = tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &cell, 99);
+        return tm::txLoad(tx, &cell);
+    });
+    EXPECT_EQ(got, 99u);
+}
+
+TEST_F(ApiTest, SubWordTypesRoundTrip)
+{
+    static struct
+    {
+        std::uint8_t b;
+        std::uint16_t h;
+        std::uint32_t w;
+        std::int64_t d;
+    } cells{};
+    tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        tm::txStore<std::uint8_t>(tx, &cells.b, 0xab);
+        tm::txStore<std::uint16_t>(tx, &cells.h, 0xcdef);
+        tm::txStore<std::uint32_t>(tx, &cells.w, 0xdeadbeef);
+        tm::txStore<std::int64_t>(tx, &cells.d, -12345678901234ll);
+    });
+    EXPECT_EQ(cells.b, 0xab);
+    EXPECT_EQ(cells.h, 0xcdef);
+    EXPECT_EQ(cells.w, 0xdeadbeefu);
+    EXPECT_EQ(cells.d, -12345678901234ll);
+    const auto got = tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        return std::tuple{tm::txLoad(tx, &cells.b), tm::txLoad(tx, &cells.h),
+                          tm::txLoad(tx, &cells.w), tm::txLoad(tx, &cells.d)};
+    });
+    EXPECT_EQ(std::get<0>(got), 0xab);
+    EXPECT_EQ(std::get<1>(got), 0xcdef);
+    EXPECT_EQ(std::get<2>(got), 0xdeadbeefu);
+    EXPECT_EQ(std::get<3>(got), -12345678901234ll);
+}
+
+TEST_F(ApiTest, UnalignedByteRangesRoundTrip)
+{
+    static char buf[64];
+    std::memset(buf, 0, sizeof(buf));
+    const char msg[] = "straddles word boundaries";
+    tm::run(atomicAttr, [&](tm::TxDesc &tx) {
+        tm::txStoreBytes(tx, buf + 3, msg, sizeof(msg));
+    });
+    EXPECT_STREQ(buf + 3, msg);
+    char out[sizeof(msg)];
+    tm::run(atomicAttr, [&](tm::TxDesc &tx) {
+        tm::txLoadBytes(tx, out, buf + 3, sizeof(msg));
+    });
+    EXPECT_STREQ(out, msg);
+}
+
+TEST_F(ApiTest, NestedTransactionsFlatten)
+{
+    static std::uint64_t cell = 0;
+    cell = 0;
+    tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &cell, 1);
+        tm::run(atomicAttr, [](tm::TxDesc &inner) {
+            tm::txStore<std::uint64_t>(inner, &cell, 2);
+        });
+        EXPECT_EQ(tm::txLoad(tx, &cell), 2u);
+    });
+    EXPECT_EQ(cell, 2u);
+    // A flattened nest counts as one top-level transaction.
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.txns, 1u);
+    EXPECT_EQ(snap.total.commits, 1u);
+}
+
+TEST_F(ApiTest, InTransactionReflectsState)
+{
+    EXPECT_FALSE(tm::inTransaction());
+    tm::run(atomicAttr,
+            [](tm::TxDesc &) { EXPECT_TRUE(tm::inTransaction()); });
+    EXPECT_FALSE(tm::inTransaction());
+}
+
+TEST_F(ApiTest, OnCommitRunsAfterCommit)
+{
+    static std::uint64_t cell = 0;
+    cell = 0;
+    bool ran = false;
+    tm::run(atomicAttr, [&](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &cell, 5);
+        tm::onCommit(tx, [&] {
+            ran = true;
+            // Handler runs after all locks are released; memory holds
+            // the committed value.
+            EXPECT_EQ(cell, 5u);
+            EXPECT_FALSE(tm::inTransaction());
+        });
+        EXPECT_FALSE(ran);
+    });
+    EXPECT_TRUE(ran);
+}
+
+TEST_F(ApiTest, OnCommitOutsideTransactionRunsImmediately)
+{
+    bool ran = false;
+    tm::onCommit(tm::myDesc(), [&] { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST_F(ApiTest, UserExceptionCommitsAndPropagates)
+{
+    static std::uint64_t cell = 0;
+    cell = 0;
+    EXPECT_THROW(tm::run(atomicAttr,
+                         [](tm::TxDesc &tx) {
+                             tm::txStore<std::uint64_t>(tx, &cell, 3);
+                             throw std::runtime_error("escape");
+                         }),
+                 std::runtime_error);
+    // Commit-on-escape: the write survived.
+    EXPECT_EQ(cell, 3u);
+}
+
+TEST_F(ApiTest, TxMallocSurvivesCommit)
+{
+    void *p = tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        void *q = tm::txMalloc(tx, 32);
+        std::memset(q, 0x5a, 32);
+        return q;
+    });
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(static_cast<unsigned char *>(p)[31], 0x5a);
+    std::free(p);
+}
+
+TEST_F(ApiTest, TxFreeDeferredToCommit)
+{
+    void *p = std::malloc(16);
+    static std::uint64_t cell = 0;
+    tm::run(atomicAttr, [&](tm::TxDesc &tx) {
+        tm::txFree(tx, p);
+        // The buffer must still be readable inside the transaction.
+        tm::txStore<std::uint64_t>(tx, &cell, 1);
+    });
+    SUCCEED();  // No double free / use-after-free under ASan runs.
+}
+
+TEST_F(ApiTest, TmVarGetSet)
+{
+    static tm::TmVar<std::uint64_t> v{11};
+    const auto got = tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        v.set(tx, v.get(tx) * 2);
+        return v.get(tx);
+    });
+    EXPECT_EQ(got, 22u);
+    EXPECT_EQ(v.rawGet(), 22u);
+}
+
+TEST_F(ApiTest, PerSiteProfileTracksSites)
+{
+    static const tm::TxnAttr siteA{"site:a", tm::TxnKind::Atomic, false};
+    static const tm::TxnAttr siteB{"site:b", tm::TxnKind::Atomic, false};
+    for (int i = 0; i < 3; ++i)
+        tm::run(siteA, [](tm::TxDesc &) {});
+    tm::run(siteB, [](tm::TxDesc &) {});
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.perSite.at(&siteA).commits, 3u);
+    EXPECT_EQ(snap.perSite.at(&siteB).commits, 1u);
+    const std::string profile = snap.formatProfile();
+    EXPECT_NE(profile.find("site:a"), std::string::npos);
+    EXPECT_NE(profile.find("site:b"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Contention-manager behaviour tests: GCC's serialize-after-100-aborts
+ * policy ("Abort Serial" in Tables 1-4), backoff, and the hourglass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tm/api.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr attr{"cm:test", tm::TxnKind::Atomic, false};
+
+TEST(CmTest, SerialAfterNSerializesForProgress)
+{
+    tm::RuntimeCfg cfg;
+    cfg.algo = tm::AlgoKind::GccEager;
+    cfg.cm = tm::CmKind::SerialAfterN;
+    cfg.serialAfterAborts = 5;  // Small threshold for the test.
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+
+    int runs = 0;
+    bool ended_serial = false;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++runs;
+        if (tx.state == tm::RunState::SerialIrrevocable) {
+            ended_serial = true;
+            return;
+        }
+        throw tm::TxAbort{};  // Abort every speculative attempt.
+    });
+    EXPECT_TRUE(ended_serial);
+    // 5 speculative attempts aborted, the 6th ran serial.
+    EXPECT_EQ(runs, 6);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.aborts, 5u);
+    EXPECT_EQ(snap.total.abortSerial, 1u);
+    EXPECT_EQ(snap.total.commits, 1u);
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST(CmTest, NoCmNeverSerializes)
+{
+    useRuntime(tm::AlgoKind::GccEager, tm::CmKind::NoCM);
+    int runs = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++runs;
+        EXPECT_EQ(tx.state, tm::RunState::Speculative);
+        if (runs < 200)
+            throw tm::TxAbort{};  // Far beyond GCC's 100-abort limit.
+    });
+    EXPECT_EQ(runs, 200);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.abortSerial, 0u);
+    EXPECT_EQ(snap.total.serialCommits, 0u);
+}
+
+TEST(CmTest, BackoffEventuallyCommits)
+{
+    useRuntime(tm::AlgoKind::GccEager, tm::CmKind::Backoff);
+    int runs = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++runs;
+        if (runs < 10)
+            throw tm::TxAbort{};
+    });
+    EXPECT_EQ(runs, 10);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.commits, 1u);
+    EXPECT_EQ(snap.total.aborts, 9u);
+}
+
+TEST(CmTest, HourglassBlocksNewTransactionsUntilStarverCommits)
+{
+    tm::RuntimeCfg cfg;
+    cfg.algo = tm::AlgoKind::GccEager;
+    cfg.cm = tm::CmKind::Hourglass;
+    cfg.hourglassThreshold = 3;
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+
+    std::atomic<bool> starver_committed{false};
+    std::atomic<bool> neck_claimed{false};
+    std::atomic<bool> other_violated{false};
+
+    std::thread starver([&] {
+        int runs = 0;
+        tm::run(attr, [&](tm::TxDesc &tx) {
+            ++runs;
+            if (runs <= 4) {
+                if (runs == 4)
+                    neck_claimed = true;  // Threshold reached at 3 aborts.
+                throw tm::TxAbort{};
+            }
+            // Hold the neck for a while so `other` provably blocks.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        });
+        starver_committed = true;
+    });
+    std::thread other([&] {
+        while (!neck_claimed.load())
+            std::this_thread::yield();
+        tm::run(attr, [&](tm::TxDesc &) {
+            // Must not begin until the starver committed.
+            if (!starver_committed.load())
+                other_violated = true;
+        });
+    });
+    starver.join();
+    other.join();
+    EXPECT_FALSE(other_violated.load());
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST(CmTest, HourglassWorksWithoutSerialLock)
+{
+    // Figure 11's GCC-Hourglass configuration: no readers/writer lock.
+    useRuntime(tm::AlgoKind::GccEager, tm::CmKind::Hourglass,
+               /*serial_lock=*/false);
+    static std::uint64_t counter;
+    counter = 0;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([] {
+            for (int i = 0; i < 500; ++i) {
+                tm::run(attr, [](tm::TxDesc &tx) {
+                    tm::txStore<std::uint64_t>(
+                        tx, &counter, tm::txLoad(tx, &counter) + 1);
+                });
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(counter, 2000u);
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for onCommit/onAbort handler semantics — the GCC extension the
+ * paper's Section 3.5 is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/sem.h"
+#include "tm/api.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr attr{"handlers:txn", tm::TxnKind::Atomic, false};
+const tm::TxnAttr relaxed{"handlers:relaxed", tm::TxnKind::Relaxed, false};
+
+class HandlerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { useRuntime(tm::AlgoKind::GccEager); }
+};
+
+TEST_F(HandlerTest, OnCommitRunsInRegistrationOrder)
+{
+    std::vector<int> order;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tm::onCommit(tx, [&] { order.push_back(1); });
+        tm::onCommit(tx, [&] { order.push_back(2); });
+        tm::onCommit(tx, [&] { order.push_back(3); });
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(HandlerTest, OnCommitNotRunOnAbortedAttempts)
+{
+    int commits = 0;
+    int attempts = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++attempts;
+        tm::onCommit(tx, [&] { ++commits; });
+        if (attempts < 3)
+            throw tm::TxAbort{};
+    });
+    // The aborted attempts' handlers were discarded; only the final
+    // attempt's handler ran.
+    EXPECT_EQ(attempts, 3);
+    EXPECT_EQ(commits, 1);
+}
+
+TEST_F(HandlerTest, OnAbortRunsAfterRollbackBeforeRetry)
+{
+    static std::uint64_t cell;
+    cell = 7;
+    int abort_handler_runs = 0;
+    bool saw_rolled_back_value = false;
+    int attempts = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        ++attempts;
+        tm::txStore<std::uint64_t>(tx, &cell, 999);
+        tm::onAbort(tx, [&] {
+            ++abort_handler_runs;
+            // Undo already happened: memory holds the original value.
+            saw_rolled_back_value = (cell == 7);
+        });
+        if (attempts == 1)
+            throw tm::TxAbort{};
+    });
+    EXPECT_EQ(abort_handler_runs, 1);
+    EXPECT_TRUE(saw_rolled_back_value);
+    EXPECT_EQ(cell, 999u);
+}
+
+TEST_F(HandlerTest, OnAbortNotRunOnCommit)
+{
+    int runs = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tm::onAbort(tx, [&] { ++runs; });
+    });
+    EXPECT_EQ(runs, 0);
+}
+
+TEST_F(HandlerTest, NestedTransactionHandlersBelongToOuter)
+{
+    std::vector<std::string> order;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tm::onCommit(tx, [&] { order.push_back("outer"); });
+        tm::run(attr, [&](tm::TxDesc &inner) {
+            tm::onCommit(inner, [&] { order.push_back("inner"); });
+        });
+        // The nested commit must NOT have run its handler yet: it is
+        // subsumed by the outer transaction.
+        EXPECT_TRUE(order.empty());
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"outer", "inner"}));
+}
+
+TEST_F(HandlerTest, HandlerMayStartNewTransaction)
+{
+    static std::uint64_t cell;
+    cell = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tm::onCommit(tx, [&] {
+            tm::run(attr, [&](tm::TxDesc &tx2) {
+                tm::txStore<std::uint64_t>(tx2, &cell, 42);
+            });
+        });
+    });
+    EXPECT_EQ(cell, 42u);
+}
+
+TEST_F(HandlerTest, SemPostPatternDelaysWakeupToCommit)
+{
+    // The paper's condition-synchronization replacement: sem_post via
+    // onCommit. The post must not be visible before the txn commits.
+    Semaphore sem;
+    bool posted_early = false;
+    tm::run(relaxed, [&](tm::TxDesc &tx) {
+        tm::onCommit(tx, [&] { sem.post(); });
+        posted_early = sem.tryWait();
+    });
+    EXPECT_FALSE(posted_early);
+    EXPECT_TRUE(sem.tryWait());  // Visible after commit.
+}
+
+TEST_F(HandlerTest, OnCommitRunsAfterSerialLockRelease)
+{
+    // A handler that starts a transaction would deadlock if the serial
+    // write lock were still held; this exercises that path by making
+    // the transaction serial first.
+    static const tm::TxnAttr serialSite{"handlers:serial",
+                                        tm::TxnKind::Relaxed, true};
+    static std::uint64_t cell;
+    cell = 0;
+    tm::run(serialSite, [&](tm::TxDesc &tx) {
+        tm::onCommit(tx, [&] {
+            tm::run(attr, [&](tm::TxDesc &tx2) {
+                tm::txStore<std::uint64_t>(tx2, &cell, 5);
+            });
+        });
+    });
+    EXPECT_EQ(cell, 5u);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.startSerial, 1u);
+}
+
+TEST_F(HandlerTest, PerroErrnoPatternWorks)
+{
+    // Section 3.5: "in the case of perror, we could not simply delay
+    // the function, but instead saved the errno and then called
+    // strerror_r in the commit handler."
+    std::string message;
+    tm::run(relaxed, [&](tm::TxDesc &tx) {
+        const int saved_errno = 2;  // ENOENT observed transactionally.
+        tm::onCommit(tx, [&, saved_errno] {
+            message = std::strerror(saved_errno);
+        });
+    });
+    EXPECT_FALSE(message.empty());
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the masked redo log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tm/redo_log.h"
+
+namespace
+{
+
+using tmemc::tm::RedoLog;
+
+TEST(RedoLog, EmptyLookupMisses)
+{
+    RedoLog log;
+    std::uint64_t v = 0, m = 0;
+    EXPECT_FALSE(log.lookup(0x1000, v, m));
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(RedoLog, InsertThenLookup)
+{
+    RedoLog log;
+    log.insert(0x1000, 0xdeadbeef, 0xffffffffull);
+    std::uint64_t v = 0, m = 0;
+    ASSERT_TRUE(log.lookup(0x1000, v, m));
+    EXPECT_EQ(v, 0xdeadbeefull);
+    EXPECT_EQ(m, 0xffffffffull);
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(RedoLog, OverlappingMasksMerge)
+{
+    RedoLog log;
+    log.insert(0x2000, 0x00000000000000aa, 0x00000000000000ff);
+    log.insert(0x2000, 0x0000000000bb0000, 0x0000000000ff0000);
+    std::uint64_t v = 0, m = 0;
+    ASSERT_TRUE(log.lookup(0x2000, v, m));
+    EXPECT_EQ(m, 0x0000000000ff00ffull);
+    EXPECT_EQ(v, 0x0000000000bb00aaull);
+    EXPECT_EQ(log.size(), 1u);  // Same word: one entry.
+}
+
+TEST(RedoLog, LaterWriteWinsWithinMask)
+{
+    RedoLog log;
+    log.insert(0x3000, 0x11, 0xff);
+    log.insert(0x3000, 0x22, 0xff);
+    std::uint64_t v = 0, m = 0;
+    ASSERT_TRUE(log.lookup(0x3000, v, m));
+    EXPECT_EQ(v & 0xff, 0x22u);
+}
+
+TEST(RedoLog, DistinctWordsKeptApart)
+{
+    RedoLog log;
+    for (std::uintptr_t a = 0x1000; a < 0x1000 + 8 * 100; a += 8)
+        log.insert(a, a, ~0ull);
+    EXPECT_EQ(log.size(), 100u);
+    for (std::uintptr_t a = 0x1000; a < 0x1000 + 8 * 100; a += 8) {
+        std::uint64_t v = 0, m = 0;
+        ASSERT_TRUE(log.lookup(a, v, m));
+        EXPECT_EQ(v, a);
+    }
+}
+
+TEST(RedoLog, GrowsPastInitialIndexCapacity)
+{
+    RedoLog log;
+    constexpr int n = 10000;
+    for (int i = 0; i < n; ++i)
+        log.insert(0x10000 + 8ull * i, i, ~0ull);
+    EXPECT_EQ(log.size(), static_cast<std::size_t>(n));
+    std::uint64_t v = 0, m = 0;
+    ASSERT_TRUE(log.lookup(0x10000 + 8ull * (n - 1), v, m));
+    EXPECT_EQ(v, static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(RedoLog, ClearForgetsEverything)
+{
+    RedoLog log;
+    log.insert(0x1000, 1, ~0ull);
+    log.clear();
+    std::uint64_t v = 0, m = 0;
+    EXPECT_FALSE(log.lookup(0x1000, v, m));
+    EXPECT_TRUE(log.empty());
+    // Reusable after clear.
+    log.insert(0x1000, 2, ~0ull);
+    ASSERT_TRUE(log.lookup(0x1000, v, m));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(RedoLog, EntriesPreserveInsertionOrder)
+{
+    RedoLog log;
+    log.insert(0x1000, 1, ~0ull);
+    log.insert(0x2000, 2, ~0ull);
+    log.insert(0x3000, 3, ~0ull);
+    const auto &es = log.entries();
+    ASSERT_EQ(es.size(), 3u);
+    EXPECT_EQ(es[0].wordAddr, 0x1000u);
+    EXPECT_EQ(es[1].wordAddr, 0x2000u);
+    EXPECT_EQ(es[2].wordAddr, 0x3000u);
+}
+
+} // namespace

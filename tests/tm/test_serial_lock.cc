@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the global readers/writer serialization lock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tm/serial_lock.h"
+
+namespace
+{
+
+using tmemc::tm::SerialLock;
+
+TEST(SerialLock, ReadersShare)
+{
+    SerialLock lock;
+    lock.readLock();
+    lock.readLock();
+    lock.readUnlock();
+    lock.readUnlock();
+    SUCCEED();
+}
+
+TEST(SerialLock, WriterExcludesReaders)
+{
+    SerialLock lock;
+    std::atomic<bool> writer_in{false};
+    std::atomic<bool> reader_done{false};
+
+    lock.writeLock();
+    writer_in = true;
+    std::thread reader([&] {
+        lock.readLock();
+        EXPECT_FALSE(writer_in.load());
+        lock.readUnlock();
+        reader_done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(reader_done.load());
+    writer_in = false;
+    lock.writeUnlock();
+    reader.join();
+    EXPECT_TRUE(reader_done.load());
+}
+
+TEST(SerialLock, WriterWaitsForReaders)
+{
+    SerialLock lock;
+    std::atomic<bool> writer_acquired{false};
+    lock.readLock();
+    std::thread writer([&] {
+        lock.writeLock();
+        writer_acquired = true;
+        lock.writeUnlock();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(writer_acquired.load());
+    lock.readUnlock();
+    writer.join();
+    EXPECT_TRUE(writer_acquired.load());
+}
+
+TEST(SerialLock, UpgradeSucceedsWhenSoleReader)
+{
+    SerialLock lock;
+    lock.readLock();
+    ASSERT_TRUE(lock.tryUpgrade());
+    EXPECT_TRUE(lock.writeHeld());
+    lock.writeUnlock();
+}
+
+TEST(SerialLock, UpgradeFailsWhenWriterPending)
+{
+    SerialLock lock;
+    lock.readLock();
+    std::thread writer([&] { lock.writeLock(); });
+    // Wait until the writer has claimed the writer flag.
+    while (!lock.writeHeld())
+        std::this_thread::yield();
+    EXPECT_FALSE(lock.tryUpgrade());
+    lock.readUnlock();
+    writer.join();
+    lock.writeUnlock();
+}
+
+TEST(SerialLock, ConcurrentCountersUnderReadLock)
+{
+    SerialLock lock;
+    constexpr int threads = 4;
+    constexpr int per = 20000;
+    std::atomic<int> shared{0};
+    int exclusively_counted = 0;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < per; ++i) {
+                if (i % 1000 == 0) {
+                    lock.writeLock();
+                    ++exclusively_counted;  // Safe: exclusive.
+                    lock.writeUnlock();
+                } else {
+                    lock.readLock();
+                    shared.fetch_add(1);
+                    lock.readUnlock();
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(exclusively_counted, threads * (per / 1000));
+    EXPECT_EQ(shared.load(), threads * (per - per / 1000));
+}
+
+} // namespace

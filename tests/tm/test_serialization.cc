@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the serialization state machine: relaxed transactions
+ * switching to serial-irrevocable mode on unsafe operations, static
+ * start-serial sites, atomic transactions rejecting unsafe operations,
+ * NoLock mode forbidding serialization, and the Tables 1-4 accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tm/api.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr relaxedAttr{"ser:relaxed", tm::TxnKind::Relaxed, false};
+const tm::TxnAttr startSerialAttr{"ser:start-serial", tm::TxnKind::Relaxed,
+                                  true};
+const tm::TxnAttr atomicAttr{"ser:atomic", tm::TxnKind::Atomic, false};
+
+class SerializationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { useRuntime(tm::AlgoKind::GccEager); }
+};
+
+TEST_F(SerializationTest, UnsafeOpSwitchesRelaxedInFlight)
+{
+    static std::uint64_t cell = 0;
+    cell = 0;
+    int body_runs = 0;
+    bool was_serial_after_unsafe = false;
+    tm::run(relaxedAttr, [&](tm::TxDesc &tx) {
+        ++body_runs;
+        tm::txStore<std::uint64_t>(tx, &cell, 1);
+        tm::unsafeOp(tx, "test-io");
+        was_serial_after_unsafe =
+            (tx.state == tm::RunState::SerialIrrevocable);
+    });
+    // The speculative attempt aborted at the unsafe op and the body
+    // re-ran serially: two executions, one commit.
+    EXPECT_EQ(body_runs, 2);
+    EXPECT_TRUE(was_serial_after_unsafe);
+    EXPECT_EQ(cell, 1u);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.commits, 1u);
+    EXPECT_EQ(snap.total.inflightSwitch, 1u);
+    EXPECT_EQ(snap.total.startSerial, 0u);
+    EXPECT_EQ(snap.total.serialCommits, 1u);
+    // The switch rollback is not a contention abort.
+    EXPECT_EQ(snap.total.aborts, 0u);
+}
+
+TEST_F(SerializationTest, StartSerialRunsOnceSerially)
+{
+    int body_runs = 0;
+    tm::run(startSerialAttr, [&](tm::TxDesc &tx) {
+        ++body_runs;
+        EXPECT_EQ(tx.state, tm::RunState::SerialIrrevocable);
+        tm::unsafeOp(tx, "always-unsafe");  // No-op when already serial.
+    });
+    EXPECT_EQ(body_runs, 1);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.startSerial, 1u);
+    EXPECT_EQ(snap.total.inflightSwitch, 0u);
+    EXPECT_EQ(snap.total.serialCommits, 1u);
+}
+
+TEST_F(SerializationTest, AtomicUnsafeOpIsFatal)
+{
+    EXPECT_DEATH(tm::run(atomicAttr,
+                         [](tm::TxDesc &tx) { tm::unsafeOp(tx, "io"); }),
+                 "atomic transaction");
+}
+
+TEST_F(SerializationTest, StartSerialAtomicAttrIsFatal)
+{
+    static const tm::TxnAttr bad{"ser:bad", tm::TxnKind::Atomic, true};
+    EXPECT_DEATH(tm::run(bad, [](tm::TxDesc &) {}), "start-serial");
+}
+
+TEST_F(SerializationTest, NoLockModeForbidsSerialization)
+{
+    useRuntime(tm::AlgoKind::GccEager, tm::CmKind::NoCM,
+               /*serial_lock=*/false);
+    EXPECT_DEATH(tm::run(relaxedAttr,
+                         [](tm::TxDesc &tx) { tm::unsafeOp(tx, "io"); }),
+                 "NoLock");
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST_F(SerializationTest, NoLockRejectsSerialAfterNConfig)
+{
+    tm::RuntimeCfg cfg;
+    cfg.useSerialLock = false;
+    cfg.cm = tm::CmKind::SerialAfterN;
+    EXPECT_DEATH(tm::Runtime::get().configure(cfg), "SerialAfterN");
+}
+
+TEST_F(SerializationTest, SafeRelaxedTransactionStaysSpeculative)
+{
+    static std::uint64_t cell = 0;
+    tm::run(relaxedAttr, [](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &cell, 9);
+        EXPECT_EQ(tx.state, tm::RunState::Speculative);
+    });
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.serialCommits, 0u);
+    EXPECT_EQ(snap.total.inflightSwitch, 0u);
+}
+
+TEST_F(SerializationTest, UnannotatedCallSafeWhenInferenceOn)
+{
+    // GCC infers safety of functions whose bodies it sees; the paper's
+    // explanation for why the callable annotation changed nothing.
+    tm::run(relaxedAttr, [](tm::TxDesc &tx) {
+        tm::noteCall(tx, tm::FnAttr::Unannotated, "helper");
+        EXPECT_EQ(tx.state, tm::RunState::Speculative);
+    });
+}
+
+TEST_F(SerializationTest, UnannotatedCallSerializesWithoutInference)
+{
+    tm::RuntimeCfg cfg;
+    cfg.inferCallableSafety = false;
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+    tm::run(relaxedAttr, [](tm::TxDesc &tx) {
+        tm::noteCall(tx, tm::FnAttr::Unannotated, "helper");
+        EXPECT_EQ(tx.state, tm::RunState::SerialIrrevocable);
+    });
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.inflightSwitch, 1u);
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST_F(SerializationTest, CallableAnnotationAvoidsSerialization)
+{
+    tm::RuntimeCfg cfg;
+    cfg.inferCallableSafety = false;
+    tm::Runtime::get().configure(cfg);
+    tm::run(relaxedAttr, [](tm::TxDesc &tx) {
+        tm::noteCall(tx, tm::FnAttr::Callable, "helper");
+        tm::noteCall(tx, tm::FnAttr::Safe, "helper2");
+        tm::noteCall(tx, tm::FnAttr::Pure, "helper3");
+        EXPECT_EQ(tx.state, tm::RunState::Speculative);
+    });
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST_F(SerializationTest, SerialAlgoRunsEverythingSerially)
+{
+    useRuntime(tm::AlgoKind::Serial);
+    static std::uint64_t cell = 0;
+    tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        EXPECT_EQ(tx.state, tm::RunState::SerialIrrevocable);
+        tm::txStore<std::uint64_t>(tx, &cell, 4);
+    });
+    EXPECT_EQ(cell, 4u);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.serialCommits, 1u);
+    // Config-forced serial mode is not a serialization *cause*.
+    EXPECT_EQ(snap.total.startSerial, 0u);
+    useRuntime(tm::AlgoKind::GccEager);
+}
+
+TEST_F(SerializationTest, SerialTransactionExcludesSpeculation)
+{
+    // While a relaxed txn is irrevocable, a speculative txn in another
+    // thread must not begin (readers/writer lock semantics).
+    static std::atomic<int> phase{0};
+    static std::uint64_t cell = 0;
+    cell = 0;
+
+    std::thread other([&] {
+        while (phase.load() != 1)
+            std::this_thread::yield();
+        tm::run(atomicAttr, [&](tm::TxDesc &tx) {
+            // This begin must block until the serial txn finished.
+            EXPECT_EQ(phase.load(), 2);
+            tm::txStore<std::uint64_t>(tx, &cell,
+                                       tm::txLoad(tx, &cell) + 1);
+        });
+    });
+
+    tm::run(startSerialAttr, [&](tm::TxDesc &tx) {
+        phase.store(1);
+        // Give the other thread ample chance to (incorrectly) start.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        tm::txStore<std::uint64_t>(tx, &cell, tm::txLoad(tx, &cell) + 1);
+        phase.store(2);
+    });
+    other.join();
+    EXPECT_EQ(cell, 2u);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Stress and failure-injection tests for the TM runtime: orec-hash
+ * collisions, randomized abort injection, redo-log pressure, and
+ * allocation under repeated aborts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "tm/api.h"
+#include "tm/orec.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr attr{"stress:txn", tm::TxnKind::Atomic, false};
+
+class StressTest : public ::testing::TestWithParam<tm::AlgoKind>
+{
+  protected:
+    void SetUp() override { useRuntime(GetParam(), tm::CmKind::NoCM); }
+};
+
+TEST_P(StressTest, CollidingOrecAddressesStayCorrect)
+{
+    // Find two distinct word addresses in one buffer that share an
+    // ownership record, then hammer both from one transaction (the
+    // lock acquisition must be idempotent) and from racing threads.
+    auto &orecs = tm::Runtime::get().orecs();
+    static std::vector<std::uint64_t> buf;
+    buf.assign(1 << 16, 0);
+
+    std::size_t a = 0, b = 0;
+    bool found = false;
+    for (std::size_t i = 1; i < buf.size() && !found; ++i) {
+        if (&orecs.forWord(reinterpret_cast<std::uintptr_t>(&buf[0])) ==
+            &orecs.forWord(reinterpret_cast<std::uintptr_t>(&buf[i]))) {
+            a = 0;
+            b = i;
+            found = true;
+        }
+    }
+    if (!found)
+        GTEST_SKIP() << "no collision in test range";
+
+    // Same-transaction double acquisition.
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &buf[a], 1);
+        tm::txStore<std::uint64_t>(tx, &buf[b], 2);
+        EXPECT_EQ(tm::txLoad(tx, &buf[a]), 1u);
+        EXPECT_EQ(tm::txLoad(tx, &buf[b]), 2u);
+    });
+    EXPECT_EQ(buf[a], 1u);
+    EXPECT_EQ(buf[b], 2u);
+
+    // Cross-thread increments on the colliding pair.
+    constexpr int per = 2000;
+    auto worker = [&](std::size_t target) {
+        for (int i = 0; i < per; ++i) {
+            tm::run(attr, [&](tm::TxDesc &tx) {
+                tm::txStore<std::uint64_t>(
+                    tx, &buf[target], tm::txLoad(tx, &buf[target]) + 1);
+            });
+        }
+    };
+    std::thread t1(worker, a);
+    std::thread t2(worker, b);
+    t1.join();
+    t2.join();
+    EXPECT_EQ(buf[a], 1u + per);
+    EXPECT_EQ(buf[b], 2u + per);
+}
+
+TEST_P(StressTest, RandomAbortInjectionPreservesConservation)
+{
+    if (GetParam() == tm::AlgoKind::Serial)
+        GTEST_SKIP() << "serial transactions cannot abort";
+    constexpr int accounts = 8;
+    static std::int64_t bank[accounts];
+    for (auto &x : bank)
+        x = 100;
+
+    constexpr int threads = 3;
+    constexpr int per = 2000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([t] {
+            XorShift128 rng(31 + t);
+            for (int i = 0; i < per; ++i) {
+                const int from = rng.nextBounded(accounts);
+                const int to = (from + 1 + rng.nextBounded(accounts - 1)) %
+                               accounts;
+                int attempt = 0;
+                tm::run(attr, [&](tm::TxDesc &tx) {
+                    ++attempt;
+                    const auto f = tm::txLoad(tx, &bank[from]);
+                    tm::txStore<std::int64_t>(tx, &bank[from], f - 1);
+                    // Fault injection: fail the first attempt 30% of
+                    // the time, mid-transaction.
+                    if (attempt == 1 && rng.nextDouble() < 0.3)
+                        throw tm::TxAbort{};
+                    const auto g = tm::txLoad(tx, &bank[to]);
+                    tm::txStore<std::int64_t>(tx, &bank[to], g + 1);
+                });
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    std::int64_t total = 0;
+    for (auto x : bank)
+        total += x;
+    EXPECT_EQ(total, accounts * 100);
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_GT(snap.total.aborts, 0u);
+}
+
+TEST_P(StressTest, LargeMixedReadWriteSetsCommit)
+{
+    constexpr int words = 2048;
+    static std::uint64_t region[words];
+    std::memset(region, 0, sizeof(region));
+    // Several rounds of a transaction that reads half the region and
+    // rewrites the other half with merged sub-word stores.
+    for (int round = 1; round <= 3; ++round) {
+        tm::run(attr, [&](tm::TxDesc &tx) {
+            std::uint64_t sum = 0;
+            for (int i = 0; i < words; i += 2)
+                sum += tm::txLoad(tx, &region[i]);
+            for (int i = 1; i < words; i += 2) {
+                auto *bytes = reinterpret_cast<unsigned char *>(&region[i]);
+                tm::txStore<unsigned char>(tx, bytes + (round % 8),
+                                           static_cast<unsigned char>(
+                                               round));
+                tm::txStore<std::uint32_t>(
+                    tx, reinterpret_cast<std::uint32_t *>(bytes) + 1,
+                    static_cast<std::uint32_t>(sum & 0xff));
+            }
+        });
+    }
+    // Odd words carry round-3 byte in some lane.
+    bool any = false;
+    for (int i = 1; i < words; i += 2)
+        any = any || region[i] != 0;
+    EXPECT_TRUE(any);
+}
+
+TEST_P(StressTest, TxMallocReclaimedAcrossAbortStorm)
+{
+    if (GetParam() == tm::AlgoKind::Serial)
+        GTEST_SKIP() << "serial transactions cannot abort";
+    // Each attempt allocates; all but the last must be reclaimed via
+    // the abort list (leak-checked under ASan builds; here we at least
+    // verify the survivor is usable and sized).
+    int attempts = 0;
+    void *survivor = tm::run(attr, [&](tm::TxDesc &tx) {
+        ++attempts;
+        void *p = tm::txMalloc(tx, 128);
+        std::memset(p, attempts, 128);
+        if (attempts < 50)
+            throw tm::TxAbort{};
+        return p;
+    });
+    EXPECT_EQ(attempts, 50);
+    EXPECT_EQ(static_cast<unsigned char *>(survivor)[127], 50);
+    std::free(survivor);
+}
+
+TEST_P(StressTest, ReadHeavyScanWhileWritersChurn)
+{
+    constexpr int words = 512;
+    static std::uint64_t region[words];
+    std::memset(region, 0, sizeof(region));
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+
+    // Writers keep region[i] == region[i+1] for even i.
+    std::thread writer([&] {
+        XorShift128 rng(9);
+        for (int i = 0; i < 4000; ++i) {
+            const int slot =
+                static_cast<int>(rng.nextBounded(words / 2)) * 2;
+            tm::run(attr, [&](tm::TxDesc &tx) {
+                const std::uint64_t v = tm::txLoad(tx, &region[slot]) + 1;
+                tm::txStore<std::uint64_t>(tx, &region[slot], v);
+                tm::txStore<std::uint64_t>(tx, &region[slot + 1], v);
+            });
+        }
+        stop.store(true);
+    });
+    std::thread scanner([&] {
+        while (!stop.load()) {
+            tm::run(attr, [&](tm::TxDesc &tx) {
+                for (int i = 0; i < words; i += 2) {
+                    if (tm::txLoad(tx, &region[i]) !=
+                        tm::txLoad(tx, &region[i + 1]))
+                        torn.store(true);
+                }
+            });
+        }
+    });
+    writer.join();
+    scanner.join();
+    EXPECT_FALSE(torn.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, StressTest,
+    ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
+                      tm::AlgoKind::NOrec, tm::AlgoKind::Serial),
+    [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
+        return tmemc::tests::algoName(info.param);
+    });
+
+} // namespace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the TM test suites: runtime (re)configuration and
+ * the algorithm/CM parameter space for parameterized tests.
+ */
+
+#ifndef TMEMC_TESTS_TM_TEST_UTIL_H
+#define TMEMC_TESTS_TM_TEST_UTIL_H
+
+#include <string>
+#include <tuple>
+
+#include "tm/api.h"
+
+namespace tmemc::tests
+{
+
+/** Configure the global runtime for a test case. */
+inline void
+useRuntime(tm::AlgoKind algo, tm::CmKind cm = tm::CmKind::SerialAfterN,
+           bool serial_lock = true)
+{
+    tm::RuntimeCfg cfg;
+    cfg.algo = algo;
+    cfg.cm = cm;
+    cfg.useSerialLock = serial_lock;
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+}
+
+/** Pretty-printer for parameterized test names. */
+inline std::string
+algoName(tm::AlgoKind a)
+{
+    switch (a) {
+      case tm::AlgoKind::GccEager:
+        return "GccEager";
+      case tm::AlgoKind::Lazy:
+        return "Lazy";
+      case tm::AlgoKind::NOrec:
+        return "NOrec";
+      case tm::AlgoKind::Serial:
+        return "Serial";
+    }
+    return "?";
+}
+
+inline std::string
+cmName(tm::CmKind c)
+{
+    switch (c) {
+      case tm::CmKind::SerialAfterN:
+        return "SerialAfterN";
+      case tm::CmKind::NoCM:
+        return "NoCM";
+      case tm::CmKind::Backoff:
+        return "Backoff";
+      case tm::CmKind::Hourglass:
+        return "Hourglass";
+    }
+    return "?";
+}
+
+} // namespace tmemc::tests
+
+#endif // TMEMC_TESTS_TM_TEST_UTIL_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the marshaling-based conversion and formatting functions
+ * and the transaction-safe realloc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+
+#include <cstring>
+#include <string>
+
+#include "tm/api.h"
+#include "tmsafe/marshal.h"
+#include "tmsafe/tm_alloc.h"
+#include "tmsafe/tm_convert.h"
+#include "tmsafe/tm_format.h"
+
+namespace
+{
+
+using namespace tmemc;
+
+const tm::TxnAttr attr{"tmconvert:test", tm::TxnKind::Atomic, false};
+
+class TmConvertTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+    }
+};
+
+TEST_F(TmConvertTest, IsspaceMatchesLibc)
+{
+    for (int c = 0; c < 256; ++c)
+        EXPECT_EQ(!!tmsafe::tm_isspace(c),
+                  !!std::isspace(static_cast<unsigned char>(c)));
+}
+
+TEST_F(TmConvertTest, StrtolParsesLikeLibc)
+{
+    static char buf[64];
+    const char *cases[] = {"0",       "42",    "-17",      "  123 tail",
+                           "0x1f",    "999999", "-2147483648", "junk"};
+    for (const char *cs : cases) {
+        std::strcpy(buf, cs);
+        char *libc_end = nullptr;
+        const long expect = std::strtol(buf, &libc_end, 10);
+        std::size_t consumed = 0;
+        const long got = tm::run(attr, [&](tm::TxDesc &tx) {
+            return tmsafe::tm_strtol(tx, buf, sizeof(buf), &consumed, 10);
+        });
+        EXPECT_EQ(got, expect) << cs;
+        EXPECT_EQ(consumed, static_cast<std::size_t>(libc_end - buf))
+            << cs;
+    }
+}
+
+TEST_F(TmConvertTest, StrtoullParsesLikeLibc)
+{
+    static char buf[64];
+    const char *cases[] = {"0", "18446744073709551615", "123abc", "7"};
+    for (const char *cs : cases) {
+        std::strcpy(buf, cs);
+        const unsigned long long expect = std::strtoull(buf, nullptr, 10);
+        const unsigned long long got = tm::run(attr, [&](tm::TxDesc &tx) {
+            return tmsafe::tm_strtoull(tx, buf, sizeof(buf), nullptr, 10);
+        });
+        EXPECT_EQ(got, expect) << cs;
+    }
+}
+
+TEST_F(TmConvertTest, AtoiMatches)
+{
+    static char buf[32];
+    std::strcpy(buf, "-451");
+    const int got = tm::run(attr, [&](tm::TxDesc &tx) {
+        return tmsafe::tm_atoi(tx, buf, sizeof(buf));
+    });
+    EXPECT_EQ(got, -451);
+}
+
+TEST_F(TmConvertTest, MaxLenBoundsTheParse)
+{
+    static char buf[32];
+    std::strcpy(buf, "123456");
+    const long got = tm::run(attr, [&](tm::TxDesc &tx) {
+        return tmsafe::tm_strtol(tx, buf, 3, nullptr, 10);
+    });
+    EXPECT_EQ(got, 123);  // Only 3 bytes marshaled.
+}
+
+TEST_F(TmConvertTest, SnprintfUllFormats)
+{
+    static char dst[32];
+    std::memset(dst, 0x7f, sizeof(dst));
+    const int len = tm::run(attr, [&](tm::TxDesc &tx) {
+        return tmsafe::tm_snprintf_ull(tx, dst, sizeof(dst),
+                                       18446744073709551615ull);
+    });
+    EXPECT_EQ(len, 20);
+    EXPECT_STREQ(dst, "18446744073709551615");
+}
+
+TEST_F(TmConvertTest, SnprintfUllTruncatesLikeLibc)
+{
+    static char dst[8];
+    char expect[8];
+    const int elen = std::snprintf(expect, sizeof(expect), "%llu",
+                                   123456789ull);
+    const int len = tm::run(attr, [&](tm::TxDesc &tx) {
+        return tmsafe::tm_snprintf_ull(tx, dst, sizeof(dst), 123456789ull);
+    });
+    EXPECT_EQ(len, elen);
+    EXPECT_STREQ(dst, expect);
+}
+
+TEST_F(TmConvertTest, SnprintfStrMarshalsSharedSource)
+{
+    static char src[32];
+    static char dst[32];
+    std::strcpy(src, "shared-string");
+    const int len = tm::run(attr, [&](tm::TxDesc &tx) {
+        return tmsafe::tm_snprintf_str(tx, dst, sizeof(dst), src,
+                                       sizeof(src));
+    });
+    EXPECT_EQ(len, 13);
+    EXPECT_STREQ(dst, "shared-string");
+}
+
+TEST_F(TmConvertTest, SnprintfStatShapesRow)
+{
+    static char dst[64];
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        tmsafe::tm_snprintf_stat(tx, dst, sizeof(dst), "curr_items", 42);
+    });
+    EXPECT_STREQ(dst, "STAT curr_items 42\r\n");
+}
+
+TEST_F(TmConvertTest, HtonsMatchesSystem)
+{
+    for (std::uint16_t v : {std::uint16_t{0}, std::uint16_t{1},
+                            std::uint16_t{0x1234}, std::uint16_t{0xffff}}) {
+        EXPECT_EQ(tmsafe::tm_htons(v), htons(v));
+        EXPECT_EQ(tmsafe::tm_ntohs(tmsafe::tm_htons(v)), v);
+    }
+}
+
+TEST_F(TmConvertTest, ReallocGrowsAndPreservesContents)
+{
+    static char *shared = nullptr;
+    shared = static_cast<char *>(std::malloc(16));
+    std::memcpy(shared, "0123456789abcdef", 16);
+    char *grown = tm::run(attr, [&](tm::TxDesc &tx) {
+        return static_cast<char *>(
+            tmsafe::tm_realloc(tx, shared, 16, 64));
+    });
+    EXPECT_EQ(std::memcmp(grown, "0123456789abcdef", 16), 0);
+    std::free(grown);
+}
+
+TEST_F(TmConvertTest, ReallocAbortedKeepsOriginal)
+{
+    static char *shared = nullptr;
+    shared = static_cast<char *>(std::malloc(16));
+    std::memcpy(shared, "keepme_keepme_k", 16);
+    int attempts = 0;
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        if (++attempts == 1) {
+            (void)tmsafe::tm_realloc(tx, shared, 16, 64);
+            throw tm::TxAbort{};  // New buffer reclaimed, old kept.
+        }
+    });
+    EXPECT_EQ(std::memcmp(shared, "keepme_keepme_k", 16), 0);
+    std::free(shared);
+}
+
+TEST_F(TmConvertTest, MarshalRoundTrip)
+{
+    static char shared_in[64];
+    static char shared_out[64];
+    std::strcpy(shared_in, "marshal me");
+    tm::run(attr, [&](tm::TxDesc &tx) {
+        char stack[64];
+        tmsafe::marshalIn(tx, stack, shared_in, sizeof(stack));
+        // "Pure" private-memory work:
+        for (char *p = stack; *p; ++p)
+            *p = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(*p)));
+        tmsafe::marshalOut(tx, shared_out, stack, sizeof(stack));
+    });
+    EXPECT_STREQ(shared_out, "MARSHAL ME");
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the memslap-like workload driver: determinism, mix
+ * accounting, and hit-rate behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mc/cache_iface.h"
+#include "tm/api.h"
+#include "workload/memslap.h"
+
+namespace
+{
+
+using namespace tmemc;
+using namespace tmemc::mc;
+using namespace tmemc::workload;
+
+std::unique_ptr<CacheIface>
+freshCache(const char *branch = "Baseline", std::uint32_t threads = 4)
+{
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    Settings s;
+    s.maxBytes = 64 * 1024 * 1024;
+    return makeCache(branch, s, threads);
+}
+
+TEST(Memslap, KeyFormattingIsFixedWidthAndUnique)
+{
+    char a[64];
+    char b[64];
+    formatKey(a, 23, 0, 1);
+    formatKey(b, 23, 0, 2);
+    EXPECT_EQ(std::strlen(a), 23u);
+    EXPECT_EQ(std::strlen(b), 23u);
+    EXPECT_STRNE(a, b);
+    formatKey(b, 23, 1, 1);  // Different thread, same index.
+    EXPECT_STRNE(a, b);
+    formatKey(b, 23, 0, 1);
+    EXPECT_STREQ(a, b);  // Deterministic.
+}
+
+TEST(Memslap, ExecutesExactOpBudget)
+{
+    auto cache = freshCache();
+    MemslapCfg cfg;
+    cfg.concurrency = 3;
+    cfg.executeNumber = 1000;
+    cfg.windowSize = 500;
+    const auto result = runMemslap(*cache, cfg);
+    EXPECT_EQ(result.ops, 3000u);
+    // gets + sets == measured ops + the warm phase's window stores
+    // (default mix has no arith/delete traffic).
+    const auto ts = cache->threadStats();
+    EXPECT_EQ(ts.cmdGet + ts.cmdSet, 3000u + 3 * 500u);
+    EXPECT_GE(ts.cmdSet, 3 * 500u);
+}
+
+TEST(Memslap, WarmWindowMakesGetsHit)
+{
+    auto cache = freshCache();
+    MemslapCfg cfg;
+    cfg.concurrency = 2;
+    cfg.executeNumber = 2000;
+    cfg.windowSize = 1000;
+    const auto result = runMemslap(*cache, cfg);
+    // Every key was preloaded and the cache is big enough: ~no misses.
+    EXPECT_EQ(result.misses, 0u);
+    EXPECT_GT(result.hits, 0u);
+    EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(Memslap, MixFractionsRoughlyHonoured)
+{
+    auto cache = freshCache();
+    MemslapCfg cfg;
+    cfg.concurrency = 2;
+    cfg.executeNumber = 10000;
+    cfg.windowSize = 1000;
+    cfg.setFraction = 0.3;
+    runMemslap(*cache, cfg);
+    const auto ts = cache->threadStats();
+    const double sets =
+        static_cast<double>(ts.cmdSet) - 2 * 1000;  // minus warm phase
+    EXPECT_NEAR(sets / 20000.0, 0.3, 0.02);
+}
+
+TEST(Memslap, ArithAndDeleteMixesExercised)
+{
+    auto cache = freshCache();
+    MemslapCfg cfg;
+    cfg.concurrency = 2;
+    cfg.executeNumber = 5000;
+    cfg.windowSize = 500;
+    cfg.setFraction = 0.2;
+    cfg.arithFraction = 0.1;
+    cfg.deleteFraction = 0.1;
+    runMemslap(*cache, cfg);
+    const auto ts = cache->threadStats();
+    EXPECT_GT(ts.incrHits + ts.incrMisses, 0u);
+    EXPECT_GT(ts.deleteHits + ts.deleteMisses, 0u);
+}
+
+TEST(Memslap, DeterministicAcrossRuns)
+{
+    // Same seed, same branch => identical hit/miss accounting.
+    MemslapCfg cfg;
+    cfg.concurrency = 2;
+    cfg.executeNumber = 3000;
+    cfg.windowSize = 400;
+    cfg.setFraction = 0.2;
+    cfg.seed = 777;
+
+    auto c1 = freshCache();
+    const auto r1 = runMemslap(*c1, cfg);
+    c1.reset();
+    auto c2 = freshCache();
+    const auto r2 = runMemslap(*c2, cfg);
+    EXPECT_EQ(r1.hits, r2.hits);
+    EXPECT_EQ(r1.misses, r2.misses);
+}
+
+TEST(Memslap, ZipfSkewsTowardsHotKeys)
+{
+    auto cache = freshCache();
+    MemslapCfg cfg;
+    cfg.concurrency = 1;
+    cfg.executeNumber = 5000;
+    cfg.windowSize = 1000;
+    cfg.zipfTheta = 0.99;
+    const auto r = runMemslap(*cache, cfg);
+    EXPECT_EQ(r.misses, 0u);  // Still all preloaded.
+}
+
+} // namespace
