@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_callable.dir/bench_ablation_callable.cc.o"
+  "CMakeFiles/bench_ablation_callable.dir/bench_ablation_callable.cc.o.d"
+  "bench_ablation_callable"
+  "bench_ablation_callable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_callable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fused.dir/bench_ext_fused.cc.o"
+  "CMakeFiles/bench_ext_fused.dir/bench_ext_fused.cc.o.d"
+  "bench_ext_fused"
+  "bench_ext_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

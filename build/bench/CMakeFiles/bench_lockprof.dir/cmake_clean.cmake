@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockprof.dir/bench_lockprof.cc.o"
+  "CMakeFiles/bench_lockprof.dir/bench_lockprof.cc.o.d"
+  "bench_lockprof"
+  "bench_lockprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tm.dir/bench_micro_tm.cc.o"
+  "CMakeFiles/bench_micro_tm.dir/bench_micro_tm.cc.o.d"
+  "bench_micro_tm"
+  "bench_micro_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

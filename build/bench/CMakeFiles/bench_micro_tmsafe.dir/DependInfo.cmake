@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_tmsafe.cc" "bench/CMakeFiles/bench_micro_tmsafe.dir/bench_micro_tmsafe.cc.o" "gcc" "bench/CMakeFiles/bench_micro_tmsafe.dir/bench_micro_tmsafe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tmemc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmemc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/tmemc_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tmsafe.dir/bench_micro_tmsafe.cc.o"
+  "CMakeFiles/bench_micro_tmsafe.dir/bench_micro_tmsafe.cc.o.d"
+  "bench_micro_tmsafe"
+  "bench_micro_tmsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tmsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmemc_bench_harness.dir/figure_harness.cc.o"
+  "CMakeFiles/tmemc_bench_harness.dir/figure_harness.cc.o.d"
+  "libtmemc_bench_harness.a"
+  "libtmemc_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmemc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

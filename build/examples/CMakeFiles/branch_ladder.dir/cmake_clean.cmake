@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_ladder.dir/branch_ladder.cpp.o"
+  "CMakeFiles/branch_ladder.dir/branch_ladder.cpp.o.d"
+  "branch_ladder"
+  "branch_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_kv_server.dir/tm_kv_server.cpp.o"
+  "CMakeFiles/tm_kv_server.dir/tm_kv_server.cpp.o.d"
+  "tm_kv_server"
+  "tm_kv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_kv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

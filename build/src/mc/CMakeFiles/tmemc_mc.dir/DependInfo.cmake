@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/binary_protocol.cc" "src/mc/CMakeFiles/tmemc_mc.dir/binary_protocol.cc.o" "gcc" "src/mc/CMakeFiles/tmemc_mc.dir/binary_protocol.cc.o.d"
+  "/root/repo/src/mc/branch.cc" "src/mc/CMakeFiles/tmemc_mc.dir/branch.cc.o" "gcc" "src/mc/CMakeFiles/tmemc_mc.dir/branch.cc.o.d"
+  "/root/repo/src/mc/protocol.cc" "src/mc/CMakeFiles/tmemc_mc.dir/protocol.cc.o" "gcc" "src/mc/CMakeFiles/tmemc_mc.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tm/CMakeFiles/tmemc_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

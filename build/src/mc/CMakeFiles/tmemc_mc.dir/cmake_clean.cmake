@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmemc_mc.dir/binary_protocol.cc.o"
+  "CMakeFiles/tmemc_mc.dir/binary_protocol.cc.o.d"
+  "CMakeFiles/tmemc_mc.dir/branch.cc.o"
+  "CMakeFiles/tmemc_mc.dir/branch.cc.o.d"
+  "CMakeFiles/tmemc_mc.dir/protocol.cc.o"
+  "CMakeFiles/tmemc_mc.dir/protocol.cc.o.d"
+  "libtmemc_mc.a"
+  "libtmemc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmemc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

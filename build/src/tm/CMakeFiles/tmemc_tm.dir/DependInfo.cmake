@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/algo_gcc.cc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_gcc.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_gcc.cc.o.d"
+  "/root/repo/src/tm/algo_lazy.cc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_lazy.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_lazy.cc.o.d"
+  "/root/repo/src/tm/algo_norec.cc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_norec.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_norec.cc.o.d"
+  "/root/repo/src/tm/algo_serial.cc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_serial.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/algo_serial.cc.o.d"
+  "/root/repo/src/tm/cm.cc" "src/tm/CMakeFiles/tmemc_tm.dir/cm.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/cm.cc.o.d"
+  "/root/repo/src/tm/runtime.cc" "src/tm/CMakeFiles/tmemc_tm.dir/runtime.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/runtime.cc.o.d"
+  "/root/repo/src/tm/stats.cc" "src/tm/CMakeFiles/tmemc_tm.dir/stats.cc.o" "gcc" "src/tm/CMakeFiles/tmemc_tm.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

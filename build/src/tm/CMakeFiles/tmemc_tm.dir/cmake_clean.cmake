@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmemc_tm.dir/algo_gcc.cc.o"
+  "CMakeFiles/tmemc_tm.dir/algo_gcc.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/algo_lazy.cc.o"
+  "CMakeFiles/tmemc_tm.dir/algo_lazy.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/algo_norec.cc.o"
+  "CMakeFiles/tmemc_tm.dir/algo_norec.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/algo_serial.cc.o"
+  "CMakeFiles/tmemc_tm.dir/algo_serial.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/cm.cc.o"
+  "CMakeFiles/tmemc_tm.dir/cm.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/runtime.cc.o"
+  "CMakeFiles/tmemc_tm.dir/runtime.cc.o.d"
+  "CMakeFiles/tmemc_tm.dir/stats.cc.o"
+  "CMakeFiles/tmemc_tm.dir/stats.cc.o.d"
+  "libtmemc_tm.a"
+  "libtmemc_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmemc_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

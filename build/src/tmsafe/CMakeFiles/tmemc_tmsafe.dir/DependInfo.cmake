@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmsafe/tm_alloc.cc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_alloc.cc.o" "gcc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_alloc.cc.o.d"
+  "/root/repo/src/tmsafe/tm_convert.cc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_convert.cc.o" "gcc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_convert.cc.o.d"
+  "/root/repo/src/tmsafe/tm_format.cc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_format.cc.o" "gcc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_format.cc.o.d"
+  "/root/repo/src/tmsafe/tm_string.cc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_string.cc.o" "gcc" "src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/tm_string.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tm/CMakeFiles/tmemc_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmemc_tmsafe.dir/tm_alloc.cc.o"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_alloc.cc.o.d"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_convert.cc.o"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_convert.cc.o.d"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_format.cc.o"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_format.cc.o.d"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_string.cc.o"
+  "CMakeFiles/tmemc_tmsafe.dir/tm_string.cc.o.d"
+  "libtmemc_tmsafe.a"
+  "libtmemc_tmsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmemc_tmsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmemc_workload.dir/memslap.cc.o"
+  "CMakeFiles/tmemc_workload.dir/memslap.cc.o.d"
+  "libtmemc_workload.a"
+  "libtmemc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmemc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

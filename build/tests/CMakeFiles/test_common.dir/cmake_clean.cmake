@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_backoff.cc.o"
+  "CMakeFiles/test_common.dir/common/test_backoff.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

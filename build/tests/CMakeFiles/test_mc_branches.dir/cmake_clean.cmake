@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_branches.dir/mc/test_cache_branches.cc.o"
+  "CMakeFiles/test_mc_branches.dir/mc/test_cache_branches.cc.o.d"
+  "test_mc_branches"
+  "test_mc_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

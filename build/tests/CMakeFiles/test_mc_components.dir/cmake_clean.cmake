@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_components.dir/mc/test_components.cc.o"
+  "CMakeFiles/test_mc_components.dir/mc/test_components.cc.o.d"
+  "test_mc_components"
+  "test_mc_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_concurrent.dir/mc/test_cache_concurrent.cc.o"
+  "CMakeFiles/test_mc_concurrent.dir/mc/test_cache_concurrent.cc.o.d"
+  "test_mc_concurrent"
+  "test_mc_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_oracle.dir/mc/test_model_oracle.cc.o"
+  "CMakeFiles/test_model_oracle.dir/mc/test_model_oracle.cc.o.d"
+  "test_model_oracle"
+  "test_model_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/mc/test_binary_protocol.cc.o"
+  "CMakeFiles/test_protocol.dir/mc/test_binary_protocol.cc.o.d"
+  "CMakeFiles/test_protocol.dir/mc/test_protocol.cc.o"
+  "CMakeFiles/test_protocol.dir/mc/test_protocol.cc.o.d"
+  "CMakeFiles/test_protocol.dir/mc/test_protocol_fuzz.cc.o"
+  "CMakeFiles/test_protocol.dir/mc/test_protocol_fuzz.cc.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

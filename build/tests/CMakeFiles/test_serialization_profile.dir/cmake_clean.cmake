@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialization_profile.dir/mc/test_serialization_profile.cc.o"
+  "CMakeFiles/test_serialization_profile.dir/mc/test_serialization_profile.cc.o.d"
+  "test_serialization_profile"
+  "test_serialization_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialization_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

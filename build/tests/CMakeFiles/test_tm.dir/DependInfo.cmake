@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tm/test_algos.cc" "tests/CMakeFiles/test_tm.dir/tm/test_algos.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_algos.cc.o.d"
+  "/root/repo/tests/tm/test_api.cc" "tests/CMakeFiles/test_tm.dir/tm/test_api.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_api.cc.o.d"
+  "/root/repo/tests/tm/test_cm.cc" "tests/CMakeFiles/test_tm.dir/tm/test_cm.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_cm.cc.o.d"
+  "/root/repo/tests/tm/test_handlers.cc" "tests/CMakeFiles/test_tm.dir/tm/test_handlers.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_handlers.cc.o.d"
+  "/root/repo/tests/tm/test_redo_log.cc" "tests/CMakeFiles/test_tm.dir/tm/test_redo_log.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_redo_log.cc.o.d"
+  "/root/repo/tests/tm/test_retry.cc" "tests/CMakeFiles/test_tm.dir/tm/test_retry.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_retry.cc.o.d"
+  "/root/repo/tests/tm/test_serial_lock.cc" "tests/CMakeFiles/test_tm.dir/tm/test_serial_lock.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_serial_lock.cc.o.d"
+  "/root/repo/tests/tm/test_serialization.cc" "tests/CMakeFiles/test_tm.dir/tm/test_serialization.cc.o" "gcc" "tests/CMakeFiles/test_tm.dir/tm/test_serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tmemc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmemc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/tmemc_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

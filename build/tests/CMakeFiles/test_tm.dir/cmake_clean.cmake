@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tm.dir/tm/test_algos.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_algos.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_api.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_api.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_cm.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_cm.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_handlers.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_handlers.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_redo_log.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_redo_log.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_retry.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_retry.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_serial_lock.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_serial_lock.cc.o.d"
+  "CMakeFiles/test_tm.dir/tm/test_serialization.cc.o"
+  "CMakeFiles/test_tm.dir/tm/test_serialization.cc.o.d"
+  "test_tm"
+  "test_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

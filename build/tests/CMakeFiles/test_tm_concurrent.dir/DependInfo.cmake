@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tm/test_atomicity.cc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_atomicity.cc.o" "gcc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_atomicity.cc.o.d"
+  "/root/repo/tests/tm/test_privatization.cc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_privatization.cc.o" "gcc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_privatization.cc.o.d"
+  "/root/repo/tests/tm/test_stress.cc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_stress.cc.o" "gcc" "tests/CMakeFiles/test_tm_concurrent.dir/tm/test_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tmemc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmemc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmsafe/CMakeFiles/tmemc_tmsafe.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/tmemc_tm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_atomicity.cc.o"
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_atomicity.cc.o.d"
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_privatization.cc.o"
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_privatization.cc.o.d"
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_stress.cc.o"
+  "CMakeFiles/test_tm_concurrent.dir/tm/test_stress.cc.o.d"
+  "test_tm_concurrent"
+  "test_tm_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tm_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmsafe.dir/tmsafe/test_tm_convert.cc.o"
+  "CMakeFiles/test_tmsafe.dir/tmsafe/test_tm_convert.cc.o.d"
+  "CMakeFiles/test_tmsafe.dir/tmsafe/test_tm_string.cc.o"
+  "CMakeFiles/test_tmsafe.dir/tmsafe/test_tm_string.cc.o.d"
+  "test_tmsafe"
+  "test_tmsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tm "/root/repo/build/tests/test_tm")
+set_tests_properties(test_tm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tm_concurrent "/root/repo/build/tests/test_tm_concurrent")
+set_tests_properties(test_tm_concurrent PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;27;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tmsafe "/root/repo/build/tests/test_tmsafe")
+set_tests_properties(test_tmsafe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mc_components "/root/repo/build/tests/test_mc_components")
+set_tests_properties(test_mc_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;40;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mc_branches "/root/repo/build/tests/test_mc_branches")
+set_tests_properties(test_mc_branches PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;44;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mc_concurrent "/root/repo/build/tests/test_mc_concurrent")
+set_tests_properties(test_mc_concurrent PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;48;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_serialization_profile "/root/repo/build/tests/test_serialization_profile")
+set_tests_properties(test_serialization_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;52;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_protocol "/root/repo/build/tests/test_protocol")
+set_tests_properties(test_protocol PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;56;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model_oracle "/root/repo/build/tests/test_model_oracle")
+set_tests_properties(test_model_oracle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;62;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_soak "/root/repo/build/tests/test_soak")
+set_tests_properties(test_soak PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;66;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;70;tmemc_add_test;/root/repo/tests/CMakeLists.txt;0;")
