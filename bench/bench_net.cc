@@ -1,0 +1,168 @@
+/**
+ * @file
+ * bench_net: the paper's measurement topology, restored — memslap
+ * over loopback TCP against the served cache, side by side with the
+ * in-process drive the figure harness uses.
+ *
+ * For each worker-thread count, the same fixed workload (memslap
+ * defaults: 9:1 get:set, fixed-size keys/values, per-thread key
+ * windows) runs twice against a fresh cache of the chosen branch:
+ * once in-process and once through the epoll server with as many
+ * event loops as client threads. The gap between the two columns is
+ * the cost of the network stack — the layer the paper deliberately
+ * kept on-machine so it would not hide TM latency.
+ *
+ * Exits nonzero if any response is lost or the server's served-count
+ * disagrees with the number of requests sent, so CI can run it as a
+ * correctness gate as well as a benchmark.
+ *
+ * Usage: bench_net [--branch NAME] [--ops N] [--window N]
+ *                  [--threads a,b,c] [--ascii]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mc/cache_iface.h"
+#include "net/server.h"
+#include "tm/api.h"
+#include "workload/memslap.h"
+
+namespace
+{
+
+std::vector<std::uint32_t>
+parseThreadList(const char *arg)
+{
+    std::vector<std::uint32_t> out;
+    const char *p = arg;
+    while (*p != '\0') {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p)
+            break;
+        if (v > 0)
+            out.push_back(static_cast<std::uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc;
+
+    std::string branch = "IT-onCommit";
+    std::uint64_t ops = 10000;
+    std::uint64_t window = 2000;
+    std::vector<std::uint32_t> threads{1, 4, 8};
+    bool binary = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--branch")
+            branch = next();
+        else if (a == "--ops")
+            ops = std::strtoull(next(), nullptr, 10);
+        else if (a == "--window")
+            window = std::strtoull(next(), nullptr, 10);
+        else if (a == "--threads")
+            threads = parseThreadList(next());
+        else if (a == "--ascii")
+            binary = false;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--branch NAME] [--ops N] "
+                         "[--window N] [--threads a,b,c] [--ascii]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("bench_net: branch=%s protocol=%s ops/thread=%llu "
+                "window=%llu\n",
+                branch.c_str(), binary ? "binary" : "ascii",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(window));
+    std::printf("%8s %16s %16s %8s %6s\n", "threads", "inproc ops/s",
+                "loopback ops/s", "net/ip", "lost");
+
+    bool ok = true;
+    for (const std::uint32_t n : threads) {
+        workload::MemslapCfg cfg;
+        cfg.concurrency = n;
+        cfg.executeNumber = ops;
+        cfg.windowSize = window;
+        cfg.binaryProtocol = binary;
+
+        // ----- In-process ------------------------------------------------
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        mc::Settings settings;
+        settings.maxBytes = 64 * 1024 * 1024;
+        auto cache = mc::makeCache(branch, settings, n);
+        if (cache == nullptr) {
+            std::fprintf(stderr, "unknown branch '%s'\n",
+                         branch.c_str());
+            return 2;
+        }
+        const workload::MemslapResult inproc =
+            workload::runMemslap(*cache, cfg);
+
+        // ----- Over loopback, fresh cache, N event loops -----------------
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        cache = mc::makeCache(branch, settings, n);
+        net::ServerCfg scfg;
+        scfg.port = 0;
+        scfg.workers = n;
+        net::Server server(*cache, scfg);
+        if (!server.start()) {
+            std::fprintf(stderr, "server start failed\n");
+            return 1;
+        }
+        cfg.serverPort = server.port();
+        const workload::MemslapResult net =
+            workload::runMemslapNet(cfg);
+        server.stop();
+
+        const std::uint64_t sent =
+            static_cast<std::uint64_t>(n) * (window + ops);
+        const std::uint64_t served = server.requestsServed();
+        // stop() folded every connection's count into the loops
+        // before they were destroyed, so served is final here.
+        const bool row_ok =
+            net.lostResponses == 0 && served == sent;
+        ok = ok && row_ok;
+
+        std::printf("%8u %16.0f %16.0f %7.2fx %6llu%s\n", n,
+                    inproc.opsPerSecond(), net.opsPerSecond(),
+                    net.opsPerSecond() > 0
+                        ? inproc.opsPerSecond() / net.opsPerSecond()
+                        : 0.0,
+                    static_cast<unsigned long long>(
+                        net.lostResponses),
+                    row_ok ? "" : "  [MISMATCH]");
+        if (!row_ok) {
+            std::fprintf(stderr,
+                         "  served=%llu sent=%llu lost=%llu\n",
+                         static_cast<unsigned long long>(served),
+                         static_cast<unsigned long long>(sent),
+                         static_cast<unsigned long long>(
+                             net.lostResponses));
+        }
+    }
+    if (!ok) {
+        std::fprintf(stderr, "bench_net: FAILED (lost responses or "
+                             "served/sent mismatch)\n");
+        return 1;
+    }
+    std::printf("bench_net: OK (zero lost responses)\n");
+    return 0;
+}

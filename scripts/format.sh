@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Format helper for the repo's .clang-format (gem5 style).
+#
+#   scripts/format.sh                 # reformat every tracked C++ file
+#   scripts/format.sh --check         # dry-run -Werror over the tree
+#   scripts/format.sh --check-diff R  # dry-run -Werror over files that
+#                                     # changed since merge-base with R
+#
+# CLANG_FORMAT overrides the binary (e.g. CLANG_FORMAT=clang-format-18).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null; then
+    echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=...)" >&2
+    exit 1
+fi
+
+mode="apply"
+ref=""
+case "${1:-}" in
+    --check) mode="check" ;;
+    --check-diff)
+        mode="check"
+        ref="${2:?--check-diff needs a ref}"
+        ;;
+    "") ;;
+    *)
+        echo "usage: $0 [--check | --check-diff <ref>]" >&2
+        exit 2
+        ;;
+esac
+
+if [[ -n "$ref" ]]; then
+    base="$(git merge-base "$ref" HEAD)"
+    mapfile -t files < <(git diff --name-only --diff-filter=ACMR \
+        "$base" -- '*.cc' '*.h' '*.cpp')
+else
+    mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "format.sh: no C++ files to check"
+    exit 0
+fi
+
+echo "format.sh: ${mode} on ${#files[@]} files with $($CLANG_FORMAT --version)"
+if [[ "$mode" == "check" ]]; then
+    "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+else
+    "$CLANG_FORMAT" -i "${files[@]}"
+fi

@@ -207,6 +207,41 @@ binParseResponse(const std::string &wire, BinResponse &out)
     return kBinHeaderSize + h.bodyLength;
 }
 
+FrameResult
+binaryTryFrame(const std::uint8_t *data, std::size_t len)
+{
+    FrameResult r;
+    if (len == 0)
+        return r;  // NeedMore.
+    if (data[0] != static_cast<std::uint8_t>(BinMagic::Request)) {
+        r.status = FrameStatus::Error;
+        r.error = "bad magic";
+        return r;
+    }
+    if (len < kBinHeaderSize)
+        return r;  // NeedMore.
+    BinHeader h;
+    binDecodeHeader(data, h);
+    if (h.bodyLength > kBinMaxBodyBytes) {
+        r.status = FrameStatus::Error;
+        r.error = "body too large";
+        return r;
+    }
+    if (h.keyLength > kBinMaxKeyBytes ||
+        static_cast<std::uint32_t>(h.extrasLength) + h.keyLength >
+            h.bodyLength) {
+        r.status = FrameStatus::Error;
+        r.error = "inconsistent lengths";
+        return r;
+    }
+    const std::size_t want = kBinHeaderSize + h.bodyLength;
+    if (len < want)
+        return r;  // NeedMore.
+    r.status = FrameStatus::Ready;
+    r.frameLen = want;
+    return r;
+}
+
 std::string
 binaryExecute(CacheIface &cache, std::uint32_t worker,
               const std::string &request)

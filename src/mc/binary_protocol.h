@@ -22,6 +22,7 @@
 #include <string>
 
 #include "mc/cache_iface.h"
+#include "mc/protocol.h"
 
 namespace tmemc::mc
 {
@@ -134,6 +135,22 @@ std::size_t binParseResponse(const std::string &wire, BinResponse &out);
  */
 std::string binaryExecute(CacheIface &cache, std::uint32_t worker,
                           const std::string &request);
+
+/** Largest accepted binary request body (extras + key + value). */
+constexpr std::size_t kBinMaxBodyBytes = 8 * 1024 * 1024 + 1024;
+
+/** Longest key the binary protocol accepts (memcached KEY_MAX). */
+constexpr std::size_t kBinMaxKeyBytes = 250;
+
+/**
+ * Scan @p len buffered bytes for one complete binary request frame.
+ * Mirrors protocolTryFrame (protocol.h) for the binary wire format:
+ * never consumes, never blocks. Error cases: wrong magic, a body
+ * larger than kBinMaxBodyBytes, a key longer than kBinMaxKeyBytes, or
+ * length fields that disagree — all unrecoverable on a byte stream
+ * because resynchronization is impossible.
+ */
+FrameResult binaryTryFrame(const std::uint8_t *data, std::size_t len);
 
 } // namespace tmemc::mc
 

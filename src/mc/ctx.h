@@ -125,6 +125,11 @@ struct PlainCtx
     }
 
     // -- volatile maintenance flags -------------------------------------
+    // The legacy code's volatile flag accesses are rendered as relaxed
+    // atomics: identical codegen for aligned words, but a defined
+    // program under the C++ memory model, so the race-detection
+    // discipline (TSan CI) checks the rest of the system instead of
+    // drowning in the flags memcached always raced on.
     template <typename T>
     T
     volatileLoad(const T *p) const
@@ -136,7 +141,9 @@ struct PlainCtx
             return tm::run(attr,
                            [&](tm::TxDesc &tx) { return tm::txLoad(tx, p); });
         } else {
-            return *const_cast<const volatile T *>(p);
+            T out;
+            __atomic_load(const_cast<T *>(p), &out, __ATOMIC_RELAXED);
+            return out;
         }
     }
 
@@ -149,7 +156,7 @@ struct PlainCtx
                                           tm::TxnKind::Atomic, false};
             tm::run(attr, [&](tm::TxDesc &tx) { tm::txStore(tx, p, v); });
         } else {
-            *const_cast<volatile T *>(p) = v;
+            __atomic_store(p, &v, __ATOMIC_RELAXED);
         }
     }
 
@@ -311,7 +318,9 @@ struct TmCtx
     {
         if constexpr (C.isUnsafe(UnsafeCat::Volatile)) {
             tm::unsafeOp(tx, "volatile-read");
-            return *const_cast<const volatile T *>(p);
+            T out;
+            __atomic_load(const_cast<T *>(p), &out, __ATOMIC_RELAXED);
+            return out;
         } else {
             return tm::txLoad(tx, p);
         }
@@ -323,7 +332,7 @@ struct TmCtx
     {
         if constexpr (C.isUnsafe(UnsafeCat::Volatile)) {
             tm::unsafeOp(tx, "volatile-write");
-            *const_cast<volatile T *>(p) = v;
+            __atomic_store(p, &v, __ATOMIC_RELAXED);
         } else {
             tm::txStore(tx, p, v);
         }

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <vector>
 
 #include "mc/ctx.h"
@@ -65,6 +66,92 @@ storeReply(OpStatus st)
 }
 
 } // namespace
+
+FrameResult
+protocolTryFrame(const char *data, std::size_t len)
+{
+    FrameResult r;
+    const char *eol = static_cast<const char *>(
+        std::memchr(data, '\n', std::min(len, kMaxCommandLine + 1)));
+    if (eol == nullptr) {
+        if (len > kMaxCommandLine) {
+            r.status = FrameStatus::Error;
+            r.error = "CLIENT_ERROR line too long\r\n";
+            return r;
+        }
+        return r;  // NeedMore.
+    }
+    const std::size_t line_len =
+        static_cast<std::size_t>(eol - data) + 1;
+    if (line_len > kMaxCommandLine) {
+        r.status = FrameStatus::Error;
+        r.error = "CLIENT_ERROR line too long\r\n";
+        return r;
+    }
+
+    // Storage commands carry <bytes> of data after the line. Token 4
+    // (or token 4 of 6 for cas) is the byte count in all of them:
+    //   set|add|replace|cas|append|prepend <key> <flags> <exp> <bytes> ...
+    const char *p = data;
+    const char *line_end = data + line_len;
+    auto next_token = [&](const char *&tok, std::size_t &tok_len) {
+        while (p < line_end &&
+               std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        tok = p;
+        while (p < line_end &&
+               !std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        tok_len = static_cast<std::size_t>(p - tok);
+        return tok_len > 0;
+    };
+    const char *cmd;
+    std::size_t cmd_len;
+    if (!next_token(cmd, cmd_len)) {
+        // Bare newline: a one-line (empty) request; execute() will
+        // answer ERROR.
+        r.status = FrameStatus::Ready;
+        r.frameLen = line_len;
+        return r;
+    }
+    const std::string_view c(cmd, cmd_len);
+    const bool storage = c == "set" || c == "add" || c == "replace" ||
+                         c == "cas" || c == "append" || c == "prepend";
+    if (!storage) {
+        r.status = FrameStatus::Ready;
+        r.frameLen = line_len;
+        return r;
+    }
+
+    const char *tok = nullptr;
+    std::size_t tok_len = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (!next_token(tok, tok_len)) {
+            // Malformed storage line (missing <bytes>); frame it as
+            // the line alone so execute() can reply ERROR.
+            r.status = FrameStatus::Ready;
+            r.frameLen = line_len;
+            return r;
+        }
+    }
+    char numbuf[32];
+    const std::size_t n = std::min(tok_len, sizeof(numbuf) - 1);
+    std::memcpy(numbuf, tok, n);
+    numbuf[n] = '\0';
+    char *end = nullptr;
+    const unsigned long long bytes = std::strtoull(numbuf, &end, 10);
+    if (end == numbuf || bytes > kMaxBodyBytes) {
+        r.status = FrameStatus::Error;
+        r.error = "SERVER_ERROR object too large for cache\r\n";
+        return r;
+    }
+    const std::size_t want = line_len + bytes + 2;  // Data + CRLF.
+    if (len < want)
+        return r;  // NeedMore.
+    r.status = FrameStatus::Ready;
+    r.frameLen = want;
+    return r;
+}
 
 std::string
 protocolExecute(CacheIface &cache, std::uint32_t worker,

@@ -39,6 +39,45 @@ namespace tmemc::mc
 std::string protocolExecute(CacheIface &cache, std::uint32_t worker,
                             const std::string &request);
 
+// ----------------------------------------------------------------------
+// Streaming framing
+// ----------------------------------------------------------------------
+
+/** Longest accepted command line, memcached's conn buffer default. */
+constexpr std::size_t kMaxCommandLine = 2048;
+
+/** Largest accepted storage-body byte count (memcached -I ceiling). */
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+/** Outcome of scanning a connection buffer for one request. */
+enum class FrameStatus
+{
+    NeedMore,  //!< Buffer holds only a prefix; read more bytes.
+    Ready,     //!< A complete request of frameLen bytes is present.
+    Error,     //!< Malformed beyond recovery; reply and close.
+};
+
+/** Result of protocolTryFrame / binary framing. */
+struct FrameResult
+{
+    FrameStatus status = FrameStatus::NeedMore;
+    std::size_t frameLen = 0;   //!< Valid when status == Ready.
+    const char *error = nullptr; //!< Reply line when status == Error.
+};
+
+/**
+ * Scan @p len buffered bytes for one complete text-protocol request.
+ *
+ * Storage commands (set/add/replace/cas/append/prepend) span the
+ * command line plus <bytes> of data plus the trailing CRLF; all other
+ * commands are exactly one line. The scan never blocks and never
+ * consumes: callers slice frameLen bytes off their buffer when the
+ * status is Ready. A command line longer than kMaxCommandLine or a
+ * body larger than kMaxBodyBytes yields Error with a CLIENT_ERROR
+ * reply text, matching memcached's "line too long" handling.
+ */
+FrameResult protocolTryFrame(const char *data, std::size_t len);
+
 } // namespace tmemc::mc
 
 #endif // TMEMC_MC_PROTOCOL_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Blocking TCP client for the memcached protocols — the socket-backed
+ * counterpart of driving CacheIface in-process. Used by the memslap
+ * network mode, bench_net, and the server tests.
+ *
+ * The client frames *responses*: ASCII replies have no length prefix,
+ * so recvAscii() recognizes every reply shape the server produces
+ * (VALUE...END blocks, STAT...END blocks, single lines); binary
+ * replies are framed by their 24-byte header. asciiResponseTryFrame
+ * is exposed for the streaming tests.
+ */
+
+#ifndef TMEMC_NET_CLIENT_H
+#define TMEMC_NET_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "mc/protocol.h"
+
+namespace tmemc::net
+{
+
+/**
+ * Scan @p len bytes for one complete ASCII response. Same contract
+ * as mc::protocolTryFrame: non-consuming, NeedMore on a prefix.
+ */
+mc::FrameResult asciiResponseTryFrame(const char *data, std::size_t len);
+
+/** Blocking memcached client over one TCP connection. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to host:port. @return false on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    bool isConnected() const { return fd_ >= 0; }
+    void close();
+
+    /** Send all of @p bytes. @return false on socket error. */
+    bool sendAll(const std::string &bytes);
+
+    /** Receive one complete ASCII response. @return false on EOF/error. */
+    bool recvAscii(std::string &out);
+
+    /** Receive one complete binary response frame. */
+    bool recvBinary(std::string &out);
+
+    /** Convenience: send an ASCII request, return its reply ("" on error). */
+    std::string roundTripAscii(const std::string &request);
+
+    /** Convenience: send a binary request frame, return the response. */
+    std::string roundTripBinary(const std::string &frame);
+
+  private:
+    /** Read once into the buffer. @return false on EOF or error. */
+    bool fill();
+
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace tmemc::net
+
+#endif // TMEMC_NET_CLIENT_H

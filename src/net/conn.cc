@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Connection state machine implementation.
+ */
+
+#include "net/conn.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mc/binary_protocol.h"
+#include "mc/protocol.h"
+
+namespace tmemc::net
+{
+
+namespace
+{
+
+/** Hard ceiling on buffered unparsed bytes (slowloris guard). */
+constexpr std::size_t kMaxReadBuffer =
+    tmemc::mc::kMaxBodyBytes + tmemc::mc::kMaxCommandLine + 2;
+
+} // namespace
+
+Conn::Conn(int fd, std::uint64_t id) : fd_(fd), id_(id) {}
+
+Conn::~Conn()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Conn::onReadable(std::uint32_t worker, const ExecFn &exec)
+{
+    char chunk[16 * 1024];
+    if (draining_)
+        return discardInput();
+
+    bool saw_eof = false;
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            rbuf_.append(chunk, static_cast<std::size_t>(n));
+            if (rbuf_.size() > kMaxReadBuffer)
+                return false;  // Unframeable flood; drop the client.
+            continue;
+        }
+        if (n == 0) {
+            saw_eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;  // ECONNRESET and friends.
+    }
+
+    if (!drainFrames(worker, exec))
+        closing_ = true;
+
+    if (!flush())
+        return false;
+    if (saw_eof) {
+        // A client that half-closed after pipelining still gets its
+        // replies if the kernel buffer takes them; anything the
+        // nonblocking flush could not place is forfeit, as in
+        // memcached's conn_closing.
+        return false;
+    }
+    if (closing_)
+        return beginLingeringClose();
+    return true;
+}
+
+bool
+Conn::onWritable()
+{
+    if (!flush())
+        return false;
+    if (closing_ && !wantsWrite())
+        return beginLingeringClose();
+    return true;
+}
+
+bool
+Conn::beginLingeringClose()
+{
+    if (wantsWrite())
+        return true;  // Keep EPOLLOUT armed until the reply is out.
+    if (!draining_) {
+        // Half-close so the peer reads the reply then a clean FIN;
+        // closing with unread client bytes would RST and can destroy
+        // the reply in the peer's receive buffer. Input is discarded
+        // until the peer's own FIN arrives.
+        ::shutdown(fd_, SHUT_WR);
+        draining_ = true;
+    }
+    return true;
+}
+
+bool
+Conn::discardInput()
+{
+    char chunk[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0)
+            continue;
+        if (n == 0)
+            return false;  // Peer finished; now the close is clean.
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
+{
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < rbuf_.size()) {
+        const bool binary =
+            static_cast<std::uint8_t>(rbuf_[off]) ==
+            static_cast<std::uint8_t>(mc::BinMagic::Request);
+        const mc::FrameResult fr =
+            binary ? mc::binaryTryFrame(
+                         reinterpret_cast<const std::uint8_t *>(
+                             rbuf_.data() + off),
+                         rbuf_.size() - off)
+                   : mc::protocolTryFrame(rbuf_.data() + off,
+                                          rbuf_.size() - off);
+        if (fr.status == mc::FrameStatus::NeedMore)
+            break;
+        if (fr.status == mc::FrameStatus::Error) {
+            // Text clients get the CLIENT_ERROR line; a corrupt
+            // binary stream cannot be re-synchronized, so it just
+            // closes.
+            if (!binary && fr.error != nullptr)
+                wbuf_.append(fr.error);
+            ok = false;
+            break;
+        }
+        const std::string frame = rbuf_.substr(off, fr.frameLen);
+        if (!binary && (frame == "quit\r\n" || frame == "quit\n")) {
+            // memcached's quit: close without a reply.
+            off += fr.frameLen;
+            ok = false;
+            break;
+        }
+        wbuf_ += exec(worker, binary, frame);
+        ++served_;
+        off += fr.frameLen;
+    }
+    if (off == rbuf_.size())
+        rbuf_.clear();
+    else if (off > 0)
+        rbuf_.erase(0, off);
+    return ok;
+}
+
+bool
+Conn::flush()
+{
+    while (woff_ < wbuf_.size()) {
+        const ssize_t n =
+            ::write(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_);
+        if (n > 0) {
+            woff_ += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;  // Event loop will re-arm EPOLLOUT.
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;  // EPIPE etc.: peer is gone.
+    }
+    wbuf_.clear();
+    woff_ = 0;
+    return true;
+}
+
+} // namespace tmemc::net

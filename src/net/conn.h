@@ -1,0 +1,104 @@
+/**
+ * @file
+ * One TCP connection: nonblocking fd, incremental read/write buffers,
+ * and streaming protocol framing.
+ *
+ * memcached's conn state machine (conn_read -> conn_parse_cmd ->
+ * conn_nread -> conn_write) collapses here into two reactive entry
+ * points driven by the owning event loop: onReadable() drains the
+ * socket, carves complete requests out of the read buffer with the
+ * mc framing hooks (protocolTryFrame / binaryTryFrame), executes
+ * them, and queues replies; onWritable() flushes the write buffer.
+ *
+ * Protocol selection follows memcached's sniffing rule: a frame whose
+ * first byte is the binary request magic (0x80) is binary, anything
+ * else is ASCII. Detection happens only at frame boundaries, so
+ * binary value bytes can never be misread as a protocol switch.
+ *
+ * Parsing and reply formatting happen entirely on these private
+ * buffers before any lock or transaction is taken — the same
+ * private-then-shared discipline the paper relies on for htons and
+ * friends (Section 3.4).
+ */
+
+#ifndef TMEMC_NET_CONN_H
+#define TMEMC_NET_CONN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tmemc::net
+{
+
+/**
+ * Execute one complete request frame on worker thread @p worker and
+ * return the wire reply. @p binary distinguishes the two protocols.
+ */
+using ExecFn = std::function<std::string(
+    std::uint32_t worker, bool binary, const std::string &frame)>;
+
+/** A connected client socket owned by one event loop. */
+class Conn
+{
+  public:
+    /** Takes ownership of @p fd (closed on destruction). */
+    Conn(int fd, std::uint64_t id);
+    ~Conn();
+
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    int fd() const { return fd_; }
+    std::uint64_t id() const { return id_; }
+
+    /**
+     * Drain the socket, execute every complete buffered request
+     * (pipelining: one read may yield many frames; a frame may also
+     * arrive over many reads), queue replies, and start flushing.
+     * @return false when the connection is finished (EOF, fatal
+     *         socket error, or a framing error whose reply has been
+     *         flushed) and should be destroyed.
+     */
+    bool onReadable(std::uint32_t worker, const ExecFn &exec);
+
+    /** Continue flushing after EPOLLOUT. @return false when done-for. */
+    bool onWritable();
+
+    /** True while the write buffer holds unsent bytes. */
+    bool wantsWrite() const { return woff_ < wbuf_.size(); }
+
+    /** Requests executed on this connection (served-response count). */
+    std::uint64_t requestsServed() const { return served_; }
+
+  private:
+    /** Execute buffered complete frames; false on fatal frame error. */
+    bool drainFrames(std::uint32_t worker, const ExecFn &exec);
+
+    /** write() until EAGAIN or empty. @return false on socket error. */
+    bool flush();
+
+    /**
+     * Once the goodbye reply is flushed, half-close the socket
+     * (shutdown SHUT_WR) and discard input until the peer's FIN —
+     * memcached's lingering close, which keeps the error reply from
+     * being destroyed by an RST.
+     */
+    bool beginLingeringClose();
+
+    /** Drain-and-discard mode reads. @return false at peer EOF. */
+    bool discardInput();
+
+    int fd_;
+    std::uint64_t id_;
+    std::string rbuf_;
+    std::string wbuf_;
+    std::size_t woff_ = 0;
+    std::uint64_t served_ = 0;
+    bool closing_ = false;   //!< Flush remaining bytes, then FIN.
+    bool draining_ = false;  //!< FIN sent; discarding input to EOF.
+};
+
+} // namespace tmemc::net
+
+#endif // TMEMC_NET_CONN_H

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Event-loop implementation (epoll, level-triggered).
+ */
+
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "tm/api.h"
+
+namespace tmemc::net
+{
+
+EventLoop::EventLoop(std::uint32_t worker_id, ExecFn exec)
+    : worker_(worker_id), exec_(std::move(exec))
+{
+}
+
+EventLoop::~EventLoop()
+{
+    stop();
+}
+
+bool
+EventLoop::start()
+{
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0)
+        return false;
+    wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakefd_ < 0) {
+        ::close(epfd_);
+        epfd_ = -1;
+        return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakefd_;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+        ::close(wakefd_);
+        ::close(epfd_);
+        wakefd_ = epfd_ = -1;
+        return false;
+    }
+    thread_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+EventLoop::stop()
+{
+    if (!thread_.joinable())
+        return;
+    stopping_.store(true, std::memory_order_release);
+    wakeup();
+    thread_.join();
+    conns_.clear();
+    open_.store(0, std::memory_order_relaxed);
+    {
+        // Sockets handed over but never adopted still need closing.
+        std::lock_guard<std::mutex> guard(pendingMu_);
+        for (int fd : pending_)
+            ::close(fd);
+        pending_.clear();
+    }
+    if (wakefd_ >= 0)
+        ::close(wakefd_);
+    if (epfd_ >= 0)
+        ::close(epfd_);
+    wakefd_ = epfd_ = -1;
+}
+
+void
+EventLoop::adopt(int fd)
+{
+    {
+        std::lock_guard<std::mutex> guard(pendingMu_);
+        pending_.push_back(fd);
+    }
+    wakeup();
+}
+
+void
+EventLoop::wakeup()
+{
+    const std::uint64_t one = 1;
+    // A full eventfd counter still wakes the loop; ignore EAGAIN.
+    [[maybe_unused]] ssize_t n = ::write(wakefd_, &one, sizeof(one));
+}
+
+void
+EventLoop::adoptPending()
+{
+    std::vector<int> batch;
+    {
+        std::lock_guard<std::mutex> guard(pendingMu_);
+        batch.swap(pending_);
+    }
+    for (int fd : batch) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        conns_.emplace(fd,
+                       std::make_unique<Conn>(fd, nextConnId_++));
+        open_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+EventLoop::closeConn(int fd)
+{
+    auto it = conns_.find(fd);
+    if (it == conns_.end())
+        return;
+    served_.fetch_add(it->second->requestsServed(),
+                      std::memory_order_relaxed);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    conns_.erase(it);  // Conn destructor closes the fd.
+    open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+EventLoop::updateInterest(Conn &c)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c.wantsWrite() ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd();
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, c.fd(), &ev);
+}
+
+void
+EventLoop::run()
+{
+    // Register with the TM runtime before any traffic, so the
+    // thread's descriptor exists for the whole serving lifetime
+    // rather than materializing inside the first transaction.
+    tm::myDesc();
+
+    epoll_event events[64];
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(
+            epfd_, events, static_cast<int>(std::size(events)), 100);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        adoptPending();
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakefd_) {
+                std::uint64_t drain;
+                [[maybe_unused]] ssize_t r =
+                    ::read(wakefd_, &drain, sizeof(drain));
+                adoptPending();
+                continue;
+            }
+            auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue;
+            Conn &c = *it->second;
+            bool alive = true;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                // Let a readable-but-hung-up socket drain its final
+                // bytes; a pure error closes immediately.
+                alive = (events[i].events & EPOLLIN) != 0;
+            }
+            if (alive && (events[i].events & EPOLLIN))
+                alive = c.onReadable(worker_, exec_);
+            if (alive && (events[i].events & EPOLLOUT))
+                alive = c.onWritable();
+            if (!alive) {
+                closeConn(fd);
+                continue;
+            }
+            updateInterest(c);
+        }
+    }
+    // Drain on exit so lingering clients see clean closes.
+    for (auto &kv : conns_)
+        served_.fetch_add(kv.second->requestsServed(),
+                          std::memory_order_relaxed);
+    conns_.clear();
+}
+
+} // namespace tmemc::net

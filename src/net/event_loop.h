@@ -1,0 +1,102 @@
+/**
+ * @file
+ * One worker event loop: an epoll instance, an eventfd wakeup, and
+ * the set of connections assigned to this worker.
+ *
+ * This is the libevent worker thread of memcached's threads.c. The
+ * listener hands accepted sockets over through adopt() (the analogue
+ * of the notify-pipe CQ_ITEM push); the loop thread registers them
+ * with its epoll set and from then on owns them exclusively — no
+ * other thread ever touches a Conn, so connection state needs no
+ * locking.
+ *
+ * TM contract: the loop thread registers itself with the TM runtime
+ * (tm::myDesc()) before serving traffic, and every transaction a
+ * request needs begins and commits on this thread, inside the exec
+ * callback. The loop's worker id doubles as the cache worker tid, so
+ * a cache built for N workers pairs with exactly N event loops.
+ */
+
+#ifndef TMEMC_NET_EVENT_LOOP_H
+#define TMEMC_NET_EVENT_LOOP_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/conn.h"
+
+namespace tmemc::net
+{
+
+/** One epoll worker; owns every connection assigned to it. */
+class EventLoop
+{
+  public:
+    /**
+     * @param worker_id  Cache/TM worker tid this loop serves as.
+     * @param exec       Request executor (shared by all loops).
+     */
+    EventLoop(std::uint32_t worker_id, ExecFn exec);
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Spawn the loop thread. @return false if epoll setup failed. */
+    bool start();
+
+    /** Ask the thread to exit, join it, and close all connections. */
+    void stop();
+
+    /**
+     * Transfer ownership of an accepted (already nonblocking) socket
+     * to this loop. Thread-safe; called from the listener.
+     */
+    void adopt(int fd);
+
+    std::uint32_t workerId() const { return worker_; }
+
+    /** Requests served across all connections ever owned here. */
+    std::uint64_t requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+    /** Currently open connections (for tests and stats). */
+    std::size_t openConnections() const
+    {
+        return open_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+    void wakeup();
+    void adoptPending();
+    void closeConn(int fd);
+    /** Re-arm EPOLLIN|EPOLLOUT according to conn.wantsWrite(). */
+    void updateInterest(Conn &c);
+
+    std::uint32_t worker_;
+    ExecFn exec_;
+    int epfd_ = -1;
+    int wakefd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex pendingMu_;
+    std::vector<int> pending_;
+
+    std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+    std::uint64_t nextConnId_ = 1;
+    std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::size_t> open_{0};
+};
+
+} // namespace tmemc::net
+
+#endif // TMEMC_NET_EVENT_LOOP_H

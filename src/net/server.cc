@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Server implementation: socket setup, accept loop, worker fan-out.
+ */
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mc/binary_protocol.h"
+#include "mc/protocol.h"
+
+namespace tmemc::net
+{
+
+namespace
+{
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+Server::Server(mc::CacheIface &cache, ServerCfg cfg)
+    : cache_(cache), cfg_(std::move(cfg))
+{
+    if (cfg_.workers == 0)
+        cfg_.workers = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+        stop();
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, cfg_.backlog) != 0 ||
+        !setNonBlocking(listenFd_)) {
+        stop();
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &blen) != 0) {
+        stop();
+        return false;
+    }
+    port_ = ntohs(bound.sin_port);
+
+    ExecFn exec = [this](std::uint32_t worker, bool binary,
+                         const std::string &frame) {
+        return binary ? mc::binaryExecute(cache_, worker, frame)
+                      : mc::protocolExecute(cache_, worker, frame);
+    };
+    for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+        loops_.push_back(std::make_unique<EventLoop>(w, exec));
+        if (!loops_.back()->start()) {
+            stop();
+            return false;
+        }
+    }
+    stopping_.store(false, std::memory_order_release);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (auto &loop : loops_) {
+        loop->stop();
+        servedFinal_.fetch_add(loop->requestsServed(),
+                               std::memory_order_relaxed);
+    }
+    loops_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+std::uint64_t
+Server::requestsServed() const
+{
+    std::uint64_t total = servedFinal_.load(std::memory_order_relaxed);
+    for (const auto &loop : loops_)
+        total += loop->requestsServed();
+    return total;
+}
+
+std::size_t
+Server::openConnections() const
+{
+    std::size_t total = 0;
+    for (const auto &loop : loops_)
+        total += loop->openConnections();
+    return total;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr <= 0) {
+            if (pr < 0 && errno != EINTR)
+                break;
+            continue;
+        }
+        for (;;) {
+            const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (fd < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    break;
+                // EMFILE/ENFILE: shed load and keep listening.
+                break;
+            }
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            accepted_.fetch_add(1, std::memory_order_relaxed);
+            loops_[rr_ % loops_.size()]->adopt(fd);
+            ++rr_;
+        }
+    }
+}
+
+} // namespace tmemc::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The TCP front end: a listening socket, an accept thread, and N
+ * worker event loops serving the memcached protocols over any cache
+ * branch.
+ *
+ * Layout mirrors memcached: the dispatcher (here: the accept thread)
+ * accepts connections and assigns them round-robin to worker threads;
+ * each worker runs an event loop and executes requests against the
+ * shared cache under its own worker tid. Both protocols are served on
+ * the same port, distinguished per frame by the binary magic byte.
+ *
+ * The server borrows the cache — benchmarks build a cache for a
+ * specific branch (makeCache) and inspect its statistics after the
+ * run. The cache must have been built for at least `workers` worker
+ * threads, because loop i issues cache calls with tid i.
+ */
+
+#ifndef TMEMC_NET_SERVER_H
+#define TMEMC_NET_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mc/cache_iface.h"
+#include "net/event_loop.h"
+
+namespace tmemc::net
+{
+
+/** Server knobs. */
+struct ServerCfg
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  //!< 0 = ephemeral; read back via port().
+    std::uint32_t workers = 4;
+    int backlog = 1024;
+};
+
+/** Multi-threaded epoll TCP server over one cache instance. */
+class Server
+{
+  public:
+    Server(mc::CacheIface &cache, ServerCfg cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, spawn the worker loops and the accept thread.
+     * @return false (with the socket layer cleaned up) on any setup
+     *         failure, e.g. the port being taken.
+     */
+    bool start();
+
+    /** Stop accepting, close every connection, join all threads. */
+    void stop();
+
+    /** Bound port (useful with cfg.port == 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Connections accepted since start(). */
+    std::uint64_t accepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests executed across all loops (closed + live conns). */
+    std::uint64_t requestsServed() const;
+
+    /** Open connections across all loops. */
+    std::size_t openConnections() const;
+
+  private:
+    void acceptLoop();
+
+    mc::CacheIface &cache_;
+    ServerCfg cfg_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    /** Requests served by loops already torn down in stop(). */
+    std::atomic<std::uint64_t> servedFinal_{0};
+    std::vector<std::unique_ptr<EventLoop>> loops_;
+    std::uint64_t rr_ = 0;  //!< Round-robin cursor (accept thread only).
+};
+
+} // namespace tmemc::net
+
+#endif // TMEMC_NET_SERVER_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * tmemc_server: run the TM cache behind the TCP front end, the
+ * memcached-shaped deployment of this reproduction.
+ *
+ * Usage: tmemc_server [--branch NAME] [--port N] [--workers N]
+ *                     [--mem MB] [--verbose]
+ *
+ * Serves both protocols on one port until SIGINT/SIGTERM. Try:
+ *   ./build/src/net/tmemc_server --branch IT-onCommit --port 11211 &
+ *   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "mc/cache_iface.h"
+#include "net/server.h"
+#include "tm/api.h"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc;
+
+    std::string branch = "IT-onCommit";
+    std::uint16_t port = 11211;
+    std::uint32_t workers = 4;
+    std::size_t mem_mb = 64;
+    int verbose = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--branch")
+            branch = next();
+        else if (a == "--port")
+            port = static_cast<std::uint16_t>(std::atoi(next()));
+        else if (a == "--workers")
+            workers = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--mem")
+            mem_mb = static_cast<std::size_t>(std::atoi(next()));
+        else if (a == "--verbose")
+            verbose = 1;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--branch NAME] [--port N] "
+                         "[--workers N] [--mem MB] [--verbose]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+
+    mc::Settings settings;
+    settings.maxBytes = mem_mb * 1024 * 1024;
+    settings.verbose = verbose;
+    auto cache = mc::makeCache(branch, settings, workers);
+    if (cache == nullptr) {
+        std::fprintf(stderr, "unknown branch '%s'\n", branch.c_str());
+        return 1;
+    }
+
+    net::ServerCfg cfg;
+    cfg.port = port;
+    cfg.workers = workers;
+    net::Server server(*cache, cfg);
+    if (!server.start()) {
+        std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n",
+                     static_cast<unsigned>(port));
+        return 1;
+    }
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::printf("tmemc_server: branch=%s workers=%u listening on "
+                "127.0.0.1:%u\n",
+                cache->branchName(), workers,
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    std::printf("tmemc_server: %llu connections, %llu requests\n",
+                static_cast<unsigned long long>(server.accepted()),
+                static_cast<unsigned long long>(server.requestsServed()));
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "mc/binary_protocol.h"
+#include "net/client.h"
 
 namespace tmemc::workload
 {
@@ -43,11 +44,190 @@ formatValue(char *out, std::size_t value_size, std::uint32_t thread,
     }
 }
 
+/** One network worker's counters. */
+struct NetCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t lost = 0;
+};
+
+/** Issue one SET over the wire; classify the outcome. */
+void
+netSet(net::Client &client, bool binary, const std::string &key,
+       const char *val, std::size_t vlen, NetCounters &ctr)
+{
+    if (binary) {
+        const std::string reply = client.roundTripBinary(
+            mc::binSetRequest(key, std::string(val, vlen)));
+        if (reply.empty()) {
+            ++ctr.lost;
+            return;
+        }
+        mc::BinResponse r;
+        if (mc::binParseResponse(reply, r) == 0 ||
+            r.status != mc::BinStatus::Ok)
+            ++ctr.failures;
+        return;
+    }
+    std::string req = "set " + key + " 0 0 " + std::to_string(vlen) +
+                      "\r\n";
+    req.append(val, vlen);
+    req.append("\r\n");
+    const std::string reply = client.roundTripAscii(req);
+    if (reply.empty())
+        ++ctr.lost;
+    else if (reply != "STORED\r\n")
+        ++ctr.failures;
+}
+
+/** Issue one GET over the wire; classify the outcome. */
+void
+netGet(net::Client &client, bool binary, const std::string &key,
+       NetCounters &ctr)
+{
+    if (binary) {
+        const std::string reply = client.roundTripBinary(
+            mc::binRequest(mc::BinOp::Get, key));
+        if (reply.empty()) {
+            ++ctr.lost;
+            return;
+        }
+        mc::BinResponse r;
+        if (mc::binParseResponse(reply, r) != 0 &&
+            r.status == mc::BinStatus::Ok)
+            ++ctr.hits;
+        else
+            ++ctr.misses;
+        return;
+    }
+    const std::string reply =
+        client.roundTripAscii("get " + key + "\r\n");
+    if (reply.empty())
+        ++ctr.lost;
+    else if (reply.compare(0, 6, "VALUE ") == 0)
+        ++ctr.hits;
+    else
+        ++ctr.misses;
+}
+
 } // namespace
+
+MemslapResult
+runMemslapNet(const MemslapCfg &cfg)
+{
+    const std::uint32_t threads = cfg.concurrency == 0 ? 1
+                                                       : cfg.concurrency;
+
+    // ------------------------------------------------------------------
+    // Warm phase over the wire (unmeasured).
+    // ------------------------------------------------------------------
+    std::atomic<std::uint64_t> warm_lost{0};
+    {
+        std::vector<std::thread> warmers;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            warmers.emplace_back([&, t] {
+                net::Client client;
+                if (!client.connect(cfg.serverHost, cfg.serverPort)) {
+                    warm_lost.fetch_add(cfg.windowSize);
+                    return;
+                }
+                std::vector<char> key(cfg.keySize + 1);
+                std::vector<char> val(cfg.valueSize);
+                NetCounters ctr;
+                for (std::uint64_t i = 0; i < cfg.windowSize; ++i) {
+                    formatKey(key.data(), cfg.keySize, t, i);
+                    formatValue(val.data(), cfg.valueSize, t, i);
+                    netSet(client, cfg.binaryProtocol,
+                           std::string(key.data(), cfg.keySize),
+                           val.data(), cfg.valueSize, ctr);
+                }
+                warm_lost.fetch_add(ctr.lost);
+            });
+        }
+        for (auto &w : warmers)
+            w.join();
+    }
+
+    // ------------------------------------------------------------------
+    // Measured phase.
+    // ------------------------------------------------------------------
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> lost{0};
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            net::Client client;
+            if (!client.connect(cfg.serverHost, cfg.serverPort)) {
+                lost.fetch_add(cfg.executeNumber);
+                return;
+            }
+            XorShift128 rng(cfg.seed * 1315423911u + t);
+            ZipfSampler *zipf = nullptr;
+            ZipfSampler zipf_storage(
+                cfg.zipfTheta > 0 ? cfg.windowSize : 1,
+                cfg.zipfTheta > 0 ? cfg.zipfTheta : 1.0);
+            if (cfg.zipfTheta > 0)
+                zipf = &zipf_storage;
+
+            std::vector<char> key(cfg.keySize + 1);
+            std::vector<char> val(cfg.valueSize);
+            NetCounters ctr;
+            for (std::uint64_t i = 0; i < cfg.executeNumber; ++i) {
+                const std::uint64_t idx =
+                    zipf ? zipf->sample(rng)
+                         : rng.nextBounded(cfg.windowSize);
+                formatKey(key.data(), cfg.keySize, t, idx);
+                const std::string k(key.data(), cfg.keySize);
+                const double roll = rng.nextDouble();
+                if (roll < cfg.setFraction) {
+                    formatValue(val.data(), cfg.valueSize, t, idx);
+                    netSet(client, cfg.binaryProtocol, k, val.data(),
+                           cfg.valueSize, ctr);
+                } else if (roll <
+                           cfg.setFraction + cfg.deleteFraction) {
+                    const std::string reply =
+                        cfg.binaryProtocol
+                            ? client.roundTripBinary(mc::binRequest(
+                                  mc::BinOp::Delete, k))
+                            : client.roundTripAscii("delete " + k +
+                                                    "\r\n");
+                    if (reply.empty())
+                        ++ctr.lost;
+                } else {
+                    netGet(client, cfg.binaryProtocol, k, ctr);
+                }
+            }
+            hits.fetch_add(ctr.hits, std::memory_order_relaxed);
+            misses.fetch_add(ctr.misses, std::memory_order_relaxed);
+            failures.fetch_add(ctr.failures,
+                               std::memory_order_relaxed);
+            lost.fetch_add(ctr.lost, std::memory_order_relaxed);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    MemslapResult res;
+    res.seconds = timer.elapsedSeconds();
+    res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
+    res.hits = hits.load();
+    res.misses = misses.load();
+    res.failures = failures.load();
+    res.lostResponses = lost.load() + warm_lost.load();
+    return res;
+}
 
 MemslapResult
 runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg)
 {
+    if (cfg.serverPort != 0)
+        return runMemslapNet(cfg);
     const std::uint32_t threads = cfg.concurrency == 0 ? 1
                                                        : cfg.concurrency;
 

@@ -51,6 +51,15 @@ struct MemslapCfg
      * effects being measured.
      */
     bool binaryProtocol = false;
+    /**
+     * Network mode: when serverPort is nonzero, every thread opens a
+     * TCP connection to serverHost:serverPort and drives the wire
+     * protocols instead of the in-process cache — the paper's actual
+     * memslap-over-loopback setup. binaryProtocol selects the wire
+     * format. The CacheIface argument is ignored in this mode.
+     */
+    std::string serverHost = "127.0.0.1";
+    std::uint16_t serverPort = 0;
 };
 
 /** Result of one driver run. */
@@ -61,6 +70,9 @@ struct MemslapResult
     std::uint64_t hits = 0;     //!< Get hits.
     std::uint64_t misses = 0;   //!< Get misses.
     std::uint64_t failures = 0; //!< Stores that did not succeed.
+    /** Network mode only: requests whose response never arrived
+     *  (connection error mid-run). Zero on a healthy run. */
+    std::uint64_t lostResponses = 0;
 
     double
     opsPerSecond() const
@@ -73,8 +85,17 @@ struct MemslapResult
  * Preload each thread's key window (memslap warms its window before
  * the measured phase), then run `concurrency` threads each executing
  * `executeNumber` operations, and report wall time.
+ *
+ * When cfg.serverPort is nonzero the run goes over TCP (see
+ * MemslapCfg) and @p cache is not touched.
  */
 MemslapResult runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg);
+
+/**
+ * Network-mode run against a live server; the socket-backed analogue
+ * of runMemslap. Requires cfg.serverPort != 0.
+ */
+MemslapResult runMemslapNet(const MemslapCfg &cfg);
 
 /** Generate the deterministic key for (thread, index). */
 void formatKey(char *out, std::size_t key_size, std::uint32_t thread,

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Streaming-framing unit tests: the request scanners that let both
+ * protocols parse from a connection buffer that may hold a partial
+ * request, several pipelined requests, or garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/binary_protocol.h"
+#include "mc/protocol.h"
+#include "net/client.h"
+
+namespace
+{
+
+using namespace tmemc;
+using mc::FrameStatus;
+
+// ----------------------------------------------------------------------
+// ASCII request framing
+// ----------------------------------------------------------------------
+
+TEST(AsciiFraming, SimpleCommandIsOneLine)
+{
+    const std::string req = "get somekey\r\n";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, req.size());
+}
+
+TEST(AsciiFraming, PrefixNeedsMore)
+{
+    const std::string req = "get somek";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::NeedMore);
+}
+
+TEST(AsciiFraming, EveryPrefixOfStorageCommandNeedsMore)
+{
+    const std::string req = "set k 0 0 5\r\nhello\r\n";
+    for (std::size_t n = 0; n < req.size(); ++n) {
+        const auto r = mc::protocolTryFrame(req.data(), n);
+        EXPECT_EQ(r.status, FrameStatus::NeedMore)
+            << "prefix length " << n;
+    }
+    const auto full = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(full.status, FrameStatus::Ready);
+    EXPECT_EQ(full.frameLen, req.size());
+}
+
+TEST(AsciiFraming, StorageFrameSpansBody)
+{
+    // The byte count governs the frame even when the body contains
+    // \r\n sequences.
+    const std::string req = "set k 0 0 4\r\n\r\n\r\n\r\n";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, req.size());
+}
+
+TEST(AsciiFraming, PipelinedRequestsFrameOneAtATime)
+{
+    const std::string a = "set k 0 0 3\r\nabc\r\n";
+    const std::string b = "get k\r\n";
+    const std::string buf = a + b;
+    const auto r1 = mc::protocolTryFrame(buf.data(), buf.size());
+    ASSERT_EQ(r1.status, FrameStatus::Ready);
+    EXPECT_EQ(r1.frameLen, a.size());
+    const auto r2 = mc::protocolTryFrame(buf.data() + a.size(),
+                                         buf.size() - a.size());
+    ASSERT_EQ(r2.status, FrameStatus::Ready);
+    EXPECT_EQ(r2.frameLen, b.size());
+}
+
+TEST(AsciiFraming, OversizedCommandLineIsError)
+{
+    // A "get" whose key pushes the line past the ceiling: unframeable.
+    std::string req = "get " + std::string(mc::kMaxCommandLine, 'k');
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Error);
+    ASSERT_NE(r.error, nullptr);
+    EXPECT_NE(std::string(r.error).find("CLIENT_ERROR"),
+              std::string::npos);
+}
+
+TEST(AsciiFraming, OversizedBodyIsError)
+{
+    const std::string req = "set k 0 0 999999999\r\n";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Error);
+}
+
+TEST(AsciiFraming, MalformedStorageLineFramesAsLine)
+{
+    // Missing <bytes>: frame the line alone so the executor can
+    // answer ERROR instead of the connection wedging forever.
+    const std::string req = "set k 0\r\n";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, req.size());
+}
+
+TEST(AsciiFraming, BareNewlineTerminatedLineFrames)
+{
+    const std::string req = "version\n";
+    const auto r = mc::protocolTryFrame(req.data(), req.size());
+    EXPECT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, req.size());
+}
+
+// ----------------------------------------------------------------------
+// Binary request framing
+// ----------------------------------------------------------------------
+
+TEST(BinaryFraming, EveryPrefixNeedsMore)
+{
+    const std::string frame = mc::binSetRequest("key", "value");
+    for (std::size_t n = 1; n < frame.size(); ++n) {
+        const auto r = mc::binaryTryFrame(
+            reinterpret_cast<const std::uint8_t *>(frame.data()), n);
+        EXPECT_EQ(r.status, FrameStatus::NeedMore)
+            << "prefix length " << n;
+    }
+    const auto full = mc::binaryTryFrame(
+        reinterpret_cast<const std::uint8_t *>(frame.data()),
+        frame.size());
+    ASSERT_EQ(full.status, FrameStatus::Ready);
+    EXPECT_EQ(full.frameLen, frame.size());
+}
+
+TEST(BinaryFraming, PipelinedFrames)
+{
+    const std::string a = mc::binSetRequest("k1", "v1");
+    const std::string b = mc::binRequest(mc::BinOp::Get, "k1");
+    const std::string buf = a + b;
+    const auto r1 = mc::binaryTryFrame(
+        reinterpret_cast<const std::uint8_t *>(buf.data()), buf.size());
+    ASSERT_EQ(r1.status, FrameStatus::Ready);
+    EXPECT_EQ(r1.frameLen, a.size());
+}
+
+TEST(BinaryFraming, BadMagicIsError)
+{
+    const std::uint8_t junk[4] = {0x7f, 0x00, 0x00, 0x00};
+    const auto r = mc::binaryTryFrame(junk, sizeof(junk));
+    EXPECT_EQ(r.status, FrameStatus::Error);
+}
+
+TEST(BinaryFraming, OversizedKeyIsError)
+{
+    const std::string frame = mc::binRequest(
+        mc::BinOp::Get, std::string(mc::kBinMaxKeyBytes + 1, 'k'));
+    const auto r = mc::binaryTryFrame(
+        reinterpret_cast<const std::uint8_t *>(frame.data()),
+        frame.size());
+    EXPECT_EQ(r.status, FrameStatus::Error);
+}
+
+TEST(BinaryFraming, LyingLengthFieldsAreError)
+{
+    // keyLength > bodyLength: impossible frame.
+    mc::BinHeader h;
+    h.magic = static_cast<std::uint8_t>(mc::BinMagic::Request);
+    h.opcode = static_cast<std::uint8_t>(mc::BinOp::Get);
+    h.keyLength = 10;
+    h.bodyLength = 4;
+    std::uint8_t wire[mc::kBinHeaderSize];
+    mc::binEncodeHeader(h, wire);
+    const auto r = mc::binaryTryFrame(wire, sizeof(wire));
+    EXPECT_EQ(r.status, FrameStatus::Error);
+}
+
+TEST(BinaryFraming, HugeBodyIsError)
+{
+    mc::BinHeader h;
+    h.magic = static_cast<std::uint8_t>(mc::BinMagic::Request);
+    h.opcode = static_cast<std::uint8_t>(mc::BinOp::Set);
+    h.bodyLength = 0x40000000;  // 1 GiB claim.
+    std::uint8_t wire[mc::kBinHeaderSize];
+    mc::binEncodeHeader(h, wire);
+    const auto r = mc::binaryTryFrame(wire, sizeof(wire));
+    EXPECT_EQ(r.status, FrameStatus::Error);
+}
+
+// ----------------------------------------------------------------------
+// ASCII response framing (client side)
+// ----------------------------------------------------------------------
+
+TEST(AsciiResponseFraming, SingleLine)
+{
+    const std::string rep = "STORED\r\n";
+    const auto r = net::asciiResponseTryFrame(rep.data(), rep.size());
+    ASSERT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, rep.size());
+}
+
+TEST(AsciiResponseFraming, ValueBlockAndMiss)
+{
+    const std::string hit = "VALUE k 0 5\r\nhello\r\nEND\r\n";
+    for (std::size_t n = 0; n < hit.size(); ++n) {
+        EXPECT_EQ(net::asciiResponseTryFrame(hit.data(), n).status,
+                  FrameStatus::NeedMore)
+            << "prefix length " << n;
+    }
+    const auto r = net::asciiResponseTryFrame(hit.data(), hit.size());
+    ASSERT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, hit.size());
+
+    const std::string miss = "END\r\n";
+    const auto m = net::asciiResponseTryFrame(miss.data(), miss.size());
+    ASSERT_EQ(m.status, FrameStatus::Ready);
+    EXPECT_EQ(m.frameLen, miss.size());
+}
+
+TEST(AsciiResponseFraming, StatsBlock)
+{
+    const std::string rep =
+        "STAT curr_items 1\r\nSTAT total_items 2\r\nEND\r\n";
+    const auto r = net::asciiResponseTryFrame(rep.data(), rep.size());
+    ASSERT_EQ(r.status, FrameStatus::Ready);
+    EXPECT_EQ(r.frameLen, rep.size());
+}
+
+} // namespace

@@ -76,8 +76,11 @@ TEST_P(RetryTest, RetryRollsBackSpeculativeWrites)
     });
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     // The waiter has retried at least once; its speculative increment
-    // must not be visible.
-    EXPECT_EQ(cell, 0u);
+    // must not be visible. Observe transactionally: a plain read
+    // would race with the eager algorithm's in-place writes.
+    const std::uint64_t observed = tm::run(
+        attr, [&](tm::TxDesc &tx) { return tm::txLoad(tx, &cell); });
+    EXPECT_EQ(observed, 0u);
     tm::run(attr, [&](tm::TxDesc &tx) {
         tm::txStore<std::uint64_t>(tx, &gate, 1);
     });
