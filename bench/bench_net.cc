@@ -17,7 +17,10 @@
  * correctness gate as well as a benchmark.
  *
  * Usage: bench_net [--branch NAME] [--ops N] [--window N]
- *                  [--threads a,b,c] [--ascii]
+ *                  [--threads a,b,c] [--ascii] [--timeout-ms N]
+ *
+ * --timeout-ms bounds every connect and recv (default 10000), so a
+ * wedged server fails the gate in seconds instead of hanging CI.
  */
 
 #include <cstdio>
@@ -63,6 +66,7 @@ main(int argc, char **argv)
     std::uint64_t window = 2000;
     std::vector<std::uint32_t> threads{1, 4, 8};
     bool binary = true;
+    std::uint32_t timeout_ms = 10000;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -78,10 +82,14 @@ main(int argc, char **argv)
             threads = parseThreadList(next());
         else if (a == "--ascii")
             binary = false;
+        else if (a == "--timeout-ms")
+            timeout_ms =
+                static_cast<std::uint32_t>(std::atoi(next()));
         else {
             std::fprintf(stderr,
                          "usage: %s [--branch NAME] [--ops N] "
-                         "[--window N] [--threads a,b,c] [--ascii]\n",
+                         "[--window N] [--threads a,b,c] [--ascii] "
+                         "[--timeout-ms N]\n",
                          argv[0]);
             return 2;
         }
@@ -102,6 +110,8 @@ main(int argc, char **argv)
         cfg.executeNumber = ops;
         cfg.windowSize = window;
         cfg.binaryProtocol = binary;
+        cfg.connectTimeoutMs = timeout_ms;
+        cfg.recvTimeoutMs = timeout_ms;
 
         // ----- In-process ------------------------------------------------
         tm::Runtime::get().configure(tm::RuntimeCfg{});

@@ -37,7 +37,12 @@ if [[ -n "$ref" ]]; then
     mapfile -t files < <(git diff --name-only --diff-filter=ACMR \
         "$base" -- '*.cc' '*.h' '*.cpp')
 else
-    mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+    # Tracked files plus new not-yet-added ones, so a fresh source
+    # file is formatted before its first commit.
+    mapfile -t files < <({
+        git ls-files '*.cc' '*.h' '*.cpp'
+        git ls-files --others --exclude-standard '*.cc' '*.h' '*.cpp'
+    } | sort -u)
 fi
 
 if [[ ${#files[@]} -eq 0 ]]; then

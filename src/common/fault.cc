@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fault-injection registry implementation.
+ */
+
+#include "common/fault.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace tmemc::fault
+{
+
+namespace
+{
+
+struct SiteState
+{
+    Policy policy;
+    XorShift128 rng{1};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool armed = false;
+    bool spent = false;  //!< OneShot already fired.
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, SiteState> sites;
+    std::uint64_t armedCount = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Armed-site count mirrored into an atomic for the fast path. */
+std::atomic<bool> g_enabled{false};
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+arm(const std::string &site, const Policy &policy)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    SiteState &s = r.sites[site];
+    if (!s.armed)
+        ++r.armedCount;
+    s.policy = policy;
+    s.rng = XorShift128(policy.seed);
+    s.hits = 0;
+    s.fires = 0;
+    s.spent = false;
+    s.armed = true;
+    g_enabled.store(r.armedCount > 0, std::memory_order_release);
+}
+
+void
+disarm(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    --r.armedCount;
+    g_enabled.store(r.armedCount > 0, std::memory_order_release);
+}
+
+void
+disarmAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    r.sites.clear();
+    r.armedCount = 0;
+    g_enabled.store(false, std::memory_order_release);
+}
+
+Action
+consultSlow(const char *site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed)
+        return {};
+    SiteState &s = it->second;
+    ++s.hits;
+    if (s.hits <= s.policy.skipFirst)
+        return {};
+
+    bool fire = false;
+    switch (s.policy.trigger) {
+      case Trigger::EveryNth: {
+        const std::uint64_t n = s.policy.n == 0 ? 1 : s.policy.n;
+        fire = (s.hits - s.policy.skipFirst) % n == 0;
+        break;
+      }
+      case Trigger::Probability:
+        fire = s.rng.nextDouble() < s.policy.probability;
+        break;
+      case Trigger::OneShot:
+        fire = !s.spent;
+        s.spent = s.spent || fire;
+        break;
+    }
+    if (!fire)
+        return {};
+    ++s.fires;
+    return {true, s.policy.errnoValue, s.policy.byteCap};
+}
+
+std::uint64_t
+hits(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fires(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+} // namespace tmemc::fault

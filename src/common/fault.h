@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection: named sites, per-site trigger
+ * policies, zero overhead when disarmed.
+ *
+ * The paper's hard-won lessons all live on the messy paths — eviction
+ * under memory pressure, I/O inside critical sections, allocation
+ * failure at the worst moment. Exercising those paths cannot be left
+ * to luck, so production code declares *sites* (a stable string name
+ * at each place a failure can be simulated) and tests *arm* them with
+ * a trigger policy:
+ *
+ *   - every-Nth-hit: fires on hit N, 2N, 3N, ... (N=1 fires always);
+ *   - seeded probability: fires with probability p from a per-site
+ *     deterministic PRNG, so a given seed replays the same schedule;
+ *   - one-shot: fires exactly once, optionally after skipping the
+ *     first K hits.
+ *
+ * A policy can carry an *action* payload the site interprets: an
+ * errno to fail a syscall wrapper with (see net/sys.h), or a byte cap
+ * that truncates an I/O request into a short read/write.
+ *
+ * Cost model: while no site is armed anywhere in the process, every
+ * check is one relaxed atomic load of a global flag and a predictable
+ * branch — nothing is looked up, nothing is locked. Only once a test
+ * arms a site does the slow path (mutex + name lookup) run.
+ *
+ * Sites are global process state; tests must disarmAll() between
+ * cases (see ScopedFault for the RAII form).
+ */
+
+#ifndef TMEMC_COMMON_FAULT_H
+#define TMEMC_COMMON_FAULT_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tmemc::fault
+{
+
+/** How an armed site decides to fire. */
+enum class Trigger : std::uint8_t
+{
+    EveryNth,     //!< Fire on every n-th hit (n == 1: every hit).
+    Probability,  //!< Fire with probability p (seeded PRNG).
+    OneShot,      //!< Fire once, after skipping skipFirst hits.
+};
+
+/** Arming descriptor: trigger policy plus the action payload. */
+struct Policy
+{
+    Trigger trigger = Trigger::OneShot;
+    std::uint64_t n = 1;         //!< EveryNth period.
+    double probability = 1.0;    //!< Probability trigger.
+    std::uint64_t seed = 1;      //!< PRNG seed (Probability).
+    std::uint64_t skipFirst = 0; //!< Hits to let pass before firing.
+    int errnoValue = 0;          //!< Syscall wrappers: fail with this.
+    std::size_t byteCap = 0;     //!< Syscall wrappers: short I/O cap.
+};
+
+/** What a fired (or quiet) site should do. */
+struct Action
+{
+    bool fire = false;
+    int errnoValue = 0;
+    std::size_t byteCap = 0;
+};
+
+/** One relaxed load: true while any site is armed process-wide. */
+bool enabled();
+
+/** Arm @p site with @p policy (re-arming resets its counters). */
+void arm(const std::string &site, const Policy &policy);
+
+/** Disarm @p site; its hit/fire counters remain readable. */
+void disarm(const std::string &site);
+
+/** Disarm everything and forget all counters (test teardown). */
+void disarmAll();
+
+/**
+ * Record a hit on @p site and decide whether it fires. The fast path
+ * (nothing armed anywhere) never reaches here — callers must guard
+ * with enabled(), which the convenience helpers below do.
+ */
+Action consultSlow(const char *site);
+
+/** Full consult: action payload for syscall wrappers. */
+inline Action
+consult(const char *site)
+{
+    if (!enabled())
+        return {};
+    return consultSlow(site);
+}
+
+/** Boolean consult: for plain should-this-allocation-fail sites. */
+inline bool
+shouldFail(const char *site)
+{
+    return enabled() && consultSlow(site).fire;
+}
+
+/** Times @p site was consulted while armed (0 if never armed). */
+std::uint64_t hits(const std::string &site);
+
+/** Times @p site actually fired. */
+std::uint64_t fires(const std::string &site);
+
+/** RAII arming for tests: arms in the constructor, disarms in the
+ *  destructor, so a failing ASSERT cannot leak an armed site into the
+ *  next test case. */
+class ScopedFault
+{
+  public:
+    ScopedFault(std::string site, const Policy &policy)
+        : site_(std::move(site))
+    {
+        arm(site_, policy);
+    }
+    ~ScopedFault() { disarm(site_); }
+
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+
+    std::uint64_t firedCount() const { return fires(site_); }
+    std::uint64_t hitCount() const { return hits(site_); }
+
+  private:
+    std::string site_;
+};
+
+} // namespace tmemc::fault
+
+#endif // TMEMC_COMMON_FAULT_H

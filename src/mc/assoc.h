@@ -144,14 +144,19 @@ assocUnlink(Ctx &c, AssocState &s, Item *it, std::uint32_t hv)
  * Begin an expansion: allocate a table twice the size and publish it
  * as primary; lookups consult the old table above the cursor until
  * the maintenance thread finishes migrating.
+ * @return false when the new table cannot be allocated — the cache
+ *         keeps serving from the current table (longer chains, not a
+ *         crash) and a later trigger retries.
  */
 template <typename Ctx>
-void
+bool
 assocStartExpand(Ctx &c, AssocState &s)
 {
     const std::uint32_t power = c.load(&s.hashPower);
     auto **fresh = static_cast<Item **>(
         c.allocRaw(sizeof(Item *) << (power + 1)));
+    if (fresh == nullptr)
+        return false;
     // Fresh memory is captured: plain initialization is safe.
     std::memset(fresh, 0, sizeof(Item *) << (power + 1));
     c.store(&s.old, c.load(&s.primary));
@@ -159,6 +164,7 @@ assocStartExpand(Ctx &c, AssocState &s)
     c.store(&s.hashPower, power + 1);
     c.store(&s.expandBucket, std::uint64_t{0});
     c.volatileStore(&s.expanding, std::uint64_t{1});
+    return true;
 }
 
 /**

@@ -1019,10 +1019,18 @@ class CacheCore
             if (pc.volatileLoad(&mxCanRun_) == 0)
                 return;
 
-            policy_.cacheSection(sites::expandStart, [&](auto &c) {
-                if (c.volatileLoad(&assoc_.expanding) == 0)
-                    assocStartExpand(c, assoc_);
+            const bool started = policy_.cacheSection(
+                sites::expandStart, [&](auto &c) {
+                if (c.volatileLoad(&assoc_.expanding) != 0)
+                    return true;  // Resume an in-flight expansion.
+                return assocStartExpand(c, assoc_);
             });
+            if (!started) {
+                // Table allocation failed: drop the request and keep
+                // serving; the next trigger retries.
+                pc.volatileStore(&hashWorkPending_, std::uint64_t{0});
+                continue;
+            }
             bool done = false;
             while (!done) {
                 if (pc.volatileLoad(&mxCanRun_) == 0)

@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/sem.h"
 #include "mc/branch.h"
@@ -215,13 +216,18 @@ struct PlainCtx
     }
 
     // -- allocation ------------------------------------------------------
+    /**
+     * @return nullptr on exhaustion. An allocation hiccup must surface
+     * as OpStatus::OutOfMemory (the SERVER_ERROR reply path), never
+     * kill the server; callers handle nullptr the same way they handle
+     * a slab class at its budget.
+     */
     void *
     allocRaw(std::size_t bytes) const
     {
-        void *p = std::malloc(bytes);
-        if (p == nullptr)
-            fatal("out of memory (%zu bytes)", bytes);
-        return p;
+        if (TMEMC_UNLIKELY(fault::shouldFail("mc.ctx.alloc_raw")))
+            return nullptr;
+        return std::malloc(bytes);
     }
 
     void freeRaw(void *p) const { std::free(p); }
@@ -428,7 +434,14 @@ struct TmCtx
     }
 
     // -- allocation ---------------------------------------------------------
-    void *allocRaw(std::size_t bytes) const { return tm::txMalloc(tx, bytes); }
+    /** Same nullptr-on-exhaustion contract as PlainCtx::allocRaw. */
+    void *
+    allocRaw(std::size_t bytes) const
+    {
+        if (TMEMC_UNLIKELY(fault::shouldFail("mc.ctx.alloc_raw")))
+            return nullptr;
+        return tm::txTryMalloc(tx, bytes);
+    }
 
     void freeRaw(void *p) const { tm::txFree(tx, p); }
 

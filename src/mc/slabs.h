@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "mc/item.h"
 #include "mc/lru.h"
@@ -151,13 +152,24 @@ template <typename Ctx>
 Item *
 slabsAlloc(Ctx &c, SlabState &s, std::uint32_t cls)
 {
+    // Chunk-level failure site: simulates a class whose free list and
+    // growth path are both exhausted (tests drive the eviction and
+    // SERVER_ERROR-out-of-memory machinery through this).
+    if (TMEMC_UNLIKELY(fault::shouldFail("mc.slabs.alloc")))
+        return nullptr;
     SlabClass &k = s.classes[cls];
     Item *head = c.load(&k.freeList);
     if (head == nullptr) {
         const std::uint64_t allocated = c.load(&s.memAllocated);
         if (allocated + s.pageSize > s.memLimit)
             return nullptr;  // At the limit: caller must evict.
-        void *page = c.allocRaw(s.pageSize);
+        // Page-level failure site plus real malloc exhaustion: both
+        // look like "no page", the same shape as hitting the budget.
+        void *page = fault::shouldFail("mc.slabs.page_alloc")
+                         ? nullptr
+                         : c.allocRaw(s.pageSize);
+        if (page == nullptr)
+            return nullptr;
         c.store(&s.memAllocated, allocated + s.pageSize);
         slabsCarvePage(c, s, cls, page);
         head = c.load(&k.freeList);

@@ -9,9 +9,12 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #include <utility>
 
@@ -127,7 +130,8 @@ asciiResponseTryFrame(const char *data, std::size_t len)
 }
 
 Client::Client(Client &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_))
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)),
+      recvTimeoutMs_(other.recvTimeoutMs_)
 {
 }
 
@@ -138,12 +142,14 @@ Client::operator=(Client &&other) noexcept
         close();
         fd_ = std::exchange(other.fd_, -1);
         buf_ = std::move(other.buf_);
+        recvTimeoutMs_ = other.recvTimeoutMs_;
     }
     return *this;
 }
 
 bool
-Client::connect(const std::string &host, std::uint16_t port)
+Client::connect(const std::string &host, std::uint16_t port,
+                std::uint32_t timeout_ms)
 {
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -156,14 +162,69 @@ Client::connect(const std::string &host, std::uint16_t port)
         close();
         return false;
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        close();
-        return false;
+    if (timeout_ms == 0) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            close();
+            return false;
+        }
+    } else {
+        // Deadline-bounded connect: go nonblocking for the handshake,
+        // poll for writability, then restore blocking mode.
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags < 0 ||
+            ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+            close();
+            return false;
+        }
+        const int rc = ::connect(
+            fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+        if (rc != 0) {
+            if (errno != EINPROGRESS) {
+                close();
+                return false;
+            }
+            pollfd pfd{fd_, POLLOUT, 0};
+            if (::poll(&pfd, 1, static_cast<int>(timeout_ms)) <= 0) {
+                close();  // Timeout or poll failure.
+                return false;
+            }
+            int err = 0;
+            socklen_t elen = sizeof(err);
+            if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &elen) !=
+                    0 ||
+                err != 0) {
+                close();
+                return false;
+            }
+        }
+        if (::fcntl(fd_, F_SETFL, flags) != 0) {
+            close();
+            return false;
+        }
     }
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    applyRecvTimeout();
     return true;
+}
+
+void
+Client::setRecvTimeout(std::uint32_t ms)
+{
+    recvTimeoutMs_ = ms;
+    if (fd_ >= 0)
+        applyRecvTimeout();
+}
+
+void
+Client::applyRecvTimeout()
+{
+    timeval tv{};
+    tv.tv_sec = recvTimeoutMs_ / 1000;
+    tv.tv_usec =
+        static_cast<suseconds_t>((recvTimeoutMs_ % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void

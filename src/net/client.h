@@ -40,8 +40,23 @@ class Client
     Client(Client &&other) noexcept;
     Client &operator=(Client &&other) noexcept;
 
-    /** Connect to host:port. @return false on failure. */
-    bool connect(const std::string &host, std::uint16_t port);
+    /**
+     * Connect to host:port. With @p timeout_ms > 0 the connect is
+     * attempted nonblocking and abandoned after the deadline (an
+     * unresponsive server fails fast instead of hanging the caller
+     * for the kernel's SYN-retry minutes). 0 = blocking connect.
+     * @return false on failure or timeout.
+     */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::uint32_t timeout_ms = 0);
+
+    /**
+     * Bound every subsequent recv by @p ms (SO_RCVTIMEO); recv*
+     * calls return false when the server goes quiet that long.
+     * 0 disables the bound. Survives reconnects; applies immediately
+     * when already connected.
+     */
+    void setRecvTimeout(std::uint32_t ms);
 
     bool isConnected() const { return fd_ >= 0; }
     void close();
@@ -65,8 +80,12 @@ class Client
     /** Read once into the buffer. @return false on EOF or error. */
     bool fill();
 
+    /** Apply recvTimeoutMs_ to the live socket. */
+    void applyRecvTimeout();
+
     int fd_ = -1;
     std::string buf_;
+    std::uint32_t recvTimeoutMs_ = 0;
 };
 
 } // namespace tmemc::net

@@ -10,21 +10,16 @@
 #include <unistd.h>
 
 #include "mc/binary_protocol.h"
-#include "mc/protocol.h"
+#include "net/sys.h"
 
 namespace tmemc::net
 {
 
-namespace
+Conn::Conn(int fd, std::uint64_t id, const ConnLimits &limits)
+    : fd_(fd), id_(id), limits_(limits),
+      lastActivity_(std::chrono::steady_clock::now())
 {
-
-/** Hard ceiling on buffered unparsed bytes (slowloris guard). */
-constexpr std::size_t kMaxReadBuffer =
-    tmemc::mc::kMaxBodyBytes + tmemc::mc::kMaxCommandLine + 2;
-
-} // namespace
-
-Conn::Conn(int fd, std::uint64_t id) : fd_(fd), id_(id) {}
+}
 
 Conn::~Conn()
 {
@@ -36,16 +31,20 @@ bool
 Conn::onReadable(std::uint32_t worker, const ExecFn &exec)
 {
     char chunk[16 * 1024];
+    lastActivity_ = std::chrono::steady_clock::now();
     if (draining_)
         return discardInput();
 
     bool saw_eof = false;
     for (;;) {
-        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        const ssize_t n = sys::readFd(fd_, chunk, sizeof(chunk));
         if (n > 0) {
             rbuf_.append(chunk, static_cast<std::size_t>(n));
-            if (rbuf_.size() > kMaxReadBuffer)
-                return false;  // Unframeable flood; drop the client.
+            if (rbuf_.size() > limits_.rbufCap) {
+                // Unframeable flood; drop the client.
+                closeReason_ = CloseReason::Peer;
+                return false;
+            }
             continue;
         }
         if (n == 0) {
@@ -56,19 +55,18 @@ Conn::onReadable(std::uint32_t worker, const ExecFn &exec)
             break;
         if (errno == EINTR)
             continue;
+        closeReason_ = CloseReason::Peer;
         return false;  // ECONNRESET and friends.
     }
 
-    if (!drainFrames(worker, exec))
-        closing_ = true;
-
-    if (!flush())
+    if (!pump(worker, exec))
         return false;
     if (saw_eof) {
         // A client that half-closed after pipelining still gets its
         // replies if the kernel buffer takes them; anything the
         // nonblocking flush could not place is forfeit, as in
         // memcached's conn_closing.
+        closeReason_ = CloseReason::Peer;
         return false;
     }
     if (closing_)
@@ -77,13 +75,54 @@ Conn::onReadable(std::uint32_t worker, const ExecFn &exec)
 }
 
 bool
-Conn::onWritable()
+Conn::onWritable(std::uint32_t worker, const ExecFn &exec)
 {
+    lastActivity_ = std::chrono::steady_clock::now();
     if (!flush())
+        return false;
+    if (draining_)
+        return true;
+    if (!pump(worker, exec))
         return false;
     if (closing_ && !wantsWrite())
         return beginLingeringClose();
     return true;
+}
+
+bool
+Conn::pump(std::uint32_t worker, const ExecFn &exec)
+{
+    // Alternate execute-and-flush until a fixed point: drainFrames
+    // pauses at the soft cap, but when flush() then empties the
+    // backlog into the socket there will be no EPOLLOUT (nothing
+    // pending) and no EPOLLIN (the bytes are already in rbuf_), so
+    // any executable frames still buffered must be driven here, now.
+    // The rbuf_-shrank progress test makes the loop terminate: a
+    // pass that consumed nothing (incomplete frame, or still over
+    // the soft cap after a partial flush) cannot repeat forever.
+    for (;;) {
+        const std::size_t before = rbuf_.size();
+        if (!closing_ && !drainFrames(worker, exec))
+            closing_ = true;
+        if (!flush())
+            return false;
+        if (pendingWrite() > limits_.wbufHardCap) {
+            // The backlog outgrew what any client that stopped
+            // reading deserves; cut it loose.
+            closeReason_ = CloseReason::Backpressure;
+            return false;
+        }
+        if (closing_ || rbuf_.empty() || !wantsRead() ||
+            rbuf_.size() == before)
+            return true;
+    }
+}
+
+bool
+Conn::flushOnly()
+{
+    lastActivity_ = std::chrono::steady_clock::now();
+    return flush();
 }
 
 bool
@@ -107,15 +146,18 @@ Conn::discardInput()
 {
     char chunk[16 * 1024];
     for (;;) {
-        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        const ssize_t n = sys::readFd(fd_, chunk, sizeof(chunk));
         if (n > 0)
             continue;
-        if (n == 0)
+        if (n == 0) {
+            closeReason_ = CloseReason::Peer;
             return false;  // Peer finished; now the close is clean.
+        }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             return true;
         if (errno == EINTR)
             continue;
+        closeReason_ = CloseReason::Peer;
         return false;
     }
 }
@@ -126,6 +168,11 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
     std::size_t off = 0;
     bool ok = true;
     while (off < rbuf_.size()) {
+        // Soft-cap check inside the burst too: a pipelined batch
+        // stops executing once replies back up, leaving the rest of
+        // the batch buffered until the client drains us.
+        if (pendingWrite() >= limits_.wbufSoftCap)
+            break;
         const bool binary =
             static_cast<std::uint8_t>(rbuf_[off]) ==
             static_cast<std::uint8_t>(mc::BinMagic::Request);
@@ -169,8 +216,8 @@ bool
 Conn::flush()
 {
     while (woff_ < wbuf_.size()) {
-        const ssize_t n =
-            ::write(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_);
+        const ssize_t n = sys::writeFd(fd_, wbuf_.data() + woff_,
+                                       wbuf_.size() - woff_);
         if (n > 0) {
             woff_ += static_cast<std::size_t>(n);
             continue;
@@ -179,6 +226,7 @@ Conn::flush()
             return true;  // Event loop will re-arm EPOLLOUT.
         if (n < 0 && errno == EINTR)
             continue;
+        closeReason_ = CloseReason::Peer;
         return false;  // EPIPE etc.: peer is gone.
     }
     wbuf_.clear();

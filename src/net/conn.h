@@ -15,6 +15,15 @@
  * else is ASCII. Detection happens only at frame boundaries, so
  * binary value bytes can never be misread as a protocol switch.
  *
+ * Overload behaviour is bounded on both sides (ConnLimits):
+ *  - the read buffer caps unframeable input (slowloris guard);
+ *  - the write buffer has a soft cap — once pending replies exceed
+ *    it, wantsRead() goes false, the loop stops polling EPOLLIN, and
+ *    TCP backpressure reaches the client that is not reading — and a
+ *    hard cap, past which the connection is closed (a reply burst no
+ *    sane client would leave unread);
+ *  - lastActivity() feeds the loop's idle reaper.
+ *
  * Parsing and reply formatting happen entirely on these private
  * buffers before any lock or transaction is taken — the same
  * private-then-shared discipline the paper relies on for htons and
@@ -24,9 +33,12 @@
 #ifndef TMEMC_NET_CONN_H
 #define TMEMC_NET_CONN_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
+
+#include "mc/protocol.h"
 
 namespace tmemc::net
 {
@@ -38,12 +50,32 @@ namespace tmemc::net
 using ExecFn = std::function<std::string(
     std::uint32_t worker, bool binary, const std::string &frame)>;
 
+/** Per-connection byte budgets (shared, immutable per server). */
+struct ConnLimits
+{
+    /** Max buffered unparsed request bytes before the client is
+     *  dropped; also the request-size guard for both protocols. */
+    std::size_t rbufCap = mc::kMaxBodyBytes + mc::kMaxCommandLine + 2;
+    /** Pending-reply bytes above which the conn stops reading. */
+    std::size_t wbufSoftCap = 256 * 1024;
+    /** Pending-reply bytes above which the conn is closed. */
+    std::size_t wbufHardCap = 8 * 1024 * 1024 + 512 * 1024;
+};
+
+/** Why a connection asked to be closed (for the loop's counters). */
+enum class CloseReason : std::uint8_t
+{
+    None,          //!< Still alive.
+    Peer,          //!< EOF, reset, protocol error, quit.
+    Backpressure,  //!< Write buffer exceeded the hard cap.
+};
+
 /** A connected client socket owned by one event loop. */
 class Conn
 {
   public:
     /** Takes ownership of @p fd (closed on destruction). */
-    Conn(int fd, std::uint64_t id);
+    Conn(int fd, std::uint64_t id, const ConnLimits &limits);
     ~Conn();
 
     Conn(const Conn &) = delete;
@@ -62,16 +94,51 @@ class Conn
      */
     bool onReadable(std::uint32_t worker, const ExecFn &exec);
 
-    /** Continue flushing after EPOLLOUT. @return false when done-for. */
-    bool onWritable();
+    /**
+     * Continue flushing after EPOLLOUT; once the backlog falls below
+     * the soft cap, resume executing any requests that were already
+     * buffered when backpressure paused the batch (no new EPOLLIN is
+     * coming for bytes we already hold).
+     * @return false when done-for.
+     */
+    bool onWritable(std::uint32_t worker, const ExecFn &exec);
+
+    /**
+     * Drain-mode write path: push queued replies out without
+     * executing anything new. @return false on socket death.
+     */
+    bool flushOnly();
 
     /** True while the write buffer holds unsent bytes. */
     bool wantsWrite() const { return woff_ < wbuf_.size(); }
+
+    /** False while pending replies exceed the soft cap: the loop
+     *  must stop polling EPOLLIN until the client drains us. */
+    bool wantsRead() const { return pendingWrite() < limits_.wbufSoftCap; }
+
+    /** Unflushed reply bytes. */
+    std::size_t pendingWrite() const { return wbuf_.size() - woff_; }
+
+    /** Why the last onReadable/onWritable returned false. */
+    CloseReason closeReason() const { return closeReason_; }
+
+    /** Last moment the socket made forward progress. */
+    std::chrono::steady_clock::time_point lastActivity() const
+    {
+        return lastActivity_;
+    }
 
     /** Requests executed on this connection (served-response count). */
     std::uint64_t requestsServed() const { return served_; }
 
   private:
+    /**
+     * Execute-and-flush until a fixed point: no more complete frames,
+     * the soft cap is holding, or the connection must close (returns
+     * false — closeReason() says why).
+     */
+    bool pump(std::uint32_t worker, const ExecFn &exec);
+
     /** Execute buffered complete frames; false on fatal frame error. */
     bool drainFrames(std::uint32_t worker, const ExecFn &exec);
 
@@ -91,10 +158,13 @@ class Conn
 
     int fd_;
     std::uint64_t id_;
+    const ConnLimits &limits_;
     std::string rbuf_;
     std::string wbuf_;
     std::size_t woff_ = 0;
     std::uint64_t served_ = 0;
+    std::chrono::steady_clock::time_point lastActivity_;
+    CloseReason closeReason_ = CloseReason::None;
     bool closing_ = false;   //!< Flush remaining bytes, then FIN.
     bool draining_ = false;  //!< FIN sent; discarding input to EOF.
 };

@@ -5,6 +5,7 @@
 
 #include "net/event_loop.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sys/epoll.h>
@@ -12,13 +13,16 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "net/sys.h"
 #include "tm/api.h"
 
 namespace tmemc::net
 {
 
-EventLoop::EventLoop(std::uint32_t worker_id, ExecFn exec)
-    : worker_(worker_id), exec_(std::move(exec))
+EventLoop::EventLoop(std::uint32_t worker_id, ExecFn exec, ConnLimits limits,
+                     std::uint32_t idle_timeout_ms, NetCounters &counters)
+    : worker_(worker_id), exec_(std::move(exec)), limits_(limits),
+      idleTimeoutMs_(idle_timeout_ms), counters_(counters)
 {
 }
 
@@ -87,6 +91,13 @@ EventLoop::adopt(int fd)
 }
 
 void
+EventLoop::beginDrain()
+{
+    draining_.store(true, std::memory_order_release);
+    wakeup();
+}
+
+void
 EventLoop::wakeup()
 {
     const std::uint64_t one = 1;
@@ -110,9 +121,10 @@ EventLoop::adoptPending()
             ::close(fd);
             continue;
         }
-        conns_.emplace(fd,
-                       std::make_unique<Conn>(fd, nextConnId_++));
+        conns_.emplace(
+            fd, std::make_unique<Conn>(fd, nextConnId_++, limits_));
         open_.fetch_add(1, std::memory_order_relaxed);
+        counters_.currConnections.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -124,16 +136,49 @@ EventLoop::closeConn(int fd)
         return;
     served_.fetch_add(it->second->requestsServed(),
                       std::memory_order_relaxed);
+    if (it->second->closeReason() == CloseReason::Backpressure)
+        counters_.backpressureCloses.fetch_add(1,
+                                               std::memory_order_relaxed);
     ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
     conns_.erase(it);  // Conn destructor closes the fd.
     open_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.currConnections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+EventLoop::reapIdle()
+{
+    if (idleTimeoutMs_ == 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto deadline = std::chrono::milliseconds(idleTimeoutMs_);
+    std::vector<int> expired;
+    for (const auto &kv : conns_)
+        if (now - kv.second->lastActivity() >= deadline)
+            expired.push_back(kv.first);
+    for (int fd : expired) {
+        closeConn(fd);
+        counters_.idleKicks.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+EventLoop::retireDrained()
+{
+    std::vector<int> done;
+    for (const auto &kv : conns_)
+        if (!kv.second->wantsWrite())
+            done.push_back(kv.first);
+    for (int fd : done)
+        closeConn(fd);
 }
 
 void
 EventLoop::updateInterest(Conn &c)
 {
     epoll_event ev{};
-    ev.events = EPOLLIN | (c.wantsWrite() ? EPOLLOUT : 0u);
+    ev.events = (c.wantsRead() ? EPOLLIN : 0u) |
+                (c.wantsWrite() ? EPOLLOUT : 0u);
     ev.data.fd = c.fd();
     ::epoll_ctl(epfd_, EPOLL_CTL_MOD, c.fd(), &ev);
 }
@@ -146,16 +191,24 @@ EventLoop::run()
     // rather than materializing inside the first transaction.
     tm::myDesc();
 
+    // The epoll timeout doubles as the idle-reaper tick: short enough
+    // that a connection overstays its deadline by at most ~25%.
+    int timeout_ms = 100;
+    if (idleTimeoutMs_ > 0)
+        timeout_ms = std::clamp(static_cast<int>(idleTimeoutMs_ / 4), 1,
+                                timeout_ms);
+
     epoll_event events[64];
     while (!stopping_.load(std::memory_order_acquire)) {
-        const int n = ::epoll_wait(
-            epfd_, events, static_cast<int>(std::size(events)), 100);
+        const int n = sys::epollWait(
+            epfd_, events, static_cast<int>(std::size(events)), timeout_ms);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
         adoptPending();
+        const bool draining = draining_.load(std::memory_order_acquire);
         for (int i = 0; i < n; ++i) {
             const int fd = events[i].data.fd;
             if (fd == wakefd_) {
@@ -175,22 +228,41 @@ EventLoop::run()
                 // bytes; a pure error closes immediately.
                 alive = (events[i].events & EPOLLIN) != 0;
             }
-            if (alive && (events[i].events & EPOLLIN))
-                alive = c.onReadable(worker_, exec_);
-            if (alive && (events[i].events & EPOLLOUT))
-                alive = c.onWritable();
+            if (draining) {
+                // No new requests; just push queued replies out.
+                if (alive && (events[i].events & EPOLLOUT))
+                    alive = c.flushOnly();
+            } else {
+                if (alive && (events[i].events & EPOLLIN))
+                    alive = c.onReadable(worker_, exec_);
+                if (alive && (events[i].events & EPOLLOUT))
+                    alive = c.onWritable(worker_, exec_);
+            }
             if (!alive) {
                 closeConn(fd);
                 continue;
             }
             updateInterest(c);
         }
+        if (draining) {
+            retireDrained();
+            if (conns_.empty()) {
+                std::lock_guard<std::mutex> guard(pendingMu_);
+                if (pending_.empty())
+                    break;  // Nothing owed; let stop() join us.
+            }
+        } else {
+            reapIdle();
+        }
     }
     // Drain on exit so lingering clients see clean closes.
     for (auto &kv : conns_)
         served_.fetch_add(kv.second->requestsServed(),
                           std::memory_order_relaxed);
+    counters_.currConnections.fetch_sub(conns_.size(),
+                                        std::memory_order_relaxed);
     conns_.clear();
+    open_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace tmemc::net

@@ -10,6 +10,17 @@
  * other thread ever touches a Conn, so connection state needs no
  * locking.
  *
+ * Overload duties (all enforced here, where the connections live):
+ *  - idle reaping: the epoll_wait timeout doubles as the idle clock —
+ *    each wakeup sweeps connections whose lastActivity() is older
+ *    than the configured deadline (memcached's idle-timeout reaper);
+ *  - backpressure: epoll interest follows Conn::wantsRead(), so a
+ *    connection over its write-buffer soft cap stops being polled
+ *    for input until the client drains it;
+ *  - graceful drain: beginDrain() stops request intake, flushes
+ *    every queued reply, and retires connections as they empty, so
+ *    the loop thread exits on its own once nothing is owed.
+ *
  * TM contract: the loop thread registers itself with the TM runtime
  * (tm::myDesc()) before serving traffic, and every transaction a
  * request needs begins and commits on this thread, inside the exec
@@ -33,6 +44,22 @@
 namespace tmemc::net
 {
 
+/**
+ * Server-wide resilience counters, shared by the accept thread and
+ * every event loop; each maps to a STAT line in the ASCII `stats`
+ * reply (see Server::statsText).
+ */
+struct NetCounters
+{
+    std::atomic<std::uint64_t> currConnections{0};
+    std::atomic<std::uint64_t> totalConnections{0};
+    std::atomic<std::uint64_t> rejectedConnections{0};
+    std::atomic<std::uint64_t> idleKicks{0};
+    std::atomic<std::uint64_t> backpressureCloses{0};
+    std::atomic<std::uint64_t> oomErrors{0};
+    std::atomic<std::uint64_t> acceptFailures{0};
+};
+
 /** One epoll worker; owns every connection assigned to it. */
 class EventLoop
 {
@@ -40,8 +67,13 @@ class EventLoop
     /**
      * @param worker_id  Cache/TM worker tid this loop serves as.
      * @param exec       Request executor (shared by all loops).
+     * @param limits     Per-connection byte budgets.
+     * @param idle_timeout_ms  Reap connections idle this long
+     *                         (0: never).
+     * @param counters   Server-wide resilience counters.
      */
-    EventLoop(std::uint32_t worker_id, ExecFn exec);
+    EventLoop(std::uint32_t worker_id, ExecFn exec, ConnLimits limits,
+              std::uint32_t idle_timeout_ms, NetCounters &counters);
     ~EventLoop();
 
     EventLoop(const EventLoop &) = delete;
@@ -58,6 +90,13 @@ class EventLoop
      * to this loop. Thread-safe; called from the listener.
      */
     void adopt(int fd);
+
+    /**
+     * Stop executing new requests, flush queued replies, and close
+     * connections as they empty; the loop thread exits by itself once
+     * none remain. Join via stop() (idempotent) after the deadline.
+     */
+    void beginDrain();
 
     std::uint32_t workerId() const { return worker_; }
 
@@ -78,15 +117,23 @@ class EventLoop
     void wakeup();
     void adoptPending();
     void closeConn(int fd);
-    /** Re-arm EPOLLIN|EPOLLOUT according to conn.wantsWrite(). */
+    /** Close every idle-deadline-expired connection. */
+    void reapIdle();
+    /** Drain mode: retire connections whose replies are all out. */
+    void retireDrained();
+    /** Re-arm epoll interest according to wantsRead()/wantsWrite(). */
     void updateInterest(Conn &c);
 
     std::uint32_t worker_;
     ExecFn exec_;
+    ConnLimits limits_;
+    std::uint32_t idleTimeoutMs_;
+    NetCounters &counters_;
     int epfd_ = -1;
     int wakefd_ = -1;
     std::thread thread_;
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
 
     std::mutex pendingMu_;
     std::vector<int> pending_;

@@ -10,6 +10,19 @@
  * shared cache under its own worker tid. Both protocols are served on
  * the same port, distinguished per frame by the binary magic byte.
  *
+ * Overload resilience (all knobs in ServerCfg):
+ *  - maxConns: past the limit the listener still accepts, writes
+ *    "SERVER_ERROR too many connections\r\n", half-closes, and parks
+ *    the socket on a short linger list so the client reads the error
+ *    instead of an RST (memcached's conn-limit behaviour), then
+ *    pauses the accept burst;
+ *  - idleTimeoutMs / ConnLimits: enforced by the event loops;
+ *  - drain(): graceful shutdown — stop accepting, flush every queued
+ *    reply, bounded by a deadline.
+ * Every shed path increments a NetCounters field; the counters are
+ * served as server-level STAT lines spliced into ASCII `stats`
+ * replies and snapshotted via netStats().
+ *
  * The server borrows the cache — benchmarks build a cache for a
  * specific branch (makeCache) and inspect its statistics after the
  * run. The cache must have been built for at least `workers` worker
@@ -20,6 +33,7 @@
 #define TMEMC_NET_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -39,6 +53,25 @@ struct ServerCfg
     std::uint16_t port = 0;  //!< 0 = ephemeral; read back via port().
     std::uint32_t workers = 4;
     int backlog = 1024;
+    /** Open-connection ceiling; 0 = unlimited. Beyond it new clients
+     *  get a polite SERVER_ERROR and a lingering close. */
+    std::uint32_t maxConns = 0;
+    /** Reap connections idle this long; 0 = never. */
+    std::uint32_t idleTimeoutMs = 0;
+    /** Per-connection byte budgets (defaults in ConnLimits). */
+    ConnLimits limits{};
+};
+
+/** Plain snapshot of the resilience counters (see NetCounters). */
+struct NetStats
+{
+    std::uint64_t currConnections = 0;
+    std::uint64_t totalConnections = 0;
+    std::uint64_t rejectedConnections = 0;
+    std::uint64_t idleKicks = 0;
+    std::uint64_t backpressureCloses = 0;
+    std::uint64_t oomErrors = 0;
+    std::uint64_t acceptFailures = 0;
 };
 
 /** Multi-threaded epoll TCP server over one cache instance. */
@@ -61,13 +94,22 @@ class Server
     /** Stop accepting, close every connection, join all threads. */
     void stop();
 
+    /**
+     * Graceful shutdown: stop accepting, let every loop flush its
+     * queued replies and retire connections as they empty, then tear
+     * down. Blocks for at most @p deadline_ms before forcing the
+     * remaining connections closed.
+     * @return true if every connection drained before the deadline.
+     */
+    bool drain(std::uint32_t deadline_ms);
+
     /** Bound port (useful with cfg.port == 0). */
     std::uint16_t port() const { return port_; }
 
     /** Connections accepted since start(). */
     std::uint64_t accepted() const
     {
-        return accepted_.load(std::memory_order_relaxed);
+        return counters_.totalConnections.load(std::memory_order_relaxed);
     }
 
     /** Requests executed across all loops (closed + live conns). */
@@ -76,8 +118,17 @@ class Server
     /** Open connections across all loops. */
     std::size_t openConnections() const;
 
+    /** Snapshot of the resilience counters. */
+    NetStats netStats() const;
+
   private:
     void acceptLoop();
+    /** Accept-then-reject one over-limit client (lingering close). */
+    void rejectConn(int fd);
+    /** Retire parked rejects whose peer closed or deadline passed. */
+    void sweepRejected(bool force);
+    /** Server-level STAT lines for the ASCII `stats` reply. */
+    std::string statsLines() const;
 
     mc::CacheIface &cache_;
     ServerCfg cfg_;
@@ -85,11 +136,19 @@ class Server
     std::uint16_t port_ = 0;
     std::thread acceptThread_;
     std::atomic<bool> stopping_{false};
-    std::atomic<std::uint64_t> accepted_{0};
+    NetCounters counters_;
     /** Requests served by loops already torn down in stop(). */
     std::atomic<std::uint64_t> servedFinal_{0};
     std::vector<std::unique_ptr<EventLoop>> loops_;
     std::uint64_t rr_ = 0;  //!< Round-robin cursor (accept thread only).
+
+    /** Rejected socket lingering until peer EOF or deadline. */
+    struct Rejected
+    {
+        int fd;
+        std::chrono::steady_clock::time_point deadline;
+    };
+    std::vector<Rejected> rejected_;  //!< Accept thread only.
 };
 
 } // namespace tmemc::net

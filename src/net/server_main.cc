@@ -4,9 +4,12 @@
  * memcached-shaped deployment of this reproduction.
  *
  * Usage: tmemc_server [--branch NAME] [--port N] [--workers N]
- *                     [--mem MB] [--verbose]
+ *                     [--mem MB] [--max-conns N] [--idle-timeout MS]
+ *                     [--drain-ms MS] [--verbose]
  *
- * Serves both protocols on one port until SIGINT/SIGTERM. Try:
+ * Serves both protocols on one port until SIGINT/SIGTERM, then drains
+ * gracefully (flushes queued replies) for --drain-ms before exiting.
+ * Try:
  *   ./build/src/net/tmemc_server --branch IT-onCommit --port 11211 &
  *   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
  */
@@ -46,6 +49,9 @@ main(int argc, char **argv)
     std::uint16_t port = 11211;
     std::uint32_t workers = 4;
     std::size_t mem_mb = 64;
+    std::uint32_t max_conns = 0;
+    std::uint32_t idle_timeout_ms = 0;
+    std::uint32_t drain_ms = 2000;
     int verbose = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -60,12 +66,21 @@ main(int argc, char **argv)
             workers = static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--mem")
             mem_mb = static_cast<std::size_t>(std::atoi(next()));
+        else if (a == "--max-conns")
+            max_conns = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--idle-timeout")
+            idle_timeout_ms =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--drain-ms")
+            drain_ms = static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--verbose")
             verbose = 1;
         else {
             std::fprintf(stderr,
                          "usage: %s [--branch NAME] [--port N] "
-                         "[--workers N] [--mem MB] [--verbose]\n",
+                         "[--workers N] [--mem MB] [--max-conns N] "
+                         "[--idle-timeout MS] [--drain-ms MS] "
+                         "[--verbose]\n",
                          argv[0]);
             return 2;
         }
@@ -85,6 +100,8 @@ main(int argc, char **argv)
     net::ServerCfg cfg;
     cfg.port = port;
     cfg.workers = workers;
+    cfg.maxConns = max_conns;
+    cfg.idleTimeoutMs = idle_timeout_ms;
     net::Server server(*cache, cfg);
     if (!server.start()) {
         std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n",
@@ -102,9 +119,10 @@ main(int argc, char **argv)
     while (!g_stop.load())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
-    server.stop();
-    std::printf("tmemc_server: %llu connections, %llu requests\n",
+    const bool drained = server.drain(drain_ms);
+    std::printf("tmemc_server: %llu connections, %llu requests%s\n",
                 static_cast<unsigned long long>(server.accepted()),
-                static_cast<unsigned long long>(server.requestsServed()));
+                static_cast<unsigned long long>(server.requestsServed()),
+                drained ? "" : " (drain deadline hit)");
     return 0;
 }

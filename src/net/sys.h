@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Injectable syscall wrappers for the network layer.
+ *
+ * Every socket syscall the server's data path issues goes through
+ * these shims so that tests can create adverse schedules on demand:
+ * an accept(2) that hits EMFILE, a write(2) that only takes one byte,
+ * an epoll_wait(2) that spuriously times out. Each wrapper consults a
+ * fault-injection site (common/fault.h) before touching the kernel:
+ *
+ *   net.accept      fail with policy errno (default EMFILE)
+ *   net.read        fail with errno, or short-read via byteCap
+ *   net.write       fail with errno, or short-write via byteCap
+ *   net.epoll_wait  fail with errno, or report zero events
+ *
+ * When no site is armed (production), each wrapper is the raw syscall
+ * behind one relaxed atomic load.
+ */
+
+#ifndef TMEMC_NET_SYS_H
+#define TMEMC_NET_SYS_H
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault.h"
+
+namespace tmemc::net::sys
+{
+
+inline int
+acceptConn(int listen_fd, int flags)
+{
+    if (fault::enabled()) {
+        const fault::Action a = fault::consult("net.accept");
+        if (a.fire) {
+            errno = a.errnoValue != 0 ? a.errnoValue : EMFILE;
+            return -1;
+        }
+    }
+    return ::accept4(listen_fd, nullptr, nullptr, flags);
+}
+
+inline ssize_t
+readFd(int fd, void *buf, std::size_t count)
+{
+    if (fault::enabled()) {
+        const fault::Action a = fault::consult("net.read");
+        if (a.fire) {
+            if (a.errnoValue != 0) {
+                errno = a.errnoValue;
+                return -1;
+            }
+            if (a.byteCap != 0 && a.byteCap < count)
+                count = a.byteCap;
+        }
+    }
+    return ::read(fd, buf, count);
+}
+
+inline ssize_t
+writeFd(int fd, const void *buf, std::size_t count)
+{
+    if (fault::enabled()) {
+        const fault::Action a = fault::consult("net.write");
+        if (a.fire) {
+            if (a.errnoValue != 0) {
+                errno = a.errnoValue;
+                return -1;
+            }
+            if (a.byteCap != 0 && a.byteCap < count)
+                count = a.byteCap;
+        }
+    }
+    return ::write(fd, buf, count);
+}
+
+inline int
+epollWait(int epfd, epoll_event *events, int maxevents, int timeout_ms)
+{
+    if (fault::enabled()) {
+        const fault::Action a = fault::consult("net.epoll_wait");
+        if (a.fire) {
+            if (a.errnoValue != 0) {
+                errno = a.errnoValue;
+                return -1;
+            }
+            return 0;  // Simulated timeout with no ready events.
+        }
+    }
+    return ::epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+
+} // namespace tmemc::net::sys
+
+#endif // TMEMC_NET_SYS_H

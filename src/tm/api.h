@@ -169,6 +169,10 @@ void onAbort(TxDesc &d, std::function<void()> fn);
  */
 void *txMalloc(TxDesc &d, std::size_t bytes);
 
+/** txMalloc that reports exhaustion: @return nullptr instead of
+ *  terminating, for callers with a graceful out-of-memory path. */
+void *txTryMalloc(TxDesc &d, std::size_t bytes);
+
 /**
  * Transaction-safe free: the memory is reclaimed only after commit
  * (and after quiescence), so concurrent doomed readers cannot fault.

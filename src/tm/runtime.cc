@@ -440,9 +440,18 @@ onAbort(TxDesc &d, std::function<void()> fn)
 void *
 txMalloc(TxDesc &d, std::size_t bytes)
 {
-    void *p = std::malloc(bytes);
+    void *p = txTryMalloc(d, bytes);
     if (p == nullptr)
         fatal("txMalloc: out of memory (%zu bytes)", bytes);
+    return p;
+}
+
+void *
+txTryMalloc(TxDesc &d, std::size_t bytes)
+{
+    void *p = std::malloc(bytes);
+    if (p == nullptr)
+        return nullptr;
     if (d.nesting > 0 && d.state == RunState::Speculative)
         d.abortFrees.push_back(p);
     return p;

@@ -7,6 +7,8 @@
 
 #include <cstring>
 
+#include "common/fault.h"
+
 namespace tmemc::tmsafe
 {
 
@@ -14,7 +16,11 @@ void *
 tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
            std::size_t new_size)
 {
-    void *fresh = tm::txMalloc(d, new_size);
+    void *fresh = fault::shouldFail("tmsafe.tm_realloc")
+                      ? nullptr
+                      : tm::txTryMalloc(d, new_size);
+    if (fresh == nullptr)
+        return nullptr;  // Old buffer untouched; caller reports OOM.
     if (old_ptr != nullptr && old_size > 0) {
         const std::size_t copy = old_size < new_size ? old_size : new_size;
         // Instrumented reads of the shared old buffer; plain writes to

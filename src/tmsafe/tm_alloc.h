@@ -29,7 +29,10 @@ namespace tmemc::tmsafe
  * @param old_size Number of live bytes in @p old_ptr (the memcached
  *                 optimization: the input size is always known).
  * @param new_size Requested size.
- * @return The new (captured) buffer.
+ * @return The new (captured) buffer, or nullptr on exhaustion (real
+ *         or injected via the "tmsafe.tm_realloc" fault site); the
+ *         old buffer is left intact so the caller can fail the
+ *         operation without losing data.
  */
 void *tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
                  std::size_t new_size);

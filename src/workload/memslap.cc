@@ -129,10 +129,12 @@ runMemslapNet(const MemslapCfg &cfg)
         for (std::uint32_t t = 0; t < threads; ++t) {
             warmers.emplace_back([&, t] {
                 net::Client client;
-                if (!client.connect(cfg.serverHost, cfg.serverPort)) {
+                if (!client.connect(cfg.serverHost, cfg.serverPort,
+                                    cfg.connectTimeoutMs)) {
                     warm_lost.fetch_add(cfg.windowSize);
                     return;
                 }
+                client.setRecvTimeout(cfg.recvTimeoutMs);
                 std::vector<char> key(cfg.keySize + 1);
                 std::vector<char> val(cfg.valueSize);
                 NetCounters ctr;
@@ -163,10 +165,12 @@ runMemslapNet(const MemslapCfg &cfg)
     for (std::uint32_t t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
             net::Client client;
-            if (!client.connect(cfg.serverHost, cfg.serverPort)) {
+            if (!client.connect(cfg.serverHost, cfg.serverPort,
+                                cfg.connectTimeoutMs)) {
                 lost.fetch_add(cfg.executeNumber);
                 return;
             }
+            client.setRecvTimeout(cfg.recvTimeoutMs);
             XorShift128 rng(cfg.seed * 1315423911u + t);
             ZipfSampler *zipf = nullptr;
             ZipfSampler zipf_storage(

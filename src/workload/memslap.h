@@ -60,6 +60,14 @@ struct MemslapCfg
      */
     std::string serverHost = "127.0.0.1";
     std::uint16_t serverPort = 0;
+    /**
+     * Network-mode deadlines: connect attempts and individual recvs
+     * are bounded by these, so a wedged or shedding server shows up
+     * as lost operations in the result instead of a hung benchmark.
+     * 0 disables the respective bound.
+     */
+    std::uint32_t connectTimeoutMs = 5000;
+    std::uint32_t recvTimeoutMs = 10000;
 };
 
 /** Result of one driver run. */

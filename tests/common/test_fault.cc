@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Fault-injection framework unit tests: trigger policies, action
+ * payloads, counters, determinism, and the disarmed fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <vector>
+
+#include "common/fault.h"
+
+namespace
+{
+
+using namespace tmemc;
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarmAll(); }
+};
+
+TEST_F(FaultTest, DisabledByDefault)
+{
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::shouldFail("nothing.armed"));
+    EXPECT_FALSE(fault::consult("nothing.armed").fire);
+    EXPECT_EQ(fault::hits("nothing.armed"), 0u);
+}
+
+TEST_F(FaultTest, ArmDisarmTogglesEnabled)
+{
+    fault::arm("site.a", fault::Policy{});
+    EXPECT_TRUE(fault::enabled());
+    fault::arm("site.b", fault::Policy{});
+    fault::disarm("site.a");
+    EXPECT_TRUE(fault::enabled());  // b still armed.
+    fault::disarm("site.b");
+    EXPECT_FALSE(fault::enabled());
+}
+
+TEST_F(FaultTest, UnarmedSiteNeverFiresEvenWhileOthersAre)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    fault::arm("site.armed", p);
+    // enabled() is global, so other sites reach consultSlow — they
+    // must still stay quiet.
+    EXPECT_FALSE(fault::shouldFail("site.other"));
+    EXPECT_TRUE(fault::shouldFail("site.armed"));
+}
+
+TEST_F(FaultTest, EveryNthFiresOnSchedule)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 3;
+    fault::arm("site.nth", p);
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(fault::shouldFail("site.nth"));
+    // Fires on hits 3, 6, 9 (every n-th).
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                        true, false, false, true}));
+    EXPECT_EQ(fault::hits("site.nth"), 9u);
+    EXPECT_EQ(fault::fires("site.nth"), 3u);
+}
+
+TEST_F(FaultTest, EveryNthWithSkipFirstDelaysTheSchedule)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 2;
+    p.skipFirst = 3;
+    fault::arm("site.skip", p);
+    std::vector<bool> fired;
+    for (int i = 0; i < 8; ++i)
+        fired.push_back(fault::shouldFail("site.skip"));
+    // Hits 1..3 pass, then every 2nd post-skip hit fires (5, 7, ...).
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, false, false, true,
+                                        false, true, false}));
+}
+
+TEST_F(FaultTest, OneShotFiresExactlyOnce)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::OneShot;
+    p.skipFirst = 2;
+    fault::arm("site.once", p);
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(fault::shouldFail("site.once"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                        false}));
+    EXPECT_EQ(fault::fires("site.once"), 1u);
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        fault::Policy p;
+        p.trigger = fault::Trigger::Probability;
+        p.probability = 0.5;
+        p.seed = seed;
+        fault::arm("site.prob", p);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(fault::shouldFail("site.prob"));
+        fault::disarm("site.prob");
+        return fired;
+    };
+    const auto a = run(42);
+    const auto b = run(42);
+    const auto c = run(43);
+    EXPECT_EQ(a, b);  // Same seed: identical schedule.
+    EXPECT_NE(a, c);  // Different seed: different schedule.
+    // p=0.5 over 64 draws: both outcomes must appear.
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultTest, ProbabilityExtremes)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::Probability;
+    p.probability = 0.0;
+    fault::arm("site.never", p);
+    p.probability = 1.0;
+    fault::arm("site.always", p);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_FALSE(fault::shouldFail("site.never"));
+        EXPECT_TRUE(fault::shouldFail("site.always"));
+    }
+}
+
+TEST_F(FaultTest, ActionCarriesErrnoAndByteCap)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    p.errnoValue = EMFILE;
+    p.byteCap = 7;
+    fault::arm("site.payload", p);
+    const fault::Action a = fault::consult("site.payload");
+    EXPECT_TRUE(a.fire);
+    EXPECT_EQ(a.errnoValue, EMFILE);
+    EXPECT_EQ(a.byteCap, 7u);
+}
+
+TEST_F(FaultTest, RearmResetsCounters)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    fault::arm("site.rearm", p);
+    (void)fault::shouldFail("site.rearm");
+    (void)fault::shouldFail("site.rearm");
+    EXPECT_EQ(fault::hits("site.rearm"), 2u);
+    fault::arm("site.rearm", p);
+    EXPECT_EQ(fault::hits("site.rearm"), 0u);
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit)
+{
+    {
+        fault::Policy p;
+        p.trigger = fault::Trigger::EveryNth;
+        p.n = 1;
+        fault::ScopedFault sf("site.scoped", p);
+        EXPECT_TRUE(fault::enabled());
+        EXPECT_TRUE(fault::shouldFail("site.scoped"));
+        EXPECT_EQ(sf.firedCount(), 1u);
+        EXPECT_EQ(sf.hitCount(), 1u);
+    }
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::shouldFail("site.scoped"));
+}
+
+} // namespace
