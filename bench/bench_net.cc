@@ -17,7 +17,8 @@
  * correctness gate as well as a benchmark.
  *
  * Usage: bench_net [--branch NAME] [--ops N] [--window N]
- *                  [--threads a,b,c] [--ascii] [--timeout-ms N]
+ *                  [--threads a,b,c] [--shards N] [--ascii]
+ *                  [--timeout-ms N]
  *
  * --timeout-ms bounds every connect and recv (default 10000), so a
  * wedged server fails the gate in seconds instead of hanging CI.
@@ -66,6 +67,7 @@ main(int argc, char **argv)
     std::uint64_t window = 2000;
     std::vector<std::uint32_t> threads{1, 4, 8};
     bool binary = true;
+    std::uint32_t shards = 1;
     std::uint32_t timeout_ms = 10000;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -80,6 +82,8 @@ main(int argc, char **argv)
             window = std::strtoull(next(), nullptr, 10);
         else if (a == "--threads")
             threads = parseThreadList(next());
+        else if (a == "--shards")
+            shards = static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--ascii")
             binary = false;
         else if (a == "--timeout-ms")
@@ -88,18 +92,18 @@ main(int argc, char **argv)
         else {
             std::fprintf(stderr,
                          "usage: %s [--branch NAME] [--ops N] "
-                         "[--window N] [--threads a,b,c] [--ascii] "
-                         "[--timeout-ms N]\n",
+                         "[--window N] [--threads a,b,c] [--shards N] "
+                         "[--ascii] [--timeout-ms N]\n",
                          argv[0]);
             return 2;
         }
     }
 
     std::printf("bench_net: branch=%s protocol=%s ops/thread=%llu "
-                "window=%llu\n",
+                "window=%llu shards=%u\n",
                 branch.c_str(), binary ? "binary" : "ascii",
                 static_cast<unsigned long long>(ops),
-                static_cast<unsigned long long>(window));
+                static_cast<unsigned long long>(window), shards);
     std::printf("%8s %16s %16s %8s %6s\n", "threads", "inproc ops/s",
                 "loopback ops/s", "net/ip", "lost");
 
@@ -117,7 +121,7 @@ main(int argc, char **argv)
         tm::Runtime::get().configure(tm::RuntimeCfg{});
         mc::Settings settings;
         settings.maxBytes = 64 * 1024 * 1024;
-        auto cache = mc::makeCache(branch, settings, n);
+        auto cache = mc::makeShardedCache(branch, settings, n, shards);
         if (cache == nullptr) {
             std::fprintf(stderr, "unknown branch '%s'\n",
                          branch.c_str());
@@ -128,7 +132,7 @@ main(int argc, char **argv)
 
         // ----- Over loopback, fresh cache, N event loops -----------------
         tm::Runtime::get().configure(tm::RuntimeCfg{});
-        cache = mc::makeCache(branch, settings, n);
+        cache = mc::makeShardedCache(branch, settings, n, shards);
         net::ServerCfg scfg;
         scfg.port = 0;
         scfg.workers = n;

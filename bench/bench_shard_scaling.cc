@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shard-count scaling sweep: the fig4-style fixed-work ladder run at
+ * shards = 1, 4, 16 for a lock baseline and the TM branches, so the
+ * effect of splitting the cache into independent synchronization
+ * domains is visible as columns of the same table.
+ *
+ * What to look for: at 8+ worker threads the sharded columns should
+ * beat shards=1 — on a real multi-core box because shards run truly
+ * in parallel, and even on a single core because sharding shrinks
+ * each domain's conflict footprint (fewer aborts and serial-mode
+ * entries in the TM branches, shorter lock convoys in the baseline).
+ *
+ * Usage: same flags as the figure binaries, plus
+ *   --shard-list a,b,c   shard counts to sweep (default 1,4,16)
+ *   --branches a,b,c     branch ladder (default Baseline,IT-onCommit)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "figure_harness.h"
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg; *p != '\0'; ++p) {
+        if (*p == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += *p;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tmemc::bench;
+
+    // Peel off the flags this binary adds, then hand the rest to the
+    // shared parser.
+    std::vector<std::uint32_t> shard_list{1, 4, 16};
+    std::vector<std::string> branches{"Baseline", "IT-onCommit"};
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--shard-list") == 0 && i + 1 < argc) {
+            shard_list.clear();
+            for (const std::string &s : splitList(argv[++i]))
+                shard_list.push_back(static_cast<std::uint32_t>(
+                    std::strtoul(s.c_str(), nullptr, 10)));
+        } else if (std::strcmp(argv[i], "--branches") == 0 &&
+                   i + 1 < argc) {
+            branches = splitList(argv[++i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    HarnessOpts opts =
+        parseArgs(static_cast<int>(rest.size()), rest.data());
+
+    std::printf("bench_shard_scaling: %llu ops/thread, %llu-key "
+                "window, %.0f%% sets, %u trial(s)\n\n",
+                static_cast<unsigned long long>(opts.opsPerThread),
+                static_cast<unsigned long long>(opts.windowSize),
+                opts.setFraction * 100.0, opts.trials);
+
+    for (const std::string &branch : branches) {
+        // One table per branch: columns are shard counts, rows are
+        // thread counts, cells are ops/s, plus the speedup of the
+        // largest shard count over the first at each thread count —
+        // the number the acceptance gate reads.
+        std::printf("== %s (ops/s) ==\n", branch.c_str());
+        std::printf("%-8s", "threads");
+        for (const std::uint32_t s : shard_list)
+            std::printf(" %14s",
+                        ("shards=" + std::to_string(s)).c_str());
+        std::printf(" %10s\n", "speedup");
+        for (const std::uint32_t t : opts.threads) {
+            std::printf("%-8u", t);
+            double first = 0.0, last = 0.0;
+            for (const std::uint32_t s : shard_list) {
+                HarnessOpts per = opts;
+                per.shards = s;
+                const Cell c = runCell(branchSeries(branch), t, per);
+                std::printf(" %14.0f", c.opsPerSec);
+                std::fflush(stdout);
+                if (s == shard_list.front())
+                    first = c.opsPerSec;
+                if (s == shard_list.back())
+                    last = c.opsPerSec;
+            }
+            std::printf(" %9.2fx\n", first > 0 ? last / first : 0.0);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -51,6 +51,10 @@ parseArgs(int argc, char **argv)
             opts.valueSize = std::strtoull(next(), nullptr, 10);
         } else if (std::strcmp(arg, "--set-fraction") == 0) {
             opts.setFraction = std::strtod(next(), nullptr);
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            opts.shards =
+                static_cast<std::uint32_t>(std::strtoul(next(), nullptr,
+                                                        10));
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.emitCsv = true;
         } else if (std::strcmp(arg, "--quick") == 0) {
@@ -60,7 +64,8 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --ops N --trials K --threads a,b,c --window W\n"
-                "         --value BYTES --set-fraction F --csv --quick\n"
+                "         --value BYTES --set-fraction F --shards N\n"
+                "         --csv --quick\n"
                 "paper parameters: --ops 625000 --trials 5 "
                 "--threads 1,2,4,8,12\n");
             std::exit(0);
@@ -104,7 +109,8 @@ runCell(const SeriesSpec &spec, std::uint32_t threads,
         mc::Settings settings;
         settings.maxBytes = 256 * 1024 * 1024;
         settings.hashPowerInit = 12;
-        auto cache = mc::makeCache(spec.cacheBranch, settings, threads);
+        auto cache = mc::makeShardedCache(spec.cacheBranch, settings,
+                                          threads, opts.shards);
         if (cache == nullptr)
             fatal("unknown branch '%s'", spec.cacheBranch.c_str());
 

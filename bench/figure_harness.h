@@ -46,6 +46,8 @@ struct HarnessOpts
     std::size_t valueSize = 100;
     double setFraction = 0.1;
     bool emitCsv = false;
+    /** Cache shard count (1 = the unsharded cache, as in the paper). */
+    std::uint32_t shards = 1;
 };
 
 /** Measured cell: mean and standard deviation over trials. */
@@ -56,7 +58,8 @@ struct Cell
     double opsPerSec = 0.0;
 };
 
-/** Parse --ops/--trials/--threads/--value/--csv/--set-fraction. */
+/** Parse --ops/--trials/--threads/--value/--csv/--set-fraction/
+ *  --shards. */
 HarnessOpts parseArgs(int argc, char **argv);
 
 /** Run one (series, threads) cell: trials x (fresh cache + workload). */

@@ -107,6 +107,18 @@ statusFor(OpStatus st)
 
 } // namespace
 
+bool
+binIsQuietGet(const char *data, std::size_t len)
+{
+    if (len < 2)
+        return false;
+    const auto *p = reinterpret_cast<const std::uint8_t *>(data);
+    if (p[0] != static_cast<std::uint8_t>(BinMagic::Request))
+        return false;
+    return p[1] == static_cast<std::uint8_t>(BinOp::GetQ) ||
+           p[1] == static_cast<std::uint8_t>(BinOp::GetKQ);
+}
+
 void
 binEncodeHeader(const BinHeader &h, std::uint8_t *out)
 {
@@ -274,6 +286,69 @@ binaryExecute(CacheIface &cache, std::uint32_t worker,
     const auto op = static_cast<BinOp>(h.opcode);
 
     switch (op) {
+      case BinOp::GetQ:
+      case BinOp::GetKQ: {
+        // A run of consecutive quiet-get frames executes as one batch:
+        // parse every complete quiet-get frame in the buffer, issue a
+        // single getMulti (one visit per touched shard), then emit hit
+        // frames only, in request order. Misses are silent per the
+        // quiet-op contract.
+        struct QGet
+        {
+            std::string key;
+            BinOp op;
+            std::uint32_t opaque;
+        };
+        std::vector<QGet> q;
+        q.push_back({key, op, h.opaque});
+        std::size_t pos = kBinHeaderSize + h.bodyLength;
+        while (pos + kBinHeaderSize <= request.size()) {
+            BinHeader nh;
+            if (!binDecodeHeader(reinterpret_cast<const std::uint8_t *>(
+                                     request.data() + pos),
+                                 nh) ||
+                nh.magic != static_cast<std::uint8_t>(BinMagic::Request))
+                break;
+            const auto nop = static_cast<BinOp>(nh.opcode);
+            if (nop != BinOp::GetQ && nop != BinOp::GetKQ)
+                break;
+            if (pos + kBinHeaderSize + nh.bodyLength > request.size() ||
+                static_cast<std::uint32_t>(nh.extrasLength) +
+                        nh.keyLength >
+                    nh.bodyLength)
+                break;
+            q.push_back({std::string(request.data() + pos +
+                                         kBinHeaderSize + nh.extrasLength,
+                                     nh.keyLength),
+                         nop, nh.opaque});
+            pos += kBinHeaderSize + nh.bodyLength;
+        }
+        std::vector<std::vector<char>> bufs(q.size());
+        std::vector<CacheIface::MultiGetReq> reqs(q.size());
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            bufs[i].resize(65536);
+            reqs[i].key = q[i].key.data();
+            reqs[i].nkey = q[i].key.size();
+            reqs[i].out = bufs[i].data();
+            reqs[i].outCap = bufs[i].size();
+        }
+        cache.getMulti(worker, reqs.data(), reqs.size());
+        std::string out;
+        const std::string flags(4, '\0');
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const auto &r = reqs[i].result;
+            if (r.status != OpStatus::Ok)
+                continue;
+            out += binResponseFrame(
+                q[i].op, BinStatus::Ok,
+                q[i].op == BinOp::GetKQ ? q[i].key : "", flags,
+                std::string(bufs[i].data(),
+                            std::min(r.vlen, bufs[i].size())),
+                r.casId, q[i].opaque);
+        }
+        return out;
+      }
+
       case BinOp::Get:
       case BinOp::GetK: {
         std::string buf(65536, '\0');

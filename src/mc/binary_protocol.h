@@ -45,9 +45,11 @@ enum class BinOp : std::uint8_t
     Increment = 0x05,
     Decrement = 0x06,
     Flush = 0x08,
+    GetQ = 0x09,
     Noop = 0x0a,
     Version = 0x0b,
     GetK = 0x0c,
+    GetKQ = 0x0d,
     Append = 0x0e,
     Prepend = 0x0f,
     Stat = 0x10,
@@ -131,10 +133,25 @@ std::size_t binParseResponse(const std::string &wire, BinResponse &out);
 /**
  * Execute one binary request against the cache and return the
  * response frame(s) (STAT produces several).
- * @return Empty string if the buffer does not contain a full frame.
+ *
+ * Quiet gets (GetQ/GetKQ) answer only on a hit — a miss produces no
+ * frame at all, which is how memcached clients implement pipelined
+ * multi-get. When @p request holds a *run* of complete quiet-get
+ * frames back to back (the connection layer concatenates consecutive
+ * ones; see Conn::drainFrames), the whole run executes as one
+ * CacheIface::getMulti call so a sharded cache visits each touched
+ * shard once, and the reply contains the hit frames in request order.
+ *
+ * @return Empty string if the buffer does not contain a full frame
+ *         (callers that only pass complete frames can treat an empty
+ *         reply as "nothing to say", e.g. an all-miss quiet-get run).
  */
 std::string binaryExecute(CacheIface &cache, std::uint32_t worker,
                           const std::string &request);
+
+/** True when the bytes start with a binary GetQ/GetKQ request header
+ *  (the frame need not be complete). */
+bool binIsQuietGet(const char *data, std::size_t len);
 
 /** Largest accepted binary request body (extras + key + value). */
 constexpr std::size_t kBinMaxBodyBytes = 8 * 1024 * 1024 + 1024;

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/padded.h"
+#include "tm/domain.h"
+#include "tm/runtime.h"
 #include "mc/assoc.h"
 #include "mc/branch.h"
 #include "mc/hash.h"
@@ -121,6 +123,7 @@ class CacheCore
 
     CacheCore(const Settings &settings, std::uint32_t worker_threads)
         : cfg_(settings),
+          domain_(domainOrecBits(settings)),
           policy_(settings.itemLockCount, worker_threads),
           tstats_(worker_threads)
     {
@@ -133,6 +136,7 @@ class CacheCore
     ~CacheCore()
     {
         // Halt the maintainers (Figure 2's halt protocol).
+        tm::DomainScope ds(&domain_);
         PlainCtx<cfg> c;
         c.volatileStore(&mxCanRun_, std::uint64_t{0});
         policy_.maintWake(c, MaintDomain::Hash);
@@ -164,6 +168,7 @@ class CacheCore
     get(std::uint32_t tid, const char *key, std::size_t nkey, char *out,
         std::size_t out_cap)
     {
+        tm::DomainScope ds(&domain_);
         if constexpr (cfg.fusedGet)
             return getFusedImpl(tid, key, nkey, out, out_cap);
         tickAdvance();
@@ -255,6 +260,7 @@ class CacheCore
           const char *val, std::size_t nbytes,
           StoreMode mode = StoreMode::Set, std::uint64_t cas_expected = 0)
     {
+        tm::DomainScope ds(&domain_);
         tickAdvance();
         const std::uint32_t hv = hashKey(key, nkey);
         bumpThreadStat(tid, &ThreadStatsBlock::cmdSet);
@@ -357,6 +363,7 @@ class CacheCore
     OpStatus
     del(std::uint32_t tid, const char *key, std::size_t nkey)
     {
+        tm::DomainScope ds(&domain_);
         tickAdvance();
         const std::uint32_t hv = hashKey(key, nkey);
         struct DelResult
@@ -401,6 +408,7 @@ class CacheCore
     arith(std::uint32_t tid, const char *key, std::size_t nkey,
           std::uint64_t delta, bool incr)
     {
+        tm::DomainScope ds(&domain_);
         tickAdvance();
         const std::uint32_t hv = hashKey(key, nkey);
         Item *held = policy_.cacheSection(
@@ -461,6 +469,7 @@ class CacheCore
     concat(std::uint32_t tid, const char *key, std::size_t nkey,
            const char *extra, std::size_t nextra, bool append)
     {
+        tm::DomainScope ds(&domain_);
         for (int attempt = 0; attempt < 8; ++attempt) {
             tickAdvance();
             const std::uint32_t hv = hashKey(key, nkey);
@@ -563,6 +572,7 @@ class CacheCore
     touch(std::uint32_t tid, const char *key, std::size_t nkey,
           std::int64_t exptime)
     {
+        tm::DomainScope ds(&domain_);
         tickAdvance();
         const std::uint32_t hv = hashKey(key, nkey);
         const bool hit = policy_.cacheSection(sites::touch, [&](auto &c) {
@@ -585,6 +595,7 @@ class CacheCore
     std::size_t
     statsText(std::uint32_t tid, char *out, std::size_t cap)
     {
+        tm::DomainScope ds(&domain_);
         ThreadStatsBlock agg = aggregateThreadStats();
         std::size_t pos = 0;
         policy_.statsSection(sites::statsRender, [&](auto &c) {
@@ -615,6 +626,7 @@ class CacheCore
     void
     flushAll(std::uint32_t tid)
     {
+        tm::DomainScope ds(&domain_);
         for (std::uint32_t cls = 0; cls < slabs_.numClasses; ++cls) {
             while (evictOne(tid, cls)) {
             }
@@ -628,6 +640,7 @@ class CacheCore
     GlobalStats
     globalStatsSnapshot()
     {
+        tm::DomainScope ds(&domain_);
         return policy_.statsSection(sites::globalStats, [&](auto &c) {
             GlobalStats g;
             (void)c.volatileLoad(&gstats_.memLimitNear);
@@ -646,6 +659,7 @@ class CacheCore
     ThreadStatsBlock
     aggregateThreadStats()
     {
+        tm::DomainScope ds(&domain_);
         ThreadStatsBlock agg;
         for (std::uint32_t t = 0; t < tstats_.size(); ++t) {
             policy_.threadStatsSection(sites::threadStats, t, [&](auto &c) {
@@ -665,6 +679,7 @@ class CacheCore
     std::uint64_t
     linkedItemCount()
     {
+        tm::DomainScope ds(&domain_);
         return policy_.cacheSection(sites::touch, [&](auto &c) {
             return c.load(&assoc_.itemCount);
         });
@@ -673,6 +688,7 @@ class CacheCore
     std::uint32_t
     hashPowerNow()
     {
+        tm::DomainScope ds(&domain_);
         return policy_.cacheSection(sites::touch, [&](auto &c) {
             return c.load(&assoc_.hashPower);
         });
@@ -681,6 +697,7 @@ class CacheCore
     bool
     expansionInFlight()
     {
+        tm::DomainScope ds(&domain_);
         PlainCtx<cfg> c;
         return c.volatileLoad(&assoc_.expanding) != 0;
     }
@@ -691,6 +708,7 @@ class CacheCore
     void
     requestRebalance(std::uint32_t src_cls, std::uint32_t dst_cls)
     {
+        tm::DomainScope ds(&domain_);
         PlainCtx<cfg> c;
         c.store(&slabs_.rebalSrc, std::uint64_t{src_cls});
         c.store(&slabs_.rebalDst, std::uint64_t{dst_cls});
@@ -702,6 +720,7 @@ class CacheCore
     void
     quiesceMaintenance()
     {
+        tm::DomainScope ds(&domain_);
         PlainCtx<cfg> c;
         while (c.volatileLoad(&assoc_.expanding) != 0 ||
                c.volatileLoad(&slabs_.rebalSignal) != 0 ||
@@ -1010,6 +1029,7 @@ class CacheCore
     void
     hashMaintLoop()
     {
+        tm::DomainScope ds(&domain_);
         for (;;) {
             policy_.maintWait(MaintDomain::Hash, [&](auto &c) {
                 return c.volatileLoad(&hashWorkPending_) != 0 ||
@@ -1090,6 +1110,7 @@ class CacheCore
     void
     slabMaintLoop()
     {
+        tm::DomainScope ds(&domain_);
         for (;;) {
             policy_.maintWait(MaintDomain::Slab, [&](auto &c) {
                 return c.volatileLoad(&slabs_.rebalSignal) != 0 ||
@@ -1272,7 +1293,24 @@ class CacheCore
         std::free(assoc_.old);
     }
 
+    /**
+     * Size this cache's orec table so total orec memory stays roughly
+     * constant as shard count grows: the configured table bits minus
+     * log2(shardCount), floored at 10 bits.
+     */
+    static std::uint32_t
+    domainOrecBits(const Settings &s)
+    {
+        std::uint32_t bits = tm::Runtime::get().cfg().orecTableBits;
+        for (std::uint32_t n = s.shardCount; n > 1 && bits > 10; n >>= 1)
+            --bits;
+        return bits;
+    }
+
     Settings cfg_;
+    /** This cache's private TM synchronization domain: transactions on
+     *  two CacheCore instances never conflict or serialize each other. */
+    tm::TxDomain domain_;
     P policy_;
     AssocState assoc_;
     LruState lru_;

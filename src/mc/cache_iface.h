@@ -42,6 +42,30 @@ class CacheIface
     virtual GetResult get(std::uint32_t tid, const char *key,
                           std::size_t nkey, char *out,
                           std::size_t out_cap) = 0;
+
+    /** One key of a batched multi-get. */
+    struct MultiGetReq
+    {
+        const char *key = nullptr;
+        std::size_t nkey = 0;
+        char *out = nullptr;
+        std::size_t outCap = 0;
+        GetResult result;
+    };
+
+    /**
+     * Batched lookup: fill result for every request. The sharded cache
+     * overrides this to visit each touched shard exactly once; the
+     * default is a plain per-key loop.
+     */
+    virtual void
+    getMulti(std::uint32_t tid, MultiGetReq *reqs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            reqs[i].result = get(tid, reqs[i].key, reqs[i].nkey,
+                                 reqs[i].out, reqs[i].outCap);
+        }
+    }
     virtual OpStatus store(std::uint32_t tid, const char *key,
                            std::size_t nkey, const char *val,
                            std::size_t nbytes,
@@ -69,6 +93,16 @@ class CacheIface
     virtual void quiesceMaintenance() = 0;
     virtual void requestRebalance(std::uint32_t src_cls,
                                   std::uint32_t dst_cls) = 0;
+
+    /** Number of independent shards behind this handle (1 = unsharded). */
+    virtual std::uint32_t shardCount() const { return 1; }
+    /** Which shard a key maps to (always 0 when unsharded). */
+    virtual std::uint32_t shardOf(const char *key, std::size_t nkey) const
+    {
+        (void)key;
+        (void)nkey;
+        return 0;
+    }
 };
 
 /**
@@ -81,6 +115,18 @@ class CacheIface
 std::unique_ptr<CacheIface> makeCache(const std::string &branch,
                                       const Settings &settings,
                                       std::uint32_t worker_threads);
+
+/**
+ * Instantiate a cache partitioned into @p shards independent instances
+ * of @p branch, each with its own synchronization domain (lock set or
+ * TM context / orec stripe). Keys are routed by the hash.h digest.
+ * With shards == 1 this is equivalent to makeCache().
+ * @return nullptr if the branch name is unknown or shards == 0.
+ */
+std::unique_ptr<CacheIface> makeShardedCache(const std::string &branch,
+                                             const Settings &settings,
+                                             std::uint32_t worker_threads,
+                                             std::uint32_t shards);
 
 } // namespace tmemc::mc
 

@@ -166,27 +166,41 @@ protocolExecute(CacheIface &cache, std::uint32_t worker,
     if (cmd == "get" || cmd == "gets") {
         if (tok.size() < 2)
             return "ERROR\r\n";
-        const std::string &key = tok[1];
-        std::vector<char> buf(65536);
-        const auto r =
-            cache.get(worker, key.data(), key.size(), buf.data(),
-                      buf.size());
-        if (r.status != OpStatus::Ok)
-            return "END\r\n";
-        char header[256];
-        int n;
-        if (cmd == "gets") {
-            n = std::snprintf(header, sizeof(header),
-                              "VALUE %s 0 %zu %llu\r\n", key.c_str(),
-                              r.vlen,
-                              static_cast<unsigned long long>(r.casId));
-        } else {
-            n = std::snprintf(header, sizeof(header),
-                              "VALUE %s 0 %zu\r\n", key.c_str(), r.vlen);
+        // Multi-key get: one batched lookup so a sharded cache visits
+        // each touched shard once, not once per key.
+        const std::size_t nkeys = tok.size() - 1;
+        std::vector<std::vector<char>> bufs(nkeys);
+        std::vector<CacheIface::MultiGetReq> reqs(nkeys);
+        for (std::size_t i = 0; i < nkeys; ++i) {
+            bufs[i].resize(65536);
+            reqs[i].key = tok[i + 1].data();
+            reqs[i].nkey = tok[i + 1].size();
+            reqs[i].out = bufs[i].data();
+            reqs[i].outCap = bufs[i].size();
         }
-        std::string reply(header, static_cast<std::size_t>(n));
-        reply.append(buf.data(), std::min(r.vlen, buf.size()));
-        reply.append("\r\nEND\r\n");
+        cache.getMulti(worker, reqs.data(), reqs.size());
+        std::string reply;
+        for (std::size_t i = 0; i < nkeys; ++i) {
+            const auto &r = reqs[i].result;
+            if (r.status != OpStatus::Ok)
+                continue;
+            char header[256];
+            int n;
+            if (cmd == "gets") {
+                n = std::snprintf(
+                    header, sizeof(header), "VALUE %s 0 %zu %llu\r\n",
+                    tok[i + 1].c_str(), r.vlen,
+                    static_cast<unsigned long long>(r.casId));
+            } else {
+                n = std::snprintf(header, sizeof(header),
+                                  "VALUE %s 0 %zu\r\n", tok[i + 1].c_str(),
+                                  r.vlen);
+            }
+            reply.append(header, static_cast<std::size_t>(n));
+            reply.append(bufs[i].data(), std::min(r.vlen, bufs[i].size()));
+            reply.append("\r\n");
+        }
+        reply.append("END\r\n");
         return reply;
     }
 

@@ -39,6 +39,11 @@ struct Settings
     /** LRU bump throttle: an item is not re-bumped until this many
      *  logical ticks have passed (memcached: 60 seconds). */
     std::uint64_t lruBumpInterval = 64;
+    /** Number of shards this cache is split into (1 = unsharded). */
+    std::uint32_t shardCount = 1;
+    /** Index of this instance within the shard set (stats labels,
+     *  per-shard lock names, orec-table sizing). */
+    std::uint32_t shardId = 0;
 };
 
 } // namespace tmemc::mc

@@ -167,6 +167,20 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
 {
     std::size_t off = 0;
     bool ok = true;
+    // Consecutive binary quiet-get frames (GetQ/GetKQ) are collected
+    // and handed to exec() as one concatenated request: binaryExecute
+    // turns the run into a single getMulti, so a sharded cache visits
+    // each touched shard once instead of once per key.
+    std::string quietRun;
+    std::uint64_t quietFrames = 0;
+    auto flushQuietRun = [&]() {
+        if (quietFrames == 0)
+            return;
+        wbuf_ += exec(worker, true, quietRun);
+        served_ += quietFrames;
+        quietRun.clear();
+        quietFrames = 0;
+    };
     while (off < rbuf_.size()) {
         // Soft-cap check inside the burst too: a pipelined batch
         // stops executing once replies back up, leaving the rest of
@@ -195,6 +209,15 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
             break;
         }
         const std::string frame = rbuf_.substr(off, fr.frameLen);
+        if (binary && mc::binIsQuietGet(frame.data(), frame.size())) {
+            quietRun += frame;
+            ++quietFrames;
+            off += fr.frameLen;
+            continue;
+        }
+        // Any non-quiet frame terminates the run; its reply must
+        // follow the run's hit replies, so flush the batch first.
+        flushQuietRun();
         if (!binary && (frame == "quit\r\n" || frame == "quit\n")) {
             // memcached's quit: close without a reply.
             off += fr.frameLen;
@@ -205,6 +228,10 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
         ++served_;
         off += fr.frameLen;
     }
+    // Runs also end at the buffer edge (NeedMore / soft cap / error):
+    // quiet gets never wait for a terminator, they are batched only
+    // opportunistically within one drain pass.
+    flushQuietRun();
     if (off == rbuf_.size())
         rbuf_.clear();
     else if (off > 0)

@@ -4,8 +4,8 @@
  * memcached-shaped deployment of this reproduction.
  *
  * Usage: tmemc_server [--branch NAME] [--port N] [--workers N]
- *                     [--mem MB] [--max-conns N] [--idle-timeout MS]
- *                     [--drain-ms MS] [--verbose]
+ *                     [--shards N] [--mem MB] [--max-conns N]
+ *                     [--idle-timeout MS] [--drain-ms MS] [--verbose]
  *
  * Serves both protocols on one port until SIGINT/SIGTERM, then drains
  * gracefully (flushes queued replies) for --drain-ms before exiting.
@@ -48,6 +48,7 @@ main(int argc, char **argv)
     std::string branch = "IT-onCommit";
     std::uint16_t port = 11211;
     std::uint32_t workers = 4;
+    std::uint32_t shards = 1;
     std::size_t mem_mb = 64;
     std::uint32_t max_conns = 0;
     std::uint32_t idle_timeout_ms = 0;
@@ -64,6 +65,8 @@ main(int argc, char **argv)
             port = static_cast<std::uint16_t>(std::atoi(next()));
         else if (a == "--workers")
             workers = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--shards")
+            shards = static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--mem")
             mem_mb = static_cast<std::size_t>(std::atoi(next()));
         else if (a == "--max-conns")
@@ -78,9 +81,9 @@ main(int argc, char **argv)
         else {
             std::fprintf(stderr,
                          "usage: %s [--branch NAME] [--port N] "
-                         "[--workers N] [--mem MB] [--max-conns N] "
-                         "[--idle-timeout MS] [--drain-ms MS] "
-                         "[--verbose]\n",
+                         "[--workers N] [--shards N] [--mem MB] "
+                         "[--max-conns N] [--idle-timeout MS] "
+                         "[--drain-ms MS] [--verbose]\n",
                          argv[0]);
             return 2;
         }
@@ -91,9 +94,10 @@ main(int argc, char **argv)
     mc::Settings settings;
     settings.maxBytes = mem_mb * 1024 * 1024;
     settings.verbose = verbose;
-    auto cache = mc::makeCache(branch, settings, workers);
+    auto cache = mc::makeShardedCache(branch, settings, workers, shards);
     if (cache == nullptr) {
-        std::fprintf(stderr, "unknown branch '%s'\n", branch.c_str());
+        std::fprintf(stderr, "unknown branch '%s' (or --shards 0)\n",
+                     branch.c_str());
         return 1;
     }
 
@@ -110,9 +114,9 @@ main(int argc, char **argv)
     }
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    std::printf("tmemc_server: branch=%s workers=%u listening on "
-                "127.0.0.1:%u\n",
-                cache->branchName(), workers,
+    std::printf("tmemc_server: branch=%s workers=%u shards=%u "
+                "listening on 127.0.0.1:%u\n",
+                cache->branchName(), workers, cache->shardCount(),
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 

@@ -32,14 +32,14 @@ class GccEagerAlgo : public Algo
     void
     begin(Runtime &rt, TxDesc &d) override
     {
-        d.startTime = rt.clock.load(std::memory_order_acquire);
+        d.startTime = d.dom().clock.load(std::memory_order_acquire);
         d.publishStart(d.startTime);
     }
 
     std::uint64_t
     loadWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
     {
-        OrecWord &o = rt.orecs().forWord(word_addr);
+        OrecWord &o = d.dom().orecs().forWord(word_addr);
         for (;;) {
             const std::uint64_t w1 = o.load(std::memory_order_acquire);
             const OrecSnapshot s1{w1};
@@ -65,7 +65,7 @@ class GccEagerAlgo : public Algo
     storeWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr,
               std::uint64_t val, std::uint64_t mask) override
     {
-        OrecWord &o = rt.orecs().forWord(word_addr);
+        OrecWord &o = d.dom().orecs().forWord(word_addr);
         std::uint64_t w = o.load(std::memory_order_acquire);
         const OrecSnapshot snap{w};
         if (snap.locked()) {
@@ -101,7 +101,7 @@ class GccEagerAlgo : public Algo
             return 0;
         }
         const std::uint64_t end =
-            rt.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+            d.dom().clock.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (end != d.startTime + 1 && !validateReadSet(d))
             throw TxAbort{};  // handleAbort() runs rollback().
         for (const LockEntry &le : d.writeLocks) {

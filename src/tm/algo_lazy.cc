@@ -28,7 +28,7 @@ class LazyAlgo : public Algo
     void
     begin(Runtime &rt, TxDesc &d) override
     {
-        d.startTime = rt.clock.load(std::memory_order_acquire);
+        d.startTime = d.dom().clock.load(std::memory_order_acquire);
         d.publishStart(d.startTime);
     }
 
@@ -41,7 +41,7 @@ class LazyAlgo : public Algo
         if (buffered && buf_mask == ~std::uint64_t{0})
             return buf_val;  // Fully covered by our own writes.
 
-        OrecWord &o = rt.orecs().forWord(word_addr);
+        OrecWord &o = d.dom().orecs().forWord(word_addr);
         for (;;) {
             const std::uint64_t w1 = o.load(std::memory_order_acquire);
             const OrecSnapshot s1{w1};
@@ -78,7 +78,7 @@ class LazyAlgo : public Algo
         // words can hash to one orec; the locked-by-us check makes the
         // acquisition idempotent.
         for (const RedoEntry &e : d.redoLog.entries()) {
-            OrecWord &o = rt.orecs().forWord(e.wordAddr);
+            OrecWord &o = d.dom().orecs().forWord(e.wordAddr);
             std::uint64_t w = o.load(std::memory_order_acquire);
             const OrecSnapshot snap{w};
             if (snap.locked()) {
@@ -101,7 +101,7 @@ class LazyAlgo : public Algo
         }
         // Phase 2: validate reads, then make the writes visible.
         const std::uint64_t end =
-            rt.clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+            d.dom().clock.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (end != d.startTime + 1 && !validateReadSet(d))
             throw TxAbort{};
         for (const RedoEntry &e : d.redoLog.entries()) {

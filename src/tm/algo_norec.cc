@@ -32,7 +32,7 @@ class NOrecAlgo : public Algo
     {
         for (;;) {
             const std::uint64_t s =
-                rt.norecSeq.load(std::memory_order_acquire);
+                d.dom().norecSeq.load(std::memory_order_acquire);
             if ((s & 1) == 0) {
                 d.norecSnapshot = s;
                 d.publishStart(s);
@@ -53,7 +53,7 @@ class NOrecAlgo : public Algo
 
         std::uint64_t mem = rawLoad(reinterpret_cast<void *>(word_addr));
         std::atomic_thread_fence(std::memory_order_acquire);
-        while (rt.norecSeq.load(std::memory_order_relaxed) !=
+        while (d.dom().norecSeq.load(std::memory_order_relaxed) !=
                d.norecSnapshot) {
             d.norecSnapshot = validate(rt, d);
             mem = rawLoad(reinterpret_cast<void *>(word_addr));
@@ -81,7 +81,7 @@ class NOrecAlgo : public Algo
         }
         for (;;) {
             std::uint64_t s = d.norecSnapshot;
-            if (rt.norecSeq.compare_exchange_strong(
+            if (d.dom().norecSeq.compare_exchange_strong(
                     s, s + 1, std::memory_order_acquire))
                 break;
             d.norecSnapshot = validate(rt, d);
@@ -91,7 +91,7 @@ class NOrecAlgo : public Algo
             rawStore(p, maskMerge(rawLoad(p), e.value, e.mask));
         }
         const std::uint64_t next = d.norecSnapshot + 2;
-        rt.norecSeq.store(next, std::memory_order_release);
+        d.dom().norecSeq.store(next, std::memory_order_release);
         d.clearSets();
         // Quiesce until every concurrent transaction has validated at
         // (or begun after) this commit; needed so that memory the
@@ -123,7 +123,7 @@ class NOrecAlgo : public Algo
     {
         for (;;) {
             const std::uint64_t t =
-                rt.norecSeq.load(std::memory_order_acquire);
+                d.dom().norecSeq.load(std::memory_order_acquire);
             if (t & 1) {
                 cpuRelax();
                 continue;
@@ -134,7 +134,7 @@ class NOrecAlgo : public Algo
                     throw TxAbort{};
             }
             std::atomic_thread_fence(std::memory_order_acquire);
-            if (rt.norecSeq.load(std::memory_order_relaxed) == t) {
+            if (d.dom().norecSeq.load(std::memory_order_relaxed) == t) {
                 d.publishStart(t);
                 return t;
             }

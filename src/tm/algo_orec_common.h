@@ -45,7 +45,7 @@ validateReadSet(TxDesc &d)
 inline bool
 extendStartTime(Runtime &rt, TxDesc &d)
 {
-    const std::uint64_t now = rt.clock.load(std::memory_order_acquire);
+    const std::uint64_t now = d.dom().clock.load(std::memory_order_acquire);
     if (!validateReadSet(d))
         return false;
     d.startTime = now;

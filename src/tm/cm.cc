@@ -75,7 +75,7 @@ class HourglassCm : public ContentionManager
     beforeBegin(Runtime &rt, TxDesc &d) override
     {
         for (;;) {
-            TxDesc *owner = rt.toxic.load(std::memory_order_acquire);
+            TxDesc *owner = d.dom().toxic.load(std::memory_order_acquire);
             if (owner == nullptr || owner == &d)
                 return;
             std::this_thread::yield();
@@ -87,7 +87,7 @@ class HourglassCm : public ContentionManager
     {
         if (d.consecAborts >= rt.cfg().hourglassThreshold) {
             TxDesc *expected = nullptr;
-            rt.toxic.compare_exchange_strong(expected, &d,
+            d.dom().toxic.compare_exchange_strong(expected, &d,
                                              std::memory_order_acq_rel);
             // If someone else already holds the neck we simply keep
             // retrying; beforeBegin will stall us until they commit.
@@ -99,7 +99,7 @@ class HourglassCm : public ContentionManager
     afterCommit(Runtime &rt, TxDesc &d) override
     {
         TxDesc *expected = &d;
-        rt.toxic.compare_exchange_strong(expected, nullptr,
+        d.dom().toxic.compare_exchange_strong(expected, nullptr,
                                          std::memory_order_acq_rel);
     }
 };

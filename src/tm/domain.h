@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Transaction domain: one independent synchronization scope for the TM
+ * runtime — a commit clock, a NOrec sequence lock, a readers/writer
+ * serialization lock, an hourglass neck, and an ownership-record table.
+ *
+ * The runtime's historical singleton state is simply its *home* domain;
+ * additional domains can be created by subsystems that partition their
+ * data (the sharded cache gives each shard one), so that transactions
+ * on different partitions never conflict on orecs, never contend on the
+ * serial lock, and never advance each other's clocks.
+ *
+ * Correctness contract: a datum must only ever be accessed through ONE
+ * domain. Domains provide isolation between disjoint heaps, not between
+ * arbitrary transactions — two transactions in different domains that
+ * touch the same word race exactly as unsynchronized code would.
+ */
+
+#ifndef TMEMC_TM_DOMAIN_H
+#define TMEMC_TM_DOMAIN_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "tm/orec.h"
+#include "tm/serial_lock.h"
+
+namespace tmemc::tm
+{
+
+class TxDesc;
+
+/** One independent TM synchronization scope. */
+class TxDomain
+{
+  public:
+    /** @param orec_bits log2 of the ownership-record table size. */
+    explicit TxDomain(std::uint32_t orec_bits)
+        : orecs_(std::make_unique<OrecTable>(orec_bits))
+    {
+    }
+
+    TxDomain(const TxDomain &) = delete;
+    TxDomain &operator=(const TxDomain &) = delete;
+
+    /** Commit-timestamp clock (GccEager / Lazy). */
+    std::atomic<std::uint64_t> clock{0};
+    /** Sequence lock (NOrec). */
+    std::atomic<std::uint64_t> norecSeq{0};
+    /** Readers/writer serialization lock. */
+    SerialLock serialLock;
+    /** Hourglass neck: when set, only the owner may begin. */
+    std::atomic<TxDesc *> toxic{nullptr};
+
+    /** Ownership-record table. */
+    OrecTable &orecs() { return *orecs_; }
+
+    /** Reset clocks and rebuild the orec table (reconfiguration). */
+    void
+    reset(std::uint32_t orec_bits)
+    {
+        orecs_ = std::make_unique<OrecTable>(orec_bits);
+        clock.store(0, std::memory_order_relaxed);
+        norecSeq.store(0, std::memory_order_relaxed);
+        toxic.store(nullptr, std::memory_order_relaxed);
+    }
+
+  private:
+    std::unique_ptr<OrecTable> orecs_;
+};
+
+/**
+ * The calling thread's ambient domain: transactions started while a
+ * DomainScope is live run in its domain; otherwise in the runtime's
+ * home domain. Nested transactions always join the enclosing one
+ * regardless of any scope in effect.
+ */
+TxDomain *currentDomain();
+
+/** RAII ambient-domain setter (nullptr restores the home domain). */
+class DomainScope
+{
+  public:
+    explicit DomainScope(TxDomain *domain);
+    ~DomainScope();
+
+    DomainScope(const DomainScope &) = delete;
+    DomainScope &operator=(const DomainScope &) = delete;
+
+  private:
+    TxDomain *prev_;
+};
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_DOMAIN_H

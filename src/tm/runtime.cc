@@ -16,7 +16,7 @@
 namespace tmemc::tm
 {
 
-Runtime::Runtime()
+Runtime::Runtime() : home_(RuntimeCfg{}.orecTableBits)
 {
     configure(RuntimeCfg{});
 }
@@ -52,10 +52,7 @@ Runtime::configure(const RuntimeCfg &cfg)
     cfg_ = cfg;
     algo_ = &algoFor(cfg.algo);
     cm_ = &cmFor(cfg.cm);
-    orecs_ = std::make_unique<OrecTable>(cfg.orecTableBits);
-    clock.store(0, std::memory_order_relaxed);
-    norecSeq.store(0, std::memory_order_relaxed);
-    toxic.store(nullptr, std::memory_order_relaxed);
+    home_.reset(cfg.orecTableBits);
 }
 
 void
@@ -75,7 +72,8 @@ Runtime::unregisterThread(TxDesc *d)
 }
 
 void
-Runtime::quiesce(std::uint64_t commit_time, const TxDesc *self)
+Runtime::quiesce(TxDomain *domain, std::uint64_t commit_time,
+                 const TxDesc *self)
 {
     // Hold the registry lock for the whole wait so no descriptor can
     // be destroyed under us. This cannot deadlock: callers quiesce
@@ -89,6 +87,14 @@ Runtime::quiesce(std::uint64_t commit_time, const TxDesc *self)
             const std::uint64_t pub =
                 other->pubStart.load(std::memory_order_acquire);
             if (pub == 0 || pub - 1 >= commit_time)
+                break;
+            // Cross-domain starts are on unrelated clocks; comparing
+            // them would stall this committer behind transactions that
+            // can never read its domain's memory. The domain store
+            // precedes the start publication (release order), so a
+            // mismatch here means either a genuinely foreign
+            // transaction or one that already unpublished.
+            if (other->domain.load(std::memory_order_relaxed) != domain)
                 break;
             std::this_thread::yield();
         }
@@ -160,6 +166,33 @@ inTransaction()
 }
 
 // ---------------------------------------------------------------------
+// Ambient transaction domain
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+thread_local TxDomain *tlsDomain = nullptr;
+
+} // namespace
+
+TxDomain *
+currentDomain()
+{
+    return tlsDomain;
+}
+
+DomainScope::DomainScope(TxDomain *domain) : prev_(tlsDomain)
+{
+    tlsDomain = domain;
+}
+
+DomainScope::~DomainScope()
+{
+    tlsDomain = prev_;
+}
+
+// ---------------------------------------------------------------------
 // Orchestration
 // ---------------------------------------------------------------------
 
@@ -171,6 +204,12 @@ setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr)
 {
     if (attr.startsSerial && attr.kind == TxnKind::Atomic)
         panic("atomic transaction '%s' cannot be start-serial", attr.name);
+    // Bind the ambient domain before any start time can be published:
+    // quiesce() pairs its pubStart acquire with the publish release, so
+    // this relaxed store is ordered before the publication it tags.
+    TxDomain *domain = tlsDomain;
+    d.domain.store(domain != nullptr ? domain : &rt.homeDomain(),
+                   std::memory_order_relaxed);
     d.attr = &attr;
     d.kind = attr.kind;
     d.serialCause = attr.startsSerial ? SerialCause::Start
@@ -201,12 +240,12 @@ beginAttempt(Runtime &rt, TxDesc &d)
                   "serial lock was removed (NoLock mode); cause=%d",
                   d.attr->name, static_cast<int>(d.serialCause));
         }
-        rt.serialLock.writeLock();
+        d.dom().serialLock.writeLock();
         d.state = RunState::SerialIrrevocable;
         return;
     }
     if (rt.cfg().useSerialLock)
-        rt.serialLock.readLock();
+        d.dom().serialLock.readLock();
     d.state = RunState::Speculative;
     rt.algo().begin(rt, d);
 }
@@ -219,14 +258,14 @@ commitAttempt(Runtime &rt, TxDesc &d)
         const std::uint64_t quiesce_at = rt.algo().commit(rt, d);
         d.unpublishStart();
         if (rt.cfg().useSerialLock)
-            rt.serialLock.readUnlock();
+            d.dom().serialLock.readUnlock();
         // Privatization safety / safe reclamation: wait out every
         // transaction that started before this commit. Must happen
         // after unpublishing so concurrent committers cannot deadlock.
         if (quiesce_at != 0)
-            rt.quiesce(quiesce_at, &d);
+            rt.quiesce(&d.dom(), quiesce_at, &d);
     } else {
-        rt.serialLock.writeUnlock();
+        d.dom().serialLock.writeUnlock();
     }
 }
 
@@ -284,7 +323,7 @@ handleAbort(Runtime &rt, TxDesc &d)
     rt.algo().rollback(rt, d);
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
-        rt.serialLock.readUnlock();
+        d.dom().serialLock.readUnlock();
     d.state = RunState::Inactive;
     d.nesting = 0;
 
@@ -324,15 +363,16 @@ handleRetry(Runtime &rt, TxDesc &d)
 {
     // Snapshot the commit clocks before releasing anything, so a
     // commit that lands during our rollback is not missed.
+    TxDomain &dom = d.dom();
     const std::uint64_t clock_then =
-        rt.clock.load(std::memory_order_acquire);
+        dom.clock.load(std::memory_order_acquire);
     const std::uint64_t seq_then =
-        rt.norecSeq.load(std::memory_order_acquire);
+        dom.norecSeq.load(std::memory_order_acquire);
 
     rt.algo().rollback(rt, d);
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
-        rt.serialLock.readUnlock();
+        dom.serialLock.readUnlock();
     d.state = RunState::Inactive;
     d.nesting = 0;
     for (void *p : d.abortFrees)
@@ -344,12 +384,14 @@ handleRetry(Runtime &rt, TxDesc &d)
     d.stats.total.retries++;
     d.stats.site(d.attr).retries++;
 
-    // Wait for any writer commit. A full implementation would watch
-    // only the read set's orecs; waiting on the global clocks is the
-    // simple, conservative version (cf. NOrec-style retry).
+    // Wait for any writer commit in this domain. A full implementation
+    // would watch only the read set's orecs; waiting on the domain
+    // clocks is the simple, conservative version (cf. NOrec-style
+    // retry). Foreign-domain commits cannot change anything this
+    // transaction read, so they rightly do not wake it.
     for (;;) {
-        if (rt.clock.load(std::memory_order_acquire) != clock_then ||
-            rt.norecSeq.load(std::memory_order_acquire) != seq_then)
+        if (dom.clock.load(std::memory_order_acquire) != clock_then ||
+            dom.norecSeq.load(std::memory_order_acquire) != seq_then)
             return;
         std::this_thread::yield();
     }

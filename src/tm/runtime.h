@@ -22,6 +22,7 @@
 #include "tm/algo.h"
 #include "tm/attr.h"
 #include "tm/cm.h"
+#include "tm/domain.h"
 #include "tm/orec.h"
 #include "tm/serial_lock.h"
 #include "tm/stats.h"
@@ -51,17 +52,15 @@ class Runtime
     Algo &algo() { return *algo_; }
     ContentionManager &cm() { return *cm_; }
 
-    /** Global commit-timestamp clock (GccEager / Lazy). */
-    std::atomic<std::uint64_t> clock{0};
-    /** Global sequence lock (NOrec). */
-    std::atomic<std::uint64_t> norecSeq{0};
-    /** The global readers/writer serialization lock. */
-    SerialLock serialLock;
-    /** Hourglass neck: when set, only the owner may begin. */
-    std::atomic<TxDesc *> toxic{nullptr};
+    /**
+     * The home domain: the process-wide clock/seqlock/serial-lock/orec
+     * state every transaction historically shared. Transactions run
+     * here unless a DomainScope routes them elsewhere (domain.h).
+     */
+    TxDomain &homeDomain() { return home_; }
 
-    /** Ownership-record table. */
-    OrecTable &orecs() { return *orecs_; }
+    /** Home-domain ownership-record table (compat accessor). */
+    OrecTable &orecs() { return home_.orecs(); }
 
     // ------------------------------------------------------------------
     // Thread registry (the separate thread-creation lock GCC needed
@@ -72,9 +71,12 @@ class Runtime
 
     /**
      * Commit-time quiescence for privatization safety: wait until no
-     * transaction that started before @p commit_time is still running.
+     * transaction in @p domain that started before @p commit_time is
+     * still running. Transactions in other domains are invisible —
+     * their published start times are on unrelated clocks.
      */
-    void quiesce(std::uint64_t commit_time, const TxDesc *self);
+    void quiesce(TxDomain *domain, std::uint64_t commit_time,
+                 const TxDesc *self);
 
     // ------------------------------------------------------------------
     // Statistics
@@ -90,7 +92,7 @@ class Runtime
     RuntimeCfg cfg_;
     Algo *algo_ = nullptr;
     ContentionManager *cm_ = nullptr;
-    std::unique_ptr<OrecTable> orecs_;
+    TxDomain home_;
 
     std::mutex regLock_;
     std::vector<TxDesc *> threads_;

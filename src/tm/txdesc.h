@@ -30,6 +30,8 @@
 namespace tmemc::tm
 {
 
+class TxDomain;
+
 /**
  * Control-flow exception used to unwind a doomed transaction back to
  * the retry loop in tm::run(). This models libitm's longjmp back to
@@ -115,6 +117,20 @@ class alignas(cachelineBytes) TxDesc
     // ------------------------------------------------------------------
     // Algorithm state
     // ------------------------------------------------------------------
+    /**
+     * Domain this transaction runs in (set by setupTop before the
+     * start time is published; read concurrently by quiesce()). Points
+     * at the runtime's home domain unless a DomainScope was in effect.
+     */
+    std::atomic<TxDomain *> domain{nullptr};
+
+    /** The running transaction's domain (algorithm fast path). */
+    TxDomain &
+    dom()
+    {
+        return *domain.load(std::memory_order_relaxed);
+    }
+
     /** Snapshot of the global clock (GccEager / Lazy). */
     std::uint64_t startTime = 0;
     /** Snapshot of the NOrec sequence lock. */

@@ -180,6 +180,53 @@ TEST_P(BinaryProtocolTest, StatStreamTerminated)
     EXPECT_TRUE(last.value.empty());
 }
 
+TEST_P(BinaryProtocolTest, QuietGetRunAnswersHitsOnly)
+{
+    exec(binSetRequest("q1", "alpha"));
+    exec(binSetRequest("q3", "gamma"));
+
+    // A memslap-style pipeline: GetQ hit, GetKQ miss, GetKQ hit. The
+    // whole run executes as one multi-get; only the hits answer, in
+    // request order, each under its own opaque.
+    std::string run;
+    run += binRequest(BinOp::GetQ, "q1", "", "", 0, 11);
+    run += binRequest(BinOp::GetKQ, "q2", "", "", 0, 22);
+    run += binRequest(BinOp::GetKQ, "q3", "", "", 0, 33);
+    ASSERT_TRUE(binIsQuietGet(run.data(), run.size()));
+
+    const std::string wire = binaryExecute(*cache_, 0, run);
+    BinResponse first;
+    const std::size_t used = binParseResponse(wire, first);
+    ASSERT_GT(used, 0u);
+    EXPECT_EQ(first.status, BinStatus::Ok);
+    EXPECT_EQ(first.value, "alpha");
+    EXPECT_TRUE(first.key.empty());  // GetQ omits the key...
+    EXPECT_EQ(first.opaque, 11u);
+
+    BinResponse second;
+    ASSERT_GT(binParseResponse(wire.substr(used), second), 0u);
+    EXPECT_EQ(second.status, BinStatus::Ok);
+    EXPECT_EQ(second.key, "q3");  // ...GetKQ echoes it.
+    EXPECT_EQ(second.value, "gamma");
+    EXPECT_EQ(second.opaque, 33u);
+
+    // The q2 miss contributed no frame at all.
+    EXPECT_EQ(used + binParseResponse(wire.substr(used), second),
+              wire.size());
+}
+
+TEST_P(BinaryProtocolTest, QuietGetAllMissesSaysNothing)
+{
+    std::string run;
+    run += binRequest(BinOp::GetQ, "ghost1");
+    run += binRequest(BinOp::GetKQ, "ghost2");
+    EXPECT_EQ(binaryExecute(*cache_, 0, run), "");
+
+    // A loud opcode is not a quiet get.
+    const std::string loud = binRequest(BinOp::Get, "ghost1");
+    EXPECT_FALSE(binIsQuietGet(loud.data(), loud.size()));
+}
+
 TEST_P(BinaryProtocolTest, TruncatedFrameReturnsNothing)
 {
     const std::string req = binSetRequest("k", "value");

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "mc/cache_iface.h"
 #include "tm/api.h"
@@ -239,6 +240,177 @@ TEST_P(ConcurrentBranchTest, ReadersDuringFlushSeeNoGarbage)
     // quiescent flush must leave the cache empty.
     cache->flushAll(2);
     EXPECT_EQ(cache->globalStats().currItems, 0u);
+}
+
+/** Collect @p count keys that the cache maps to shard @p shard. */
+std::vector<std::string>
+keysOnShard(const CacheIface &cache, std::uint32_t shard, int count,
+            const std::string &prefix)
+{
+    std::vector<std::string> out;
+    for (int i = 0; out.size() < static_cast<std::size_t>(count); ++i) {
+        const std::string k = prefix + std::to_string(i);
+        if (cache.shardOf(k.data(), k.size()) == shard)
+            out.push_back(k);
+    }
+    return out;
+}
+
+TEST_P(ConcurrentBranchTest, CrossShardCollidingVsSpreadTorture)
+{
+    // Two key families on a 4-shard cache: "colliding" keys that all
+    // land on shard 0 (maximum intra-shard contention) and "spread"
+    // keys covering every shard (maximum cross-shard traffic). Both
+    // families hammered at once must preserve value integrity — a
+    // routing bug that sent a key to two different shards would show
+    // up as a phantom miss or a stale value after a delete.
+    Settings s;
+    s.maxBytes = 16 * 1024 * 1024;
+    s.slabPageSize = 32 * 1024;
+    s.hashPowerInit = 7;
+    auto cache = makeShardedCache(GetParam(), s, 4, 4);
+    ASSERT_NE(cache, nullptr);
+    ASSERT_EQ(cache->shardCount(), 4u);
+
+    std::vector<std::string> keys =
+        keysOnShard(*cache, 0, 12, "collide");
+    for (std::uint32_t sh = 0; sh < 4; ++sh) {
+        for (const std::string &k : keysOnShard(*cache, sh, 3, "spread"))
+            keys.push_back(k);
+    }
+
+    constexpr int threads = 4;
+    constexpr int ops = 3000;
+    std::atomic<bool> corrupt{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            XorShift128 rng(911 + t);
+            char buf[512];
+            for (int i = 0; i < ops && !corrupt.load(); ++i) {
+                const std::string &key =
+                    keys[rng.nextBounded(keys.size())];
+                const double roll = rng.nextDouble();
+                if (roll < 0.30) {
+                    const std::string val =
+                        valueFor(key, static_cast<int>(rng.nextBounded(8)));
+                    cache->store(t, key.data(), key.size(), val.data(),
+                                 val.size());
+                } else if (roll < 0.38) {
+                    cache->del(t, key.data(), key.size());
+                } else {
+                    const auto r = cache->get(t, key.data(), key.size(),
+                                              buf, sizeof(buf));
+                    if (r.status == OpStatus::Ok) {
+                        const std::string got(buf, r.vlen);
+                        if (got.rfind(key + ":", 0) != 0 ||
+                            got.size() != 64)
+                            corrupt.store(true);
+                    }
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_FALSE(corrupt.load());
+
+    cache->quiesceMaintenance();
+    // Aggregated accounting must hold across the shard set.
+    EXPECT_EQ(cache->globalStats().currItems, cache->linkedItemCount());
+}
+
+TEST_P(ConcurrentBranchTest, MultiGetSpanningShardsRacesDeletes)
+{
+    // Readers batch multi-gets that span all four shards while
+    // writers churn the same keys with sets and deletes under
+    // eviction pressure (tiny budget) and injected allocation
+    // failures (the PR-2 fault sites). Every returned hit must carry
+    // the right key's value — a batch that crossed results between
+    // slots, or read an item a delete/eviction had already unlinked,
+    // fails the prefix check.
+    Settings s;
+    s.maxBytes = 1024 * 1024;
+    s.slabPageSize = 32 * 1024;
+    s.hashPowerInit = 6;
+    s.evictionSearchDepth = 5;
+    auto cache = makeShardedCache(GetParam(), s, 4, 4);
+    ASSERT_NE(cache, nullptr);
+
+    fault::Policy p;
+    p.trigger = fault::Trigger::Probability;
+    p.probability = 0.01;
+    p.seed = 404;
+    fault::ScopedFault alloc_faults("mc.slabs.alloc", p);
+
+    std::vector<std::string> keys;
+    for (std::uint32_t sh = 0; sh < 4; ++sh) {
+        for (const std::string &k : keysOnShard(*cache, sh, 8, "span"))
+            keys.push_back(k);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> corrupt{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 2; ++t) {
+        writers.emplace_back([&, t] {
+            XorShift128 rng(31 + t);
+            while (!stop.load()) {
+                const std::string &key =
+                    keys[rng.nextBounded(keys.size())];
+                if (rng.nextDouble() < 0.7) {
+                    const std::string val =
+                        valueFor(key, static_cast<int>(rng.nextBounded(4)));
+                    cache->store(t, key.data(), key.size(), val.data(),
+                                 val.size());
+                } else {
+                    cache->del(t, key.data(), key.size());
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> readers;
+    for (int t = 2; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            XorShift128 rng(77 + t);
+            std::vector<std::vector<char>> bufs(16,
+                                                std::vector<char>(512));
+            for (int round = 0; round < 600 && !corrupt.load();
+                 ++round) {
+                // Batch spans the shards in shuffled order.
+                std::vector<CacheIface::MultiGetReq> reqs(16);
+                std::vector<const std::string *> picked(16);
+                for (int i = 0; i < 16; ++i) {
+                    picked[i] = &keys[rng.nextBounded(keys.size())];
+                    reqs[i].key = picked[i]->data();
+                    reqs[i].nkey = picked[i]->size();
+                    reqs[i].out = bufs[i].data();
+                    reqs[i].outCap = bufs[i].size();
+                }
+                cache->getMulti(static_cast<std::uint32_t>(t),
+                                reqs.data(), reqs.size());
+                for (int i = 0; i < 16; ++i) {
+                    if (reqs[i].result.status != OpStatus::Ok)
+                        continue;
+                    const std::string got(bufs[i].data(),
+                                          reqs[i].result.vlen);
+                    if (got.rfind(*picked[i] + ":", 0) != 0 ||
+                        got.size() != 64)
+                        corrupt.store(true);
+                }
+            }
+        });
+    }
+    for (auto &r : readers)
+        r.join();
+    stop.store(true);
+    for (auto &w : writers)
+        w.join();
+    EXPECT_FALSE(corrupt.load());
+
+    cache->quiesceMaintenance();
+    EXPECT_EQ(cache->globalStats().currItems, cache->linkedItemCount());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Linearizability harness for the cache, across every branch and
+ * shard count.
+ *
+ * Worker threads run a random get/set/delete/incr mix against the
+ * cache while a history recorder stamps each operation with invoke
+ * and response timestamps from one global atomic counter. A
+ * Wing & Gong style checker then searches for a linearization: a
+ * total order of the operations that (a) respects real time — an
+ * operation that returned before another was invoked must come first
+ * — and (b) replays correctly against a trivially-correct sequential
+ * model of a single key.
+ *
+ * Linearizability is a local (per-object) property [Herlihy & Wing
+ * 1990, Thm. 1], and every recorded operation touches exactly one
+ * key, so the checker decomposes the history by key and checks each
+ * subhistory independently — which also keeps the search small
+ * enough for an exhaustive DFS with memoization on (done-set, model
+ * state).
+ *
+ * The suite runs every branch at shards 1, 4 and 16: the sharded
+ * cache must be indistinguishable from the unsharded one for
+ * single-key operations, whatever the branch's synchronization
+ * (per-shard pthread locks or per-shard TM domains). A self-test
+ * feeds the checker deliberately non-linearizable histories and
+ * expects rejection, so a vacuously-accepting checker cannot pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "mc/cache_iface.h"
+#include "tm/api.h"
+
+namespace
+{
+
+using namespace tmemc;
+using namespace tmemc::mc;
+
+// ---------------------------------------------------------------- history
+
+enum class OpKind : std::uint8_t
+{
+    Get,
+    Set,
+    Del,
+    Incr,
+};
+
+/** One completed operation in the recorded history. */
+struct Op
+{
+    OpKind kind = OpKind::Get;
+    std::string key;
+    std::uint64_t arg = 0;       //!< Set value / incr delta.
+    std::uint64_t invoke = 0;    //!< Timestamp before the call.
+    std::uint64_t ret = 0;       //!< Timestamp after the call.
+    OpStatus status = OpStatus::Miss;  //!< Observed status.
+    std::string out;             //!< Observed value (get hit).
+    std::uint64_t outNum = 0;    //!< Observed counter (incr hit).
+};
+
+/**
+ * Stamps operations with a globally ordered invoke/response pair.
+ * fetch_add on one counter is enough: if op A returned before op B
+ * was invoked in real time, A's response stamp is smaller than B's
+ * invoke stamp, which is exactly the precedence the checker enforces.
+ */
+class HistoryRecorder
+{
+  public:
+    std::uint64_t
+    stamp()
+    {
+        return clock_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> clock_{0};
+};
+
+// ---------------------------------------------------------------- checker
+
+/** Sequential single-key model: absent, or holding a counter value.
+ *  (Workers only ever store decimal values, matching incr's domain.) */
+using KeyState = std::optional<std::uint64_t>;
+
+/**
+ * Replay @p op against @p st. @return false if the observed result is
+ * impossible from this state (the candidate linearization dies).
+ */
+bool
+applyOp(const Op &op, KeyState &st)
+{
+    switch (op.kind) {
+      case OpKind::Get:
+        if (!st.has_value())
+            return op.status == OpStatus::Miss;
+        return op.status == OpStatus::Ok &&
+               op.out == std::to_string(*st);
+      case OpKind::Set:
+        if (op.status != OpStatus::Ok)
+            return false;  // Plain set must succeed.
+        st = op.arg;
+        return true;
+      case OpKind::Del:
+        if (!st.has_value())
+            return op.status == OpStatus::Miss;
+        if (op.status != OpStatus::Ok)
+            return false;
+        st.reset();
+        return true;
+      case OpKind::Incr:
+        if (!st.has_value())
+            return op.status == OpStatus::Miss;
+        if (op.status != OpStatus::Ok ||
+            op.outNum != *st + op.arg)
+            return false;
+        st = *st + op.arg;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Wing & Gong search over one key's subhistory: repeatedly pick a
+ * *minimal* pending operation (one invoked before every pending
+ * response, so no real-time edge forces anything ahead of it), replay
+ * it, recurse. Memoizes (done-set, state) — reaching the same set of
+ * completed operations with the same model value again can never
+ * succeed where it previously failed.
+ */
+bool
+linearizableKey(const std::vector<const Op *> &ops)
+{
+    const std::size_t n = ops.size();
+    if (n == 0)
+        return true;
+    if (n > 64) {
+        ADD_FAILURE() << "per-key history too large for the checker ("
+                      << n << " ops); lower the op count";
+        return false;
+    }
+    std::unordered_set<std::string> visited;
+
+    struct DfsFn
+    {
+        const std::vector<const Op *> &ops;
+        std::unordered_set<std::string> &visited;
+
+        bool
+        operator()(std::uint64_t done, const KeyState &st) const
+        {
+            const std::size_t n = ops.size();
+            if (done == (n == 64 ? ~0ull : (1ull << n) - 1))
+                return true;
+            std::string memo = std::to_string(done) + "|" +
+                               (st ? std::to_string(*st) : "~");
+            if (!visited.insert(std::move(memo)).second)
+                return false;
+            // An op may linearize next only if it was invoked before
+            // every pending op's response.
+            std::uint64_t min_ret = ~0ull;
+            for (std::size_t i = 0; i < n; ++i) {
+                if ((done & (1ull << i)) == 0)
+                    min_ret = std::min(min_ret, ops[i]->ret);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if ((done & (1ull << i)) != 0)
+                    continue;
+                if (ops[i]->invoke > min_ret)
+                    continue;
+                KeyState next = st;
+                if (!applyOp(*ops[i], next))
+                    continue;
+                if ((*this)(done | (1ull << i), next))
+                    return true;
+            }
+            return false;
+        }
+    };
+    return DfsFn{ops, visited}(0, std::nullopt);
+}
+
+/** Split by key and check every subhistory; empty-cache initial state. */
+bool
+linearizable(const std::vector<Op> &history)
+{
+    std::vector<std::string> keys;
+    for (const Op &op : history) {
+        if (std::find(keys.begin(), keys.end(), op.key) == keys.end())
+            keys.push_back(op.key);
+    }
+    for (const std::string &k : keys) {
+        std::vector<const Op *> sub;
+        for (const Op &op : history) {
+            if (op.key == k)
+                sub.push_back(&op);
+        }
+        if (!linearizableKey(sub)) {
+            // Dump the offending subhistory so a CI failure is
+            // actionable (the workflow uploads this as an artifact).
+            std::fprintf(stderr,
+                         "non-linearizable subhistory for key '%s':\n",
+                         k.c_str());
+            for (const Op *op : sub) {
+                const char *kind =
+                    op->kind == OpKind::Get   ? "get"
+                    : op->kind == OpKind::Set ? "set"
+                    : op->kind == OpKind::Del ? "del"
+                                              : "incr";
+                std::fprintf(
+                    stderr,
+                    "  [%llu,%llu] %s %s arg=%llu -> status=%d out=%s "
+                    "outNum=%llu\n",
+                    static_cast<unsigned long long>(op->invoke),
+                    static_cast<unsigned long long>(op->ret), kind,
+                    op->key.c_str(),
+                    static_cast<unsigned long long>(op->arg),
+                    static_cast<int>(op->status), op->out.c_str(),
+                    static_cast<unsigned long long>(op->outNum));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ self-tests
+
+Op
+mkOp(OpKind kind, std::uint64_t invoke, std::uint64_t ret,
+     OpStatus status, std::uint64_t arg = 0, const std::string &out = "",
+     std::uint64_t out_num = 0)
+{
+    Op op;
+    op.kind = kind;
+    op.key = "k";
+    op.arg = arg;
+    op.invoke = invoke;
+    op.ret = ret;
+    op.status = status;
+    op.out = out;
+    op.outNum = out_num;
+    return op;
+}
+
+TEST(LinearizabilityChecker, AcceptsSequentialHistory)
+{
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    h.push_back(mkOp(OpKind::Get, 2, 3, OpStatus::Ok, 0, "7"));
+    h.push_back(mkOp(OpKind::Incr, 4, 5, OpStatus::Ok, 3, "", 10));
+    h.push_back(mkOp(OpKind::Del, 6, 7, OpStatus::Ok));
+    h.push_back(mkOp(OpKind::Get, 8, 9, OpStatus::Miss));
+    EXPECT_TRUE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, AcceptsConcurrentReorder)
+{
+    // The get overlaps the set and already observes its value: legal,
+    // the set linearizes inside its window before the get.
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 5, OpStatus::Ok, 42));
+    h.push_back(mkOp(OpKind::Get, 1, 2, OpStatus::Ok, 0, "42"));
+    EXPECT_TRUE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, RejectsPhantomRead)
+{
+    // Nothing ever wrote 9: no linearization can explain the get.
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    h.push_back(mkOp(OpKind::Get, 2, 3, OpStatus::Ok, 0, "9"));
+    EXPECT_FALSE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, RejectsStaleRead)
+{
+    // The second set completed before the get was invoked; real time
+    // forbids linearizing the get before it.
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 1));
+    h.push_back(mkOp(OpKind::Set, 2, 3, OpStatus::Ok, 2));
+    h.push_back(mkOp(OpKind::Get, 4, 5, OpStatus::Ok, 0, "1"));
+    EXPECT_FALSE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, RejectsLostUpdate)
+{
+    // Two concurrent incrs both observed 0 -> 5: one update vanished.
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 0));
+    h.push_back(mkOp(OpKind::Incr, 2, 6, OpStatus::Ok, 5, "", 5));
+    h.push_back(mkOp(OpKind::Incr, 3, 7, OpStatus::Ok, 5, "", 5));
+    EXPECT_FALSE(linearizable(h));
+}
+
+// ------------------------------------------------------- cache harness
+
+class LinearizabilityTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        tm::Runtime::get().resetStats();
+    }
+};
+
+/**
+ * Drive @p threads workers through a random single-key op mix and
+ * return the merged history.
+ */
+std::vector<Op>
+recordHistory(CacheIface &cache, int threads, int ops_per_thread,
+              int keys, std::uint64_t seed)
+{
+    HistoryRecorder rec;
+    std::vector<std::vector<Op>> perThread(threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t]() {
+            XorShift128 rng(seed + static_cast<std::uint64_t>(t));
+            auto &hist = perThread[t];
+            hist.reserve(static_cast<std::size_t>(ops_per_thread));
+            char buf[256];
+            for (int i = 0; i < ops_per_thread; ++i) {
+                Op op;
+                op.key =
+                    "lin" + std::to_string(rng.nextBounded(
+                                static_cast<std::uint64_t>(keys)));
+                const std::uint64_t dice = rng.nextBounded(100);
+                const auto tid = static_cast<std::uint32_t>(t);
+                if (dice < 45) {
+                    op.kind = OpKind::Get;
+                    op.invoke = rec.stamp();
+                    const auto r =
+                        cache.get(tid, op.key.data(), op.key.size(),
+                                  buf, sizeof(buf));
+                    op.ret = rec.stamp();
+                    op.status = r.status;
+                    if (r.status == OpStatus::Ok)
+                        op.out.assign(buf,
+                                      std::min(r.vlen, sizeof(buf)));
+                } else if (dice < 70) {
+                    op.kind = OpKind::Set;
+                    op.arg = rng.nextBounded(1000);
+                    const std::string val = std::to_string(op.arg);
+                    op.invoke = rec.stamp();
+                    op.status = cache.store(tid, op.key.data(),
+                                            op.key.size(), val.data(),
+                                            val.size());
+                    op.ret = rec.stamp();
+                } else if (dice < 85) {
+                    op.kind = OpKind::Incr;
+                    op.arg = 1 + rng.nextBounded(9);
+                    std::uint64_t out = 0;
+                    op.invoke = rec.stamp();
+                    op.status =
+                        cache.arith(tid, op.key.data(), op.key.size(),
+                                    op.arg, true, out);
+                    op.ret = rec.stamp();
+                    op.outNum = out;
+                } else {
+                    op.kind = OpKind::Del;
+                    op.invoke = rec.stamp();
+                    op.status =
+                        cache.del(tid, op.key.data(), op.key.size());
+                    op.ret = rec.stamp();
+                }
+                hist.push_back(std::move(op));
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    std::vector<Op> history;
+    for (auto &v : perThread) {
+        for (auto &op : v)
+            history.push_back(std::move(op));
+    }
+    return history;
+}
+
+/** Shard counts to sweep: all of {1,4,16} by default; a single count
+ *  when TMEMC_LIN_SHARDS is set (the CI shard-matrix legs use this to
+ *  pin one configuration per sanitizer run). */
+std::vector<std::uint32_t>
+shardSweep()
+{
+    if (const char *env = std::getenv("TMEMC_LIN_SHARDS")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0)
+            return {static_cast<std::uint32_t>(v)};
+    }
+    return {1u, 4u, 16u};
+}
+
+TEST_P(LinearizabilityTest, ConcurrentHistoryIsLinearizable)
+{
+    // Plenty of memory and few small keys: no eviction and no expiry,
+    // so the sequential model above is the complete specification.
+    for (const std::uint32_t shards : shardSweep()) {
+        Settings s;
+        s.maxBytes = 64 * 1024 * 1024;
+        auto cache = makeShardedCache(GetParam(), s, 4, shards);
+        ASSERT_NE(cache, nullptr);
+        ASSERT_EQ(cache->shardCount(), shards);
+
+        const std::vector<Op> history = recordHistory(
+            *cache, /*threads=*/4, /*ops_per_thread=*/40, /*keys=*/8,
+            /*seed=*/20260806 + shards);
+        EXPECT_TRUE(linearizable(history))
+            << GetParam() << " with shards=" << shards;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, LinearizabilityTest,
+    ::testing::ValuesIn(allBranchNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

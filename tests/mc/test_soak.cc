@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "mc/cache_iface.h"
 #include "tm/api.h"
@@ -92,6 +94,111 @@ TEST_P(SoakTest, EverythingAtOnce)
     // Accounting invariants at quiescence.
     EXPECT_EQ(gs.currItems, cache->linkedItemCount());
     // And the cache still works.
+    ASSERT_EQ(cache->store(0, "final", 5, "check", 5), OpStatus::Ok);
+    char out[16];
+    const auto r = cache->get(0, "final", 5, out, sizeof(out));
+    ASSERT_EQ(r.status, OpStatus::Ok);
+    EXPECT_EQ(std::string(out, r.vlen), "check");
+}
+
+TEST_P(SoakTest, CrossShardEverythingAtOnce)
+{
+    // The sharded variant of the soak: same machinery (evictions,
+    // expansions, rebalances) running independently in 4 shards, plus
+    // cross-shard multi-get batches racing the churn, plus injected
+    // allocation failures on the PR-2 fault sites. More distinct keys
+    // than the unsharded soak so each shard's private budget still
+    // overflows into eviction.
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    tm::Runtime::get().resetStats();
+
+    Settings s;
+    s.maxBytes = 256 * 1024;
+    s.slabPageSize = 32 * 1024;
+    s.hashPowerInit = 5;
+    s.evictionSearchDepth = 5;
+    auto cache = makeShardedCache(GetParam(), s, 4, 4);
+    ASSERT_NE(cache, nullptr);
+
+    constexpr int threads = 4;
+    constexpr int ops = 5000;
+    constexpr int key_space = 1600;
+    std::atomic<bool> corrupt{false};
+
+    // Armed only for the churn phase: the final sanity store below
+    // must not eat an injected allocation failure.
+    fault::Policy p;
+    p.trigger = fault::Trigger::Probability;
+    p.probability = 0.005;
+    p.seed = 2026;
+    auto alloc_faults = std::make_unique<fault::ScopedFault>(
+        "mc.slabs.alloc", p);
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            XorShift128 rng(8806 + t);
+            std::vector<char> buf(8192);
+            std::vector<std::vector<char>> mbufs(
+                8, std::vector<char>(8192));
+            for (int i = 0; i < ops && !corrupt.load(); ++i) {
+                const std::string key =
+                    "shsoak" + std::to_string(rng.nextBounded(key_space));
+                const double roll = rng.nextDouble();
+                if (roll < 0.30) {
+                    const std::size_t len =
+                        rng.nextDouble() < 0.7 ? 24 : 3000;
+                    const std::string val(len, 'v');
+                    cache->store(t, key.data(), key.size(), val.data(),
+                                 val.size());
+                } else if (roll < 0.35) {
+                    cache->del(t, key.data(), key.size());
+                } else if (roll < 0.42) {
+                    std::uint64_t v = 0;
+                    cache->arith(t, key.data(), key.size(), 1, true, v);
+                } else if (roll < 0.48) {
+                    cache->concat(t, key.data(), key.size(), "+", 1,
+                                  rng.nextDouble() < 0.5);
+                } else if (roll < 0.58) {
+                    // Multi-get batch spanning shards.
+                    std::vector<std::string> mk;
+                    std::vector<CacheIface::MultiGetReq> reqs(8);
+                    for (int j = 0; j < 8; ++j) {
+                        mk.push_back("shsoak" +
+                                     std::to_string(
+                                         rng.nextBounded(key_space)));
+                    }
+                    for (int j = 0; j < 8; ++j) {
+                        reqs[j].key = mk[j].data();
+                        reqs[j].nkey = mk[j].size();
+                        reqs[j].out = mbufs[j].data();
+                        reqs[j].outCap = mbufs[j].size();
+                    }
+                    cache->getMulti(t, reqs.data(), reqs.size());
+                    for (int j = 0; j < 8; ++j) {
+                        if (reqs[j].result.status == OpStatus::Ok &&
+                            reqs[j].result.vlen > mbufs[j].size())
+                            corrupt.store(true);
+                    }
+                } else {
+                    const auto r = cache->get(t, key.data(), key.size(),
+                                              buf.data(), buf.size());
+                    if (r.status == OpStatus::Ok && r.vlen > buf.size())
+                        corrupt.store(true);
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    alloc_faults.reset();
+    EXPECT_FALSE(corrupt.load());
+
+    cache->quiesceMaintenance();
+    const GlobalStats gs = cache->globalStats();
+    EXPECT_GT(gs.evictions, 0u) << "no eviction pressure";
+    EXPECT_GT(cache->hashPowerNow(), 5u) << "no expansion happened";
+    EXPECT_EQ(gs.currItems, cache->linkedItemCount());
     ASSERT_EQ(cache->store(0, "final", 5, "check", 5), OpStatus::Ok);
     char out[16];
     const auto r = cache->get(0, "final", 5, out, sizeof(out));
