@@ -52,5 +52,15 @@ main(int argc, char **argv)
     }
     std::printf("\npaper finding: cache_lock and stats_lock are the "
                 "contended locks;\nitem locks are never contended.\n");
+    if (!opts.jsonPath.empty()) {
+        addBenchRow({opts.benchName, "Baseline", threads, 1,
+                     result.seconds, result.opsPerSecond(), 0.0, 0.0,
+                     0.0});
+        if (!writeBenchJson(opts.jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
+    }
     return 0;
 }

@@ -97,6 +97,11 @@ main(int argc, char **argv)
                 HarnessOpts per = opts;
                 per.shards = s;
                 const Cell c = runCell(branchSeries(branch), t, per);
+                if (!opts.jsonPath.empty()) {
+                    addBenchRow({opts.benchName, branch, t, s,
+                                 c.meanSeconds, c.opsPerSec, c.p99Us,
+                                 c.abortsPerCommit, c.serialPct});
+                }
                 std::printf(" %14.0f", c.opsPerSec);
                 std::fflush(stdout);
                 if (s == shard_list.front())
@@ -107,6 +112,11 @@ main(int argc, char **argv)
             std::printf(" %9.2fx\n", first > 0 ? last / first : 0.0);
         }
         std::printf("\n");
+    }
+    if (!opts.jsonPath.empty() && !writeBenchJson(opts.jsonPath)) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opts.jsonPath.c_str());
+        return 1;
     }
     return 0;
 }

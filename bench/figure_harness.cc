@@ -5,21 +5,68 @@
 
 #include "figure_harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/hist.h"
+#include "obs/metrics.h"
 #include "tm/api.h"
 
 namespace tmemc::bench
 {
 
+namespace
+{
+
+/** Rows queued by addBenchRow, rewritten wholesale on each
+ *  writeBenchJson (a binary may emit from several harness calls). */
+std::vector<BenchRow> g_rows;
+
+} // namespace
+
+void
+addBenchRow(const BenchRow &row)
+{
+    g_rows.push_back(row);
+}
+
+bool
+writeBenchJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\"schema\":\"tmemc-bench-v1\",\"rows\":[");
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+        const BenchRow &r = g_rows[i];
+        std::fprintf(
+            f,
+            "%s\n  {\"bench\":\"%s\",\"branch\":\"%s\",\"threads\":%u,"
+            "\"shards\":%u,\"secs\":%.6f,\"ops_per_sec\":%.1f,"
+            "\"p99_us\":%.3f,\"aborts_per_commit\":%.4f,"
+            "\"serial_pct\":%.3f}",
+            i == 0 ? "" : ",", r.bench.c_str(), r.branch.c_str(),
+            r.threads, r.shards, r.secs, r.opsPerSec, r.p99Us,
+            r.abortsPerCommit, r.serialPct);
+    }
+    std::fprintf(f, "\n]}\n");
+    return std::fclose(f) == 0;
+}
+
 HarnessOpts
 parseArgs(int argc, char **argv)
 {
     HarnessOpts opts;
+    // The row label is the binary's basename, so every harness bench
+    // gains --json without touching its main().
+    if (argc > 0 && argv[0] != nullptr) {
+        const char *slash = std::strrchr(argv[0], '/');
+        opts.benchName = slash != nullptr ? slash + 1 : argv[0];
+    }
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto next = [&]() -> const char * {
@@ -55,6 +102,8 @@ parseArgs(int argc, char **argv)
             opts.shards =
                 static_cast<std::uint32_t>(std::strtoul(next(), nullptr,
                                                         10));
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.jsonPath = next();
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.emitCsv = true;
         } else if (std::strcmp(arg, "--quick") == 0) {
@@ -65,7 +114,7 @@ parseArgs(int argc, char **argv)
             std::printf(
                 "options: --ops N --trials K --threads a,b,c --window W\n"
                 "         --value BYTES --set-fraction F --shards N\n"
-                "         --csv --quick\n"
+                "         --csv --json OUT --quick\n"
                 "paper parameters: --ops 625000 --trials 5 "
                 "--threads 1,2,4,8,12\n");
             std::exit(0);
@@ -105,6 +154,9 @@ runCell(const SeriesSpec &spec, std::uint32_t threads,
     for (std::uint32_t trial = 0; trial < opts.trials; ++trial) {
         tm::Runtime::get().configure(spec.runtime);
         tm::Runtime::get().resetStats();
+        // Reset per trial so the post-loop snapshots describe exactly
+        // the final trial (the one whose cache teardown has finished).
+        obs::MetricsRegistry::get().resetHistograms();
 
         mc::Settings settings;
         settings.maxBytes = 256 * 1024 * 1024;
@@ -138,6 +190,26 @@ runCell(const SeriesSpec &spec, std::uint32_t threads,
     cell.opsPerSec =
         static_cast<double>(threads) *
         static_cast<double>(opts.opsPerThread) / cell.meanSeconds;
+    cell.bestSeconds = *std::min_element(times.begin(), times.end());
+    cell.bestOpsPerSec =
+        static_cast<double>(threads) *
+        static_cast<double>(opts.opsPerThread) / cell.bestSeconds;
+
+    // Tail latency and TM shape of the final trial. Lock-based
+    // branches run no transactions, so their p99 is 0 and the ratios
+    // stay 0 — the perf gate's taxonomy check relies on exactly that.
+    cell.p99Us =
+        obs::hist(obs::HistKind::Tx).snapshot().summary().p99Us;
+    const auto snap = tm::Runtime::get().snapshot();
+    if (snap.total.commits > 0) {
+        const double commits =
+            static_cast<double>(snap.total.commits);
+        cell.abortsPerCommit =
+            static_cast<double>(snap.total.aborts) / commits;
+        cell.serialPct =
+            100.0 * static_cast<double>(snap.total.serialCommits) /
+            commits;
+    }
     return cell;
 }
 
@@ -167,6 +239,12 @@ runFigure(const std::string &title, const std::vector<SeriesSpec> &series,
         for (const auto &s : series) {
             const Cell cell = runCell(s, t, opts);
             grid.back().push_back(cell);
+            if (!opts.jsonPath.empty()) {
+                addBenchRow({opts.benchName, s.label, t, opts.shards,
+                             cell.bestSeconds, cell.bestOpsPerSec,
+                             cell.p99Us, cell.abortsPerCommit,
+                             cell.serialPct});
+            }
             char buf[64];
             std::snprintf(buf, sizeof(buf), "%.3f (+/-%.3f)",
                           cell.meanSeconds, cell.stddevSeconds);
@@ -175,6 +253,8 @@ runFigure(const std::string &title, const std::vector<SeriesSpec> &series,
         }
         std::printf("\n");
     }
+    if (!opts.jsonPath.empty() && !writeBenchJson(opts.jsonPath))
+        fatal("cannot write %s", opts.jsonPath.c_str());
 
     if (opts.emitCsv) {
         std::printf("\ncsv,threads");
@@ -205,6 +285,7 @@ runSerializationTable(const std::string &title,
     for (const auto &s : series) {
         tm::Runtime::get().configure(s.runtime);
         tm::Runtime::get().resetStats();
+        obs::MetricsRegistry::get().resetHistograms();
 
         mc::Settings settings;
         settings.maxBytes = 256 * 1024 * 1024;
@@ -219,12 +300,40 @@ runSerializationTable(const std::string &title,
         w.windowSize = opts.windowSize;
         w.valueSize = opts.valueSize;
         w.setFraction = opts.setFraction;
-        workload::runMemslap(*cache, w);
+        const auto result = workload::runMemslap(*cache, w);
         cache.reset();  // Include maintenance-thread transactions.
 
         const auto snap = tm::Runtime::get().snapshot();
         std::printf("%s\n", snap.formatTableRow(s.label).c_str());
+        if (!opts.jsonPath.empty()) {
+            BenchRow row{opts.benchName, s.label, 4, 1,
+                         result.seconds,
+                         result.seconds > 0.0
+                             ? 4.0 *
+                                   static_cast<double>(
+                                       opts.opsPerThread) /
+                                   result.seconds
+                             : 0.0,
+                         obs::hist(obs::HistKind::Tx)
+                             .snapshot()
+                             .summary()
+                             .p99Us,
+                         0.0, 0.0};
+            if (snap.total.commits > 0) {
+                const double commits =
+                    static_cast<double>(snap.total.commits);
+                row.abortsPerCommit =
+                    static_cast<double>(snap.total.aborts) / commits;
+                row.serialPct =
+                    100.0 *
+                    static_cast<double>(snap.total.serialCommits) /
+                    commits;
+            }
+            addBenchRow(row);
+        }
     }
+    if (!opts.jsonPath.empty() && !writeBenchJson(opts.jsonPath))
+        fatal("cannot write %s", opts.jsonPath.c_str());
     std::printf("\n");
 }
 

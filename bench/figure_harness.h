@@ -48,6 +48,11 @@ struct HarnessOpts
     bool emitCsv = false;
     /** Cache shard count (1 = the unsharded cache, as in the paper). */
     std::uint32_t shards = 1;
+    /** --json OUT: write every measured row as tmemc-bench-v1 JSON. */
+    std::string jsonPath;
+    /** Row label for the JSON output; parseArgs derives it from the
+     *  binary name ("bench_fig4"). */
+    std::string benchName;
 };
 
 /** Measured cell: mean and standard deviation over trials. */
@@ -56,10 +61,45 @@ struct Cell
     double meanSeconds = 0.0;
     double stddevSeconds = 0.0;
     double opsPerSec = 0.0;
+    /** Best (minimum) trial time and the throughput it implies. The
+     *  JSON rows the perf gate diffs use these: for a fixed-work
+     *  bench, background load only ever *adds* time, so best-of-K is
+     *  the noise-robust estimate of the machine's capability. */
+    double bestSeconds = 0.0;
+    double bestOpsPerSec = 0.0;
+    /** Tail and TM shape of the final trial (obs::MetricsRegistry). */
+    double p99Us = 0.0;
+    double abortsPerCommit = 0.0;
+    double serialPct = 0.0;
 };
 
+/**
+ * One machine-readable benchmark row. results/baseline.json and the
+ * CI perf gate (scripts/perf_gate.py) consume files of these; rows
+ * are keyed by (bench, branch, threads, shards).
+ */
+struct BenchRow
+{
+    std::string bench;
+    std::string branch;
+    std::uint32_t threads = 0;
+    std::uint32_t shards = 1;
+    double secs = 0.0;
+    double opsPerSec = 0.0;
+    double p99Us = 0.0;
+    double abortsPerCommit = 0.0;
+    double serialPct = 0.0;
+};
+
+/** Queue a row for writeBenchJson (process-global accumulator). */
+void addBenchRow(const BenchRow &row);
+
+/** Write every queued row to @p path as one tmemc-bench-v1 document.
+ *  @return false on I/O failure. */
+bool writeBenchJson(const std::string &path);
+
 /** Parse --ops/--trials/--threads/--value/--csv/--set-fraction/
- *  --shards. */
+ *  --shards/--json. */
 HarnessOpts parseArgs(int argc, char **argv);
 
 /** Run one (series, threads) cell: trials x (fresh cache + workload). */

@@ -43,6 +43,9 @@ registry()
 /** Armed-site count mirrored into an atomic for the fast path. */
 std::atomic<bool> g_enabled{false};
 
+/** Armed-site hit observer (see setHitHook). */
+std::atomic<HitHook> g_hitHook{nullptr};
+
 } // namespace
 
 bool
@@ -91,38 +94,56 @@ disarmAll()
     g_enabled.store(false, std::memory_order_release);
 }
 
+void
+setHitHook(HitHook hook)
+{
+    g_hitHook.store(hook, std::memory_order_release);
+}
+
 Action
 consultSlow(const char *site)
 {
-    Registry &r = registry();
-    std::lock_guard<std::mutex> guard(r.mu);
-    auto it = r.sites.find(site);
-    if (it == r.sites.end() || !it->second.armed)
-        return {};
-    SiteState &s = it->second;
-    ++s.hits;
-    if (s.hits <= s.policy.skipFirst)
-        return {};
-
-    bool fire = false;
-    switch (s.policy.trigger) {
-      case Trigger::EveryNth: {
-        const std::uint64_t n = s.policy.n == 0 ? 1 : s.policy.n;
-        fire = (s.hits - s.policy.skipFirst) % n == 0;
-        break;
-      }
-      case Trigger::Probability:
-        fire = s.rng.nextDouble() < s.policy.probability;
-        break;
-      case Trigger::OneShot:
-        fire = !s.spent;
-        s.spent = s.spent || fire;
-        break;
+    Action action{};
+    bool hit = false;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> guard(r.mu);
+        auto it = r.sites.find(site);
+        if (it == r.sites.end() || !it->second.armed)
+            return {};
+        SiteState &s = it->second;
+        ++s.hits;
+        hit = true;
+        if (s.hits > s.policy.skipFirst) {
+            bool fire = false;
+            switch (s.policy.trigger) {
+              case Trigger::EveryNth: {
+                const std::uint64_t n = s.policy.n == 0 ? 1 : s.policy.n;
+                fire = (s.hits - s.policy.skipFirst) % n == 0;
+                break;
+              }
+              case Trigger::Probability:
+                fire = s.rng.nextDouble() < s.policy.probability;
+                break;
+              case Trigger::OneShot:
+                fire = !s.spent;
+                s.spent = s.spent || fire;
+                break;
+            }
+            if (fire) {
+                ++s.fires;
+                action = {true, s.policy.errnoValue, s.policy.byteCap};
+            }
+        }
     }
-    if (!fire)
-        return {};
-    ++s.fires;
-    return {true, s.policy.errnoValue, s.policy.byteCap};
+    // Outside the registry lock: the hook may take other locks (the
+    // flight recorder's ring mutex) without ordering against ours.
+    if (hit) {
+        if (const HitHook hook =
+                g_hitHook.load(std::memory_order_acquire))
+            hook(site);
+    }
+    return action;
 }
 
 std::uint64_t

@@ -103,6 +103,16 @@ shouldFail(const char *site)
     return enabled() && consultSlow(site).fire;
 }
 
+/**
+ * Observer invoked on every armed-site hit (fired or not), with the
+ * site name. The observability layer's flight recorder registers
+ * itself here so fault-schedule replays appear interleaved with the
+ * TM events they provoke — without this library depending on obs.
+ * Pass nullptr to clear. The hook runs outside the registry lock.
+ */
+using HitHook = void (*)(const char *site);
+void setHitHook(HitHook hook);
+
 /** Times @p site was consulted while armed (0 if never armed). */
 std::uint64_t hits(const std::string &site);
 

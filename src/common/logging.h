@@ -10,12 +10,44 @@
 #ifndef TMEMC_COMMON_LOGGING_H
 #define TMEMC_COMMON_LOGGING_H
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace tmemc
 {
+
+/**
+ * Hook run by panic()/fatal() after the message, before the process
+ * dies — the obs flight recorder installs its dump here so a crash
+ * leaves the event tail on stderr. Must be async-signal-tolerant in
+ * spirit: no allocation-heavy work beyond formatting, no retrying.
+ */
+using CrashHook = void (*)();
+
+namespace detail
+{
+inline std::atomic<CrashHook> g_crashHook{nullptr};
+} // namespace detail
+
+/** Install (or clear, with nullptr) the crash-dump hook. */
+inline void
+setCrashHook(CrashHook hook)
+{
+    detail::g_crashHook.store(hook, std::memory_order_release);
+}
+
+/** Run the crash hook once; recursion from inside the hook is a
+ *  no-op (the pointer is swapped out before the call). */
+inline void
+runCrashHook()
+{
+    CrashHook hook =
+        detail::g_crashHook.exchange(nullptr, std::memory_order_acq_rel);
+    if (hook != nullptr)
+        hook();
+}
 
 /**
  * Print a formatted message to stderr with a severity prefix.
@@ -40,6 +72,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("panic", fmt, ap);
     va_end(ap);
+    runCrashHook();
     std::abort();
 }
 
@@ -51,6 +84,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("fatal", fmt, ap);
     va_end(ap);
+    runCrashHook();
     std::exit(1);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mc/ctx.h"
+#include "obs/metrics.h"
 
 namespace tmemc::mc
 {
@@ -280,6 +281,19 @@ protocolExecute(CacheIface &cache, std::uint32_t worker,
     }
 
     if (cmd == "stats") {
+        // memcached-style sub-stats: `stats latency` and `stats tm`
+        // render the process-wide metrics snapshot (obs/metrics.h);
+        // unknown arguments fall through to the plain cache stats, as
+        // memcached replies to unknown subcommands with its default.
+        if (tok.size() >= 2 && tok[1] == "latency") {
+            return obs::MetricsRegistry::get().snapshot()
+                       .asciiLatencyRows() +
+                   "END\r\n";
+        }
+        if (tok.size() >= 2 && tok[1] == "tm") {
+            return obs::MetricsRegistry::get().snapshot().asciiTmRows() +
+                   "END\r\n";
+        }
         std::vector<char> buf(16384);
         const std::size_t n =
             cache.statsText(worker, buf.data(), buf.size());

@@ -20,12 +20,33 @@
 #include "common/logging.h"
 #include "mc/cache_iface.h"
 #include "mc/hash.h"
+#include "obs/hist.h"
+#include "obs/metrics.h"
 
 namespace tmemc::mc
 {
 
 namespace
 {
+
+/**
+ * Records one HistKind::CacheOp sample covering the enclosing scope.
+ * Lives only in the sharded wrapper: makeShardedCache with shards==1
+ * returns the underlying cache directly, so single-shard setups (the
+ * benches' default, and the lock-based Baseline branch) pay nothing.
+ */
+struct OpTimer
+{
+    std::uint64_t t0 = obs::nowNanos();
+
+    OpTimer() = default;
+    OpTimer(const OpTimer &) = delete;
+    OpTimer &operator=(const OpTimer &) = delete;
+    ~OpTimer()
+    {
+        obs::hist(obs::HistKind::CacheOp).record(obs::nowNanos() - t0);
+    }
+};
 
 class ShardedCache final : public CacheIface
 {
@@ -49,12 +70,16 @@ class ShardedCache final : public CacheIface
     get(std::uint32_t tid, const char *key, std::size_t nkey, char *out,
         std::size_t out_cap) override
     {
+        OpTimer timer;
         return route(key, nkey).get(tid, key, nkey, out, out_cap);
     }
 
     void
     getMulti(std::uint32_t tid, MultiGetReq *reqs, std::size_t n) override
     {
+        // The whole batch is one CacheOp sample: that matches the unit
+        // of work a quiet-get run becomes (see net/conn.cc).
+        OpTimer timer;
         // Group the batch so each touched shard is entered exactly once
         // (one pass through its sync domain), preserving per-shard
         // request order.
@@ -81,6 +106,7 @@ class ShardedCache final : public CacheIface
           const char *val, std::size_t nbytes, StoreMode mode,
           std::uint64_t cas_expected) override
     {
+        OpTimer timer;
         return route(key, nkey).store(tid, key, nkey, val, nbytes, mode,
                                       cas_expected);
     }
@@ -88,6 +114,7 @@ class ShardedCache final : public CacheIface
     OpStatus
     del(std::uint32_t tid, const char *key, std::size_t nkey) override
     {
+        OpTimer timer;
         return route(key, nkey).del(tid, key, nkey);
     }
 
@@ -95,6 +122,7 @@ class ShardedCache final : public CacheIface
     arith(std::uint32_t tid, const char *key, std::size_t nkey,
           std::uint64_t delta, bool incr, std::uint64_t &out_value) override
     {
+        OpTimer timer;
         return route(key, nkey).arith(tid, key, nkey, delta, incr,
                                       out_value);
     }
@@ -103,6 +131,7 @@ class ShardedCache final : public CacheIface
     touch(std::uint32_t tid, const char *key, std::size_t nkey,
           std::int64_t exptime) override
     {
+        OpTimer timer;
         return route(key, nkey).touch(tid, key, nkey, exptime);
     }
 
@@ -110,6 +139,7 @@ class ShardedCache final : public CacheIface
     concat(std::uint32_t tid, const char *key, std::size_t nkey,
            const char *extra, std::size_t nextra, bool append) override
     {
+        OpTimer timer;
         return route(key, nkey).concat(tid, key, nkey, extra, nextra,
                                        append);
     }

@@ -11,6 +11,8 @@
 
 #include "mc/binary_protocol.h"
 #include "net/sys.h"
+#include "obs/hist.h"
+#include "obs/metrics.h"
 
 namespace tmemc::net
 {
@@ -173,10 +175,18 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
     // each touched shard once instead of once per key.
     std::string quietRun;
     std::uint64_t quietFrames = 0;
+    // Per-command latency: framed request handed to exec() until its
+    // reply bytes land in wbuf_. A batched quiet-get run counts as one
+    // command — that is the unit of work the executor sees.
+    auto timedExec = [&](bool binary, const std::string &frame) {
+        const std::uint64_t t0 = obs::nowNanos();
+        wbuf_ += exec(worker, binary, frame);
+        obs::hist(obs::HistKind::Command).record(obs::nowNanos() - t0);
+    };
     auto flushQuietRun = [&]() {
         if (quietFrames == 0)
             return;
-        wbuf_ += exec(worker, true, quietRun);
+        timedExec(true, quietRun);
         served_ += quietFrames;
         quietRun.clear();
         quietFrames = 0;
@@ -224,7 +234,7 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
             ok = false;
             break;
         }
-        wbuf_ += exec(worker, binary, frame);
+        timedExec(binary, frame);
         ++served_;
         off += fr.frameLen;
     }

@@ -20,6 +20,7 @@
 #include "mc/binary_protocol.h"
 #include "mc/protocol.h"
 #include "net/sys.h"
+#include "obs/metrics.h"
 
 namespace tmemc::net
 {
@@ -69,6 +70,13 @@ frameIsStats(const std::string &frame)
     return frame.compare(0, 5, "stats") == 0;
 }
 
+/** Is this ASCII frame the `metrics` admin command? */
+bool
+frameIsMetrics(const std::string &frame)
+{
+    return frame == "metrics\r\n" || frame == "metrics\n";
+}
+
 } // namespace
 
 Server::Server(mc::CacheIface &cache, ServerCfg cfg)
@@ -80,6 +88,12 @@ Server::Server(mc::CacheIface &cache, ServerCfg cfg)
 
 Server::~Server()
 {
+    // Unregister first: once this returns, no snapshot can be running
+    // the "net" source, so the teardown below cannot race with it.
+    if (metricsToken_ != 0) {
+        obs::MetricsRegistry::get().unregisterSource(metricsToken_);
+        metricsToken_ = 0;
+    }
     stop();
 }
 
@@ -118,6 +132,13 @@ Server::start()
 
     ExecFn exec = [this](std::uint32_t worker, bool binary,
                          const std::string &frame) {
+        if (!binary && frameIsMetrics(frame)) {
+            // Admin command: the whole metrics snapshot as one JSON
+            // line. Served here, not in protocol.cc, so it exists
+            // only where a server (and its net counters) exists.
+            return obs::MetricsRegistry::get().snapshot().toJson() +
+                   "\r\nEND\r\n";
+        }
         std::string reply =
             binary ? mc::binaryExecute(cache_, worker, frame)
                    : mc::protocolExecute(cache_, worker, frame);
@@ -138,6 +159,26 @@ Server::start()
             stop();
             return false;
         }
+    }
+    // The source stays registered across stop() — the counters and
+    // servedFinal_ stay valid after teardown, so a metrics dump taken
+    // after drain() still carries the final net totals. It is dropped
+    // in the destructor, behind the unregister barrier.
+    if (metricsToken_ == 0) {
+        metricsToken_ = obs::MetricsRegistry::get().registerSource(
+            "net", [this] {
+                const NetStats s = netStats();
+                return std::vector<obs::Counter>{
+                    {"curr_connections", s.currConnections},
+                    {"total_connections", s.totalConnections},
+                    {"rejected_connections", s.rejectedConnections},
+                    {"idle_kicks", s.idleKicks},
+                    {"backpressure_closes", s.backpressureCloses},
+                    {"oom_errors", s.oomErrors},
+                    {"accept_failures", s.acceptFailures},
+                    {"requests_served", requestsServed()},
+                };
+            });
     }
     stopping_.store(false, std::memory_order_release);
     acceptThread_ = std::thread([this] { acceptLoop(); });

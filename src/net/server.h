@@ -21,7 +21,10 @@
  *    reply, bounded by a deadline.
  * Every shed path increments a NetCounters field; the counters are
  * served as server-level STAT lines spliced into ASCII `stats`
- * replies and snapshotted via netStats().
+ * replies and snapshotted via netStats(). While the server runs they
+ * are also registered with obs::MetricsRegistry under the "net_"
+ * prefix, and the ASCII admin command `metrics` returns the whole
+ * registry snapshot as one JSON line followed by END.
  *
  * The server borrows the cache — benchmarks build a cache for a
  * specific branch (makeCache) and inspect its statistics after the
@@ -137,6 +140,10 @@ class Server
     std::thread acceptThread_;
     std::atomic<bool> stopping_{false};
     NetCounters counters_;
+    /** Metrics-registry token for the "net" counter source; 0 when
+     *  not registered. Registered in start(), dropped only in the
+     *  destructor so post-drain metrics dumps keep the net totals. */
+    std::uint64_t metricsToken_ = 0;
     /** Requests served by loops already torn down in stop(). */
     std::atomic<std::uint64_t> servedFinal_{0};
     std::vector<std::unique_ptr<EventLoop>> loops_;

@@ -5,10 +5,15 @@
  *
  * Usage: tmemc_server [--branch NAME] [--port N] [--workers N]
  *                     [--shards N] [--mem MB] [--max-conns N]
- *                     [--idle-timeout MS] [--drain-ms MS] [--verbose]
+ *                     [--idle-timeout MS] [--drain-ms MS]
+ *                     [--metrics-json PATH] [--trace] [--verbose]
  *
  * Serves both protocols on one port until SIGINT/SIGTERM, then drains
  * gracefully (flushes queued replies) for --drain-ms before exiting.
+ * --metrics-json writes the final obs::MetricsRegistry snapshot (the
+ * same JSON the `metrics` admin command serves) to PATH after the
+ * drain; --trace arms the flight recorder, whose ring is dumped to
+ * stderr on panic/fatal.
  * Try:
  *   ./build/src/net/tmemc_server --branch IT-onCommit --port 11211 &
  *   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
@@ -25,6 +30,8 @@
 
 #include "mc/cache_iface.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tm/api.h"
 
 namespace
@@ -53,6 +60,8 @@ main(int argc, char **argv)
     std::uint32_t max_conns = 0;
     std::uint32_t idle_timeout_ms = 0;
     std::uint32_t drain_ms = 2000;
+    std::string metrics_json;
+    bool trace = false;
     int verbose = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -76,6 +85,10 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--drain-ms")
             drain_ms = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--metrics-json")
+            metrics_json = next();
+        else if (a == "--trace")
+            trace = true;
         else if (a == "--verbose")
             verbose = 1;
         else {
@@ -83,13 +96,16 @@ main(int argc, char **argv)
                          "usage: %s [--branch NAME] [--port N] "
                          "[--workers N] [--shards N] [--mem MB] "
                          "[--max-conns N] [--idle-timeout MS] "
-                         "[--drain-ms MS] [--verbose]\n",
+                         "[--drain-ms MS] [--metrics-json PATH] "
+                         "[--trace] [--verbose]\n",
                          argv[0]);
             return 2;
         }
     }
 
     tm::Runtime::get().configure(tm::RuntimeCfg{});
+    if (trace)
+        obs::armTrace();
 
     mc::Settings settings;
     settings.maxBytes = mem_mb * 1024 * 1024;
@@ -124,6 +140,13 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
     const bool drained = server.drain(drain_ms);
+    // Written after the drain so the command/cache-op/tx histograms
+    // and the net totals cover every request that was served.
+    if (!metrics_json.empty() &&
+        !obs::MetricsRegistry::get().writeJsonFile(metrics_json)) {
+        std::fprintf(stderr, "tmemc_server: cannot write %s\n",
+                     metrics_json.c_str());
+    }
     std::printf("tmemc_server: %llu connections, %llu requests%s\n",
                 static_cast<unsigned long long>(server.accepted()),
                 static_cast<unsigned long long>(server.requestsServed()),

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Flight-recorder implementation: per-thread rings, the registry that
+ * keeps them alive past thread exit, and the crash-dump hook.
+ */
+
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "obs/hist.h"
+
+namespace tmemc::obs
+{
+
+const char *
+traceEventName(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::TxBegin:
+        return "tx_begin";
+      case TraceEvent::TxCommit:
+        return "tx_commit";
+      case TraceEvent::TxAbort:
+        return "tx_abort";
+      case TraceEvent::TxSerialSwitch:
+        return "tx_serial_switch";
+      case TraceEvent::FaultSiteHit:
+        return "fault_site_hit";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One thread's ring. The mutex is per-ring: the owning thread takes
+ *  it on every armed append, a dump takes it while folding — so
+ *  recording stays uncontended except during the dump itself. */
+struct Ring
+{
+    std::mutex mu;
+    std::uint64_t threadIndex = 0;
+    std::uint64_t written = 0;  //!< Monotonic; slot = written % cap.
+    std::vector<TraceRecord> recs{kTraceCapacity};
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Ring>> rings;
+    std::uint64_t nextThread = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::shared_ptr<Ring> &
+myRing()
+{
+    thread_local std::shared_ptr<Ring> ring = [] {
+        auto r = std::make_shared<Ring>();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> guard(reg.mu);
+        r->threadIndex = reg.nextThread++;
+        reg.rings.push_back(r);
+        return r;
+    }();
+    return ring;
+}
+
+/** Crash hook: dump to stderr on panic()/fatal() while armed. */
+void
+crashDump()
+{
+    const std::string text = dumpTrace();
+    std::fputs("--- obs flight recorder ---\n", stderr);
+    std::fputs(text.c_str(), stderr);
+    std::fputs("--- end flight recorder ---\n", stderr);
+}
+
+/** Fault-site hook target (common/fault.h knows nothing of obs). */
+void
+faultHit(const char *site)
+{
+    traceRecord(TraceEvent::FaultSiteHit, site);
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_traceArmed{false};
+
+void
+traceRecordSlow(TraceEvent ev, const char *site, std::uint32_t shard)
+{
+    Ring &ring = *myRing();
+    std::lock_guard<std::mutex> guard(ring.mu);
+    TraceRecord &slot = ring.recs[ring.written % kTraceCapacity];
+    slot.tsc = nowNanos();
+    slot.site = site;
+    slot.shard = shard;
+    slot.event = ev;
+    ++ring.written;
+}
+
+} // namespace detail
+
+void
+armTrace()
+{
+    setCrashHook(&crashDump);
+    fault::setHitHook(&faultHit);
+    detail::g_traceArmed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarmTrace()
+{
+    detail::g_traceArmed.store(false, std::memory_order_relaxed);
+}
+
+void
+resetTrace()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mu);
+    for (auto &ring : reg.rings) {
+        std::lock_guard<std::mutex> rg(ring->mu);
+        ring->written = 0;
+    }
+}
+
+std::string
+dumpTrace()
+{
+    // Copy the ring list under the registry lock, then fold each ring
+    // under its own lock; a concurrently-recording thread blocks only
+    // for its own ring's fold.
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> guard(reg.mu);
+        rings = reg.rings;
+    }
+    std::ostringstream os;
+    for (auto &ring : rings) {
+        std::lock_guard<std::mutex> guard(ring->mu);
+        const std::uint64_t n = ring->written;
+        const std::uint64_t first =
+            n > kTraceCapacity ? n - kTraceCapacity : 0;
+        if (n > kTraceCapacity) {
+            os << "thread " << ring->threadIndex << ": "
+               << (n - kTraceCapacity) << " older records overwritten\n";
+        }
+        for (std::uint64_t i = first; i < n; ++i) {
+            const TraceRecord &r = ring->recs[i % kTraceCapacity];
+            char buf[192];
+            std::snprintf(buf, sizeof(buf),
+                          "t=%llu thread=%llu %s site=%s shard=%u\n",
+                          static_cast<unsigned long long>(r.tsc),
+                          static_cast<unsigned long long>(
+                              ring->threadIndex),
+                          traceEventName(r.event),
+                          r.site != nullptr ? r.site : "?", r.shard);
+            os << buf;
+        }
+    }
+    return os.str();
+}
+
+std::uint64_t
+traceRecordCount()
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> guard(reg.mu);
+        rings = reg.rings;
+    }
+    std::uint64_t total = 0;
+    for (auto &ring : rings) {
+        std::lock_guard<std::mutex> guard(ring->mu);
+        total += std::min<std::uint64_t>(ring->written, kTraceCapacity);
+    }
+    return total;
+}
+
+} // namespace tmemc::obs

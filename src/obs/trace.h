@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Flight recorder: a fixed-capacity per-thread ring of TM and fault
+ * events, dumped on demand or on crash.
+ *
+ * The paper's authors "manually diagnosed the causes of aborts and
+ * serialization" by hacking execinfo into GCC's TM runtime (Section
+ * 6); the per-site counters in tm/stats.h answer *how often*, this
+ * ring answers *in what order* — the last few thousand begin / abort /
+ * serial-switch / commit / fault-site events per thread, timestamped,
+ * so a wedged or crashed run leaves a readable tail of what the
+ * runtime was doing.
+ *
+ * Cost model mirrors common/fault.h: while the recorder is disarmed
+ * (the default; arm with tmemc_server --trace or obs::armTrace()),
+ * every trace point is one relaxed load of a global flag and a
+ * predictable branch. Armed recording appends under the ring's own
+ * mutex — per-thread, so uncontended except while a dump is folding
+ * the rings — which keeps concurrent dump() exact and race-free.
+ *
+ * Rings outlive their threads: the registry keeps shared ownership,
+ * so a post-mortem dump still shows events from exited workers. On
+ * panic()/fatal() the crash hook installed by armTrace() dumps every
+ * ring to stderr before the process dies.
+ */
+
+#ifndef TMEMC_OBS_TRACE_H
+#define TMEMC_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tmemc::obs
+{
+
+/** What happened (one record per event). */
+enum class TraceEvent : std::uint8_t
+{
+    TxBegin,         //!< Top-level transaction attempt began.
+    TxCommit,        //!< Top-level transaction committed.
+    TxAbort,         //!< Attempt rolled back (conflict or CM).
+    TxSerialSwitch,  //!< unsafeOp() forced an in-flight switch.
+    FaultSiteHit,    //!< An armed fault-injection site was consulted.
+};
+
+/** Printable name for @p ev. */
+const char *traceEventName(TraceEvent ev);
+
+/** One flight-recorder record. */
+struct TraceRecord
+{
+    std::uint64_t tsc;   //!< Monotonic ns stamp (nowNanos()).
+    const char *site;    //!< Static site/attr name; never owned.
+    std::uint32_t shard; //!< Shard id where known, else 0.
+    TraceEvent event;
+};
+
+/** Records kept per thread before the ring wraps. */
+constexpr std::size_t kTraceCapacity = 4096;
+
+namespace detail
+{
+
+extern std::atomic<bool> g_traceArmed;
+
+/** Slow path: append to this thread's ring (registers it on first
+ *  use). Only reached while armed. */
+void traceRecordSlow(TraceEvent ev, const char *site,
+                     std::uint32_t shard);
+
+} // namespace detail
+
+/** One relaxed load: is the flight recorder armed? */
+inline bool
+traceArmed()
+{
+    return detail::g_traceArmed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Trace point: no-op (one load + branch) while disarmed, ring append
+ * while armed. @p site must be a static string (TxnAttr name, fault
+ * site literal); the ring stores the pointer, not a copy.
+ */
+inline void
+traceRecord(TraceEvent ev, const char *site, std::uint32_t shard = 0)
+{
+    if (traceArmed())
+        detail::traceRecordSlow(ev, site, shard);
+}
+
+/** Arm the recorder and install the crash-dump hook. */
+void armTrace();
+
+/** Disarm; rings keep their contents for a later dump. */
+void disarmTrace();
+
+/** Discard every ring's contents (test isolation). */
+void resetTrace();
+
+/**
+ * Render every ring, one "t=<ns> thread=<n> <event> site=<name>
+ * shard=<s>" line per record in per-thread ring order, oldest
+ * surviving record first.
+ */
+std::string dumpTrace();
+
+/** Total records currently held across all rings. */
+std::uint64_t traceRecordCount();
+
+} // namespace tmemc::obs
+
+#endif // TMEMC_OBS_TRACE_H

@@ -11,6 +11,9 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/hist.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tm/api.h"
 
 namespace tmemc::tm
@@ -19,6 +22,25 @@ namespace tmemc::tm
 Runtime::Runtime() : home_(RuntimeCfg{}.orecTableBits)
 {
     configure(RuntimeCfg{});
+    // Fold the cross-thread stats into the metrics registry under the
+    // "tm_" prefix. The callback runs outside the registry's own lock
+    // (snapshot() copies the source list first), so taking regLock_
+    // inside Runtime::snapshot() is safe.
+    obs::MetricsRegistry::get().registerSource("tm", [this] {
+        const StatsSnapshot snap = this->snapshot();
+        const StatBlock &t = snap.total;
+        return std::vector<obs::Counter>{
+            {"txns", t.txns},
+            {"commits", t.commits},
+            {"aborts", t.aborts},
+            {"retries", t.retries},
+            {"start_serial", t.startSerial},
+            {"inflight_switch", t.inflightSwitch},
+            {"abort_serial", t.abortSerial},
+            {"serial_commits", t.serialCommits},
+            {"readonly_commits", t.readOnlyCommits},
+        };
+    });
 }
 
 Runtime &
@@ -217,6 +239,9 @@ setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr)
     d.pendingSerialRestart = attr.startsSerial;
     d.abortIsSwitch = false;
     d.consecAborts = 0;
+    d.obsStartNs = obs::nowNanos();
+    d.obsSerialStartNs = 0;
+    d.obsAttempts = 0;
     d.stats.total.txns++;
     d.stats.site(&attr).txns++;
     d.onCommitHandlers.clear();
@@ -234,7 +259,13 @@ beginAttempt(Runtime &rt, TxDesc &d)
         d.pendingSerialRestart || rt.cfg().algo == AlgoKind::Serial;
     d.clearSets();
     d.nesting = 1;
+    d.obsAttempts++;
+    obs::traceRecord(obs::TraceEvent::TxBegin, d.attr->name);
     if (serial) {
+        // Serial-mode time includes the wait for the write lock: that
+        // wait is part of the serialization cost the paper measures.
+        if (d.obsSerialStartNs == 0)
+            d.obsSerialStartNs = obs::nowNanos();
         if (!rt.cfg().useSerialLock) {
             fatal("transaction '%s' requires serialization, but the "
                   "serial lock was removed (NoLock mode); cause=%d",
@@ -298,6 +329,18 @@ finishCommit(Runtime &rt, TxDesc &d)
         d.stats.total.readOnlyCommits++;
         site.readOnlyCommits++;
     }
+    const std::uint64_t end_ns = obs::nowNanos();
+    obs::hist(obs::HistKind::Tx).record(end_ns - d.obsStartNs);
+    if (d.obsSerialStartNs != 0) {
+        obs::hist(obs::HistKind::TxSerial)
+            .record(end_ns - d.obsSerialStartNs);
+    }
+    // Attempts are scaled by 1000 so the histogram's microsecond-named
+    // quantiles read directly as attempt counts (see obs/metrics.h).
+    obs::hist(obs::HistKind::TxAttempts)
+        .record(std::uint64_t{d.obsAttempts} * 1000);
+    obs::traceRecord(obs::TraceEvent::TxCommit, d.attr->name);
+
     d.state = RunState::Inactive;
     d.nesting = 0;
     rt.cm().afterCommit(rt, d);
@@ -343,6 +386,7 @@ handleAbort(Runtime &rt, TxDesc &d)
         return;
     }
 
+    obs::traceRecord(obs::TraceEvent::TxAbort, d.attr->name);
     d.stats.total.aborts++;
     d.stats.site(d.attr).aborts++;
     d.consecAborts++;
@@ -434,6 +478,7 @@ unsafeOp(TxDesc &d, const char *what)
     }
     // Record what forced the switch (the diagnostic the paper had to
     // build into GCC via execinfo).
+    obs::traceRecord(obs::TraceEvent::TxSerialSwitch, what);
     d.stats.switchBlame[d.attr][what]++;
     d.pendingSerialRestart = true;
     d.abortIsSwitch = true;

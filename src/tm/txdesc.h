@@ -161,6 +161,16 @@ class alignas(cachelineBytes) TxDesc
     ExpBackoff cmBackoff;
     ThreadStats stats;
 
+    // ------------------------------------------------------------------
+    // Observability (obs/metrics.h histograms, stamped by runtime.cc)
+    // ------------------------------------------------------------------
+    /** nowNanos() at setupTop: whole-transaction latency origin. */
+    std::uint64_t obsStartNs = 0;
+    /** nowNanos() when the attempt entered serial mode (0: never). */
+    std::uint64_t obsSerialStartNs = 0;
+    /** Attempts (speculative + serial) of the current transaction. */
+    std::uint32_t obsAttempts = 0;
+
     /** Reset all per-attempt algorithm state. */
     void
     clearSets()

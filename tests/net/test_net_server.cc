@@ -325,6 +325,55 @@ TEST_P(NetServerTest, ManyConcurrentClients)
     EXPECT_GE(server_->accepted(), static_cast<std::uint64_t>(kClients));
 }
 
+TEST_P(NetServerTest, MetricsAdminCommandReturnsJson)
+{
+    auto c = makeClient();
+    EXPECT_EQ(c.roundTripAscii("set m1 0 0 2\r\nok\r\n"), "STORED\r\n");
+
+    // The reply is one JSON line followed by END; the ASCII framer
+    // sees them as two responses.
+    const std::string json = c.roundTripAscii("metrics\r\n");
+    ASSERT_TRUE(json.rfind("{\"schema\":\"tmemc-metrics-v1\"", 0) == 0)
+        << json;
+    EXPECT_NE(json.find("\"net_requests_served\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"net_curr_connections\":"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"latency\":{"), std::string::npos) << json;
+    std::string tail;
+    ASSERT_TRUE(c.recvAscii(tail));
+    EXPECT_EQ(tail, "END\r\n");
+
+    // The connection stays usable after the admin command.
+    EXPECT_EQ(c.roundTripAscii("get m1\r\n"),
+              "VALUE m1 0 2\r\nok\r\nEND\r\n");
+}
+
+TEST_P(NetServerTest, StatsLatencyAndTmRows)
+{
+    auto c = makeClient();
+    EXPECT_EQ(c.roundTripAscii("set s1 0 0 2\r\nok\r\n"), "STORED\r\n");
+    EXPECT_EQ(c.roundTripAscii("get s1\r\n"),
+              "VALUE s1 0 2\r\nok\r\nEND\r\n");
+
+    const std::string lat = c.roundTripAscii("stats latency\r\n");
+    EXPECT_NE(lat.find("STAT lat_cmd_count "), std::string::npos) << lat;
+    EXPECT_NE(lat.find("STAT lat_cmd_p99_us "), std::string::npos)
+        << lat;
+    EXPECT_NE(lat.find("STAT lat_tx_count "), std::string::npos) << lat;
+    EXPECT_EQ(lat.compare(lat.size() - 5, 5, "END\r\n"), 0) << lat;
+    // The set and get above each went through the command timer.
+    EXPECT_EQ(lat.find("STAT lat_cmd_count 0\r\n"), std::string::npos)
+        << lat;
+
+    const std::string tmrows = c.roundTripAscii("stats tm\r\n");
+    EXPECT_NE(tmrows.find("STAT tm_commits "), std::string::npos)
+        << tmrows;
+    EXPECT_NE(tmrows.find("STAT tm_txns "), std::string::npos) << tmrows;
+    EXPECT_EQ(tmrows.compare(tmrows.size() - 5, 5, "END\r\n"), 0)
+        << tmrows;
+}
+
 INSTANTIATE_TEST_SUITE_P(Branches, NetServerTest,
                          ::testing::Values("Baseline", "IT-onCommit"),
                          [](const auto &info) {

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed latency histogram (obs/hist.h):
+ * bucket-mapping boundaries and monotonicity, the ~3% relative-error
+ * bound that justifies reporting quantiles from bucket midpoints,
+ * merge associativity/commutativity (the property that makes
+ * per-thread / per-shard / per-process views interchangeable), and
+ * concurrent record() vs snapshot() (run under TSan in CI).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/hist.h"
+
+namespace tmemc::obs
+{
+namespace
+{
+
+TEST(HistBuckets, ExactBelowOneOctave)
+{
+    // Values below kSubBuckets get their own bucket: zero error.
+    for (std::uint64_t v = 0; v < kSubBuckets; ++v) {
+        EXPECT_EQ(bucketOf(v), v);
+        EXPECT_EQ(bucketLow(static_cast<unsigned>(v)), v);
+        EXPECT_EQ(bucketMid(static_cast<unsigned>(v)), v);
+    }
+}
+
+TEST(HistBuckets, MonotonicOverPowersOfTwo)
+{
+    std::vector<std::uint64_t> probes;
+    for (unsigned bit = 0; bit <= 37; ++bit) {
+        const std::uint64_t p = std::uint64_t{1} << bit;
+        probes.insert(probes.end(), {p - 1, p, p + 1});
+    }
+    std::sort(probes.begin(), probes.end());
+
+    unsigned prev = 0;
+    for (const std::uint64_t v : probes) {
+        const unsigned idx = bucketOf(v);
+        EXPECT_GE(idx, prev) << "value " << v;
+        EXPECT_LT(idx, kNumBuckets) << "value " << v;
+        prev = idx;
+    }
+}
+
+TEST(HistBuckets, LowIsInverseOfBucketOf)
+{
+    // bucketLow(i) must be the smallest value mapping to bucket i:
+    // itself maps there, its predecessor maps strictly lower.
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t low = bucketLow(i);
+        if (low > kMaxTrackable)
+            break;  // Clamp region: several indexes share the top.
+        EXPECT_EQ(bucketOf(low), i);
+        if (low > 0) {
+            EXPECT_EQ(bucketOf(low - 1), i - 1);
+        }
+    }
+}
+
+TEST(HistBuckets, ClampAtMaxTrackable)
+{
+    const unsigned top = bucketOf(kMaxTrackable);
+    EXPECT_EQ(bucketOf(kMaxTrackable + 1), top);
+    EXPECT_EQ(bucketOf(~std::uint64_t{0}), top);
+    EXPECT_LT(top, kNumBuckets);
+}
+
+TEST(HistBuckets, RelativeErrorBound)
+{
+    // The midpoint of any bucket is within one sub-bucket width of
+    // every value in the bucket: relative error <= 1/(2*kSubBuckets)
+    // of the bucket's low bound, i.e. ~1.6% for kSubBits=5.
+    for (std::uint64_t v = 1; v <= kMaxTrackable;
+         v += 1 + v / 7 /* coarse sweep, hits every octave */) {
+        const unsigned idx = bucketOf(v);
+        const double mid = static_cast<double>(bucketMid(idx));
+        const double err =
+            std::abs(mid - static_cast<double>(v)) /
+            static_cast<double>(v);
+        EXPECT_LE(err, 1.0 / kSubBuckets) << "value " << v;
+    }
+}
+
+HistCounts
+countsOf(std::initializer_list<std::uint64_t> values)
+{
+    Histogram h;
+    for (const std::uint64_t v : values)
+        h.record(v);
+    return h.snapshot();
+}
+
+TEST(HistMerge, AssociativeAndCommutative)
+{
+    const HistCounts a = countsOf({1, 5, 900});
+    const HistCounts b = countsOf({64, 64, 1u << 20});
+    const HistCounts c = countsOf({kMaxTrackable, 0, 33});
+
+    HistCounts ab = a;
+    ab.add(b);
+    HistCounts ab_c = ab;
+    ab_c.add(c);
+
+    HistCounts bc = b;
+    bc.add(c);
+    HistCounts a_bc = a;
+    a_bc.add(bc);
+
+    HistCounts ba = b;
+    ba.add(a);
+
+    EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+    EXPECT_EQ(ab_c.count, a_bc.count);
+    EXPECT_EQ(ab.buckets, ba.buckets);
+    EXPECT_EQ(ab_c.count, 9u);
+}
+
+TEST(HistCountsTest, QuantileAndMax)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v * 1000);  // 1us .. 1000us, uniform.
+    const HistCounts counts = h.snapshot();
+    EXPECT_EQ(counts.count, 1000u);
+
+    // Bucketing error is ~3%; allow 10% slack on the quantiles.
+    EXPECT_NEAR(static_cast<double>(counts.quantile(0.50)), 500e3,
+                50e3);
+    EXPECT_NEAR(static_cast<double>(counts.quantile(0.99)), 990e3,
+                99e3);
+    EXPECT_NEAR(static_cast<double>(counts.maxValue()), 1000e3, 100e3);
+
+    const HistSummary s = counts.summary();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_NEAR(s.p50Us, 500.0, 50.0);
+    EXPECT_NEAR(s.p99Us, 990.0, 99.0);
+    EXPECT_GE(s.p999Us, s.p99Us);
+    EXPECT_GE(s.maxUs, s.p999Us);
+}
+
+TEST(HistCountsTest, EmptyIsZero)
+{
+    const HistCounts counts = Histogram{}.snapshot();
+    EXPECT_EQ(counts.count, 0u);
+    EXPECT_EQ(counts.quantile(0.99), 0u);
+    EXPECT_EQ(counts.maxValue(), 0u);
+    EXPECT_EQ(counts.summary().maxUs, 0.0);
+}
+
+TEST(HistConcurrent, RecordVsSnapshot)
+{
+    // N writers hammer record() while a reader snapshots; afterwards
+    // the fold must account for every sample exactly once. TSan (CI's
+    // sanitize job) checks the relaxed-atomics discipline.
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kPerThread = 50000;
+
+    Histogram h;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const HistCounts c = h.snapshot();
+            EXPECT_LE(c.count, kThreads * kPerThread);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                h.record((t + 1) * 100 + (i & 1023));
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+
+    h.reset();
+    EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+} // namespace
+} // namespace tmemc::obs

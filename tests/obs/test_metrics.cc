@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the MetricsRegistry (source registration, the three
+ * render targets, JSON file round-trip) and the flight recorder
+ * (arm/record/dump/reset). Both are process-global singletons, so
+ * every test restores the state it touched — histograms via
+ * resetHistograms(), sources via unregisterSource, the trace rings
+ * via disarmTrace()+resetTrace().
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tm/api.h"
+
+namespace tmemc::obs
+{
+namespace
+{
+
+bool
+contains(const std::string &hay, const std::string &needle)
+{
+    return hay.find(needle) != std::string::npos;
+}
+
+// Attrs must have static storage duration (the runtime keys per-site
+// profiling off their addresses).
+const tm::TxnAttr kMetricsAttr{"obs_metrics_test", tm::TxnKind::Relaxed,
+                               false};
+const tm::TxnAttr kHistAttr{"obs_tx_hist_test", tm::TxnKind::Relaxed,
+                            false};
+const tm::TxnAttr kTraceAttr{"obs_trace_test", tm::TxnKind::Relaxed,
+                             false};
+
+/** Configure the global TM runtime and commit one transaction. */
+void
+commitOneTxn(const tm::TxnAttr &attr)
+{
+    tm::RuntimeCfg cfg;
+    tm::Runtime::get().configure(cfg);
+    static std::uint64_t cell = 0;
+    tm::run(attr, [](tm::TxDesc &tx) {
+        tm::txStore<std::uint64_t>(tx, &cell, tm::txLoad(tx, &cell) + 1);
+    });
+}
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { MetricsRegistry::get().resetHistograms(); }
+    void TearDown() override
+    {
+        MetricsRegistry::get().resetHistograms();
+    }
+};
+
+TEST_F(MetricsTest, SourcePrefixingAndUnregisterBarrier)
+{
+    auto &reg = MetricsRegistry::get();
+    const std::uint64_t token = reg.registerSource("unit", [] {
+        return std::vector<Counter>{{"alpha", 7}, {"beta", 11}};
+    });
+
+    MetricsSnapshot snap = reg.snapshot();
+    std::uint64_t alpha = 0, beta = 0;
+    for (const Counter &c : snap.counters) {
+        if (c.name == "unit_alpha")
+            alpha = c.value;
+        if (c.name == "unit_beta")
+            beta = c.value;
+    }
+    EXPECT_EQ(alpha, 7u);
+    EXPECT_EQ(beta, 11u);
+
+    reg.unregisterSource(token);
+    for (const Counter &c : reg.snapshot().counters)
+        EXPECT_TRUE(c.name.rfind("unit_", 0) != 0) << c.name;
+}
+
+TEST_F(MetricsTest, HistogramsAppearInSnapshot)
+{
+    hist(HistKind::Command).record(5000);   // 5 us
+    hist(HistKind::Command).record(5000);
+    hist(HistKind::Tx).record(20000);       // 20 us
+
+    const MetricsSnapshot snap = MetricsRegistry::get().snapshot();
+    EXPECT_EQ(snap.hists[unsigned(HistKind::Command)].count, 2u);
+    EXPECT_EQ(snap.hists[unsigned(HistKind::Tx)].count, 1u);
+    EXPECT_NEAR(snap.hists[unsigned(HistKind::Tx)].p50Us, 20.0, 1.0);
+    EXPECT_EQ(snap.hists[unsigned(HistKind::CacheOp)].count, 0u);
+}
+
+TEST_F(MetricsTest, JsonShapeAndValues)
+{
+    auto &reg = MetricsRegistry::get();
+    const std::uint64_t token = reg.registerSource(
+        "unit", [] { return std::vector<Counter>{{"gamma", 42}}; });
+    hist(HistKind::CacheOp).record(3000);
+
+    const std::string json = reg.snapshot().toJson();
+    reg.unregisterSource(token);
+
+    EXPECT_TRUE(json.rfind("{\"schema\":\"tmemc-metrics-v1\"", 0) == 0)
+        << json;
+    EXPECT_TRUE(contains(json, "\"unit_gamma\":42")) << json;
+    // Every histogram kind gets a latency object, populated or not.
+    for (const char *key :
+         {"\"cmd\":{", "\"op\":{", "\"tx\":{", "\"tx_serial\":{",
+          "\"tx_attempts\":{"})
+        EXPECT_TRUE(contains(json, key)) << key << " missing: " << json;
+    EXPECT_TRUE(contains(json, "\"op\":{\"count\":1")) << json;
+    // Crude structural check: braces balance.
+    int depth = 0;
+    for (const char ch : json) {
+        depth += (ch == '{') - (ch == '}');
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST_F(MetricsTest, WriteJsonFileRoundTrip)
+{
+    auto &reg = MetricsRegistry::get();
+    hist(HistKind::Tx).record(9000);
+    const std::string expected = reg.snapshot().toJson();
+
+    const std::string path =
+        ::testing::TempDir() + "metrics_roundtrip.json";
+    ASSERT_TRUE(reg.writeJsonFile(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string got;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        got.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(got, expected);
+    EXPECT_FALSE(reg.writeJsonFile("/nonexistent-dir/x/y.json"));
+}
+
+TEST_F(MetricsTest, AsciiLatencyRowsMatchSnapshot)
+{
+    hist(HistKind::Command).record(1000);
+    hist(HistKind::Command).record(1000);
+    hist(HistKind::Command).record(1000);
+
+    const MetricsSnapshot snap = MetricsRegistry::get().snapshot();
+    const std::string rows = snap.asciiLatencyRows();
+
+    EXPECT_TRUE(contains(rows, "STAT lat_cmd_count 3\r\n")) << rows;
+    for (const char *prefix :
+         {"lat_cmd_", "lat_op_", "lat_tx_", "lat_tx_serial_",
+          "lat_tx_attempts_"}) {
+        EXPECT_TRUE(contains(rows, std::string("STAT ") + prefix +
+                                       "p99_us "))
+            << prefix << " missing: " << rows;
+    }
+}
+
+TEST_F(MetricsTest, AsciiTmRowsCarryRuntimeCounters)
+{
+    // The TM runtime registers its "tm" source at construction; one
+    // committed transaction must show up in the stats-tm rows.
+    tm::Runtime::get().resetStats();
+    commitOneTxn(kMetricsAttr);
+
+    const std::string rows =
+        MetricsRegistry::get().snapshot().asciiTmRows();
+    EXPECT_TRUE(contains(rows, "STAT tm_commits ")) << rows;
+    EXPECT_TRUE(contains(rows, "STAT tm_txns ")) << rows;
+    EXPECT_TRUE(contains(rows, "STAT lat_tx_count ")) << rows;
+    // Latency rows for non-TM kinds do NOT belong in stats tm.
+    EXPECT_FALSE(contains(rows, "lat_cmd_")) << rows;
+}
+
+TEST_F(MetricsTest, TxHistogramRecordsCommits)
+{
+    commitOneTxn(kHistAttr);
+    MetricsRegistry::get().resetHistograms();
+    for (int i = 0; i < 10; ++i)
+        commitOneTxn(kHistAttr);
+
+    const MetricsSnapshot snap = MetricsRegistry::get().snapshot();
+    EXPECT_EQ(snap.hists[unsigned(HistKind::Tx)].count, 10u);
+    // Uncontended single-thread commits: exactly one attempt each,
+    // recorded as attempts*1000 so p50 reads as the attempt count.
+    EXPECT_EQ(snap.hists[unsigned(HistKind::TxAttempts)].count, 10u);
+    EXPECT_NEAR(snap.hists[unsigned(HistKind::TxAttempts)].p50Us, 1.0,
+                0.05);
+    EXPECT_EQ(snap.hists[unsigned(HistKind::TxSerial)].count, 0u);
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        disarmTrace();
+        resetTrace();
+    }
+    void TearDown() override
+    {
+        disarmTrace();
+        resetTrace();
+    }
+};
+
+TEST_F(TraceTest, DisarmedRecordsNothing)
+{
+    EXPECT_FALSE(traceArmed());
+    traceRecord(TraceEvent::TxBegin, "site_a");
+    EXPECT_EQ(traceRecordCount(), 0u);
+}
+
+TEST_F(TraceTest, ArmedRecordsAndDumps)
+{
+    armTrace();
+    EXPECT_TRUE(traceArmed());
+    traceRecord(TraceEvent::TxBegin, "site_a");
+    traceRecord(TraceEvent::TxSerialSwitch, "site_b", 3);
+    traceRecord(TraceEvent::TxCommit, "site_a");
+    EXPECT_EQ(traceRecordCount(), 3u);
+
+    const std::string dump = dumpTrace();
+    EXPECT_TRUE(contains(dump, traceEventName(TraceEvent::TxBegin)))
+        << dump;
+    EXPECT_TRUE(contains(dump, "site=site_b")) << dump;
+    EXPECT_TRUE(contains(dump, "shard=3")) << dump;
+
+    // Disarm keeps contents for a post-mortem dump; reset drops them.
+    disarmTrace();
+    traceRecord(TraceEvent::TxAbort, "site_c");
+    EXPECT_EQ(traceRecordCount(), 3u);
+    resetTrace();
+    EXPECT_EQ(traceRecordCount(), 0u);
+}
+
+TEST_F(TraceTest, RingWrapsAtCapacity)
+{
+    armTrace();
+    for (std::size_t i = 0; i < kTraceCapacity + 100; ++i)
+        traceRecord(TraceEvent::TxCommit, "wrap");
+    EXPECT_EQ(traceRecordCount(), kTraceCapacity);
+}
+
+TEST_F(TraceTest, RuntimeEmitsTraceEventsWhenArmed)
+{
+    armTrace();
+    commitOneTxn(kTraceAttr);
+
+    const std::string dump = dumpTrace();
+    EXPECT_TRUE(contains(dump, "site=obs_trace_test")) << dump;
+    EXPECT_TRUE(contains(dump, traceEventName(TraceEvent::TxCommit)))
+        << dump;
+}
+
+} // namespace
+} // namespace tmemc::obs
