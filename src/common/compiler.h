@@ -32,4 +32,42 @@ constexpr std::size_t cachelineBytes = 64;
 #  define TMEMC_NOINLINE
 #endif
 
+// ----------------------------------------------------------------------
+// Transaction-safety annotations (checked by tools/tmlint)
+// ----------------------------------------------------------------------
+//
+// The Draft C++ TM Specification conveys function safety through the
+// transaction_safe / transaction_callable / transaction_pure keywords,
+// and GCC's TM rejects atomic transactions that reach anything else at
+// compile time. Our library STM has no compiler support, so the same
+// contract is written as annotations and enforced by the external
+// checker tools/tmlint/tmlint.py (a ctest entry and a CI job):
+//
+//   TM_SAFE      transaction_safe: statically free of unsafe
+//                operations; every memory access inside goes through
+//                TxDesc-based instrumentation. tmlint checks the body
+//                and the transitive call closure.
+//   TM_CALLABLE  transaction_callable: instrumented, but may contain
+//                unsafe operations behind branch-stage guards; legal
+//                from relaxed (and branch-configured) transactions.
+//   TM_PURE      transaction_pure: uninstrumented and trusted — no
+//                shared-state side effects; tmlint does not descend
+//                into it but forbids transactional API use inside.
+//   TM_UNSAFE    irrevocable-only: performs I/O, a syscall, or another
+//                operation that can never be rolled back; calling it
+//                inside an atomic transaction is a diagnostic.
+//
+// Under Clang the annotation is carried into the AST (tmlint's
+// libclang backend reads it); under GCC it expands to nothing and the
+// fallback token-level backend reads the macro text instead.
+#if defined(__clang__)
+#  define TMEMC_TM_ANNOTATE(tag) __attribute__((annotate(tag)))
+#else
+#  define TMEMC_TM_ANNOTATE(tag)
+#endif
+#define TM_SAFE     TMEMC_TM_ANNOTATE("tmemc::tm_safe")
+#define TM_CALLABLE TMEMC_TM_ANNOTATE("tmemc::tm_callable")
+#define TM_PURE     TMEMC_TM_ANNOTATE("tmemc::tm_pure")
+#define TM_UNSAFE   TMEMC_TM_ANNOTATE("tmemc::tm_unsafe")
+
 #endif // TMEMC_COMMON_COMPILER_H

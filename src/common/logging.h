@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/compiler.h"
+
 namespace tmemc
 {
 
@@ -64,8 +66,14 @@ vreport(const char *prefix, const char *fmt, std::va_list ap)
     std::fprintf(stderr, "\n");
 }
 
-/** Report an internal invariant violation and abort. */
-[[noreturn]] inline void
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * TM_PURE despite the I/O: panic never returns, so there is no state
+ * to roll back — the Draft C++ TM Specification treats abort() the
+ * same way. Callable from transaction bodies as a diagnostic dead end.
+ */
+[[noreturn]] TM_PURE inline void
 panic(const char *fmt, ...)
 {
     std::va_list ap;
@@ -76,8 +84,9 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
-/** Report an unrecoverable configuration error and exit. */
-[[noreturn]] inline void
+/** Report an unrecoverable configuration error and exit. TM_PURE for
+ *  the same no-return reason as panic(). */
+[[noreturn]] TM_PURE inline void
 fatal(const char *fmt, ...)
 {
     std::va_list ap;

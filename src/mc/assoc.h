@@ -23,6 +23,7 @@
 
 #include "mc/hash.h"
 #include "mc/item.h"
+#include "tm/strict.h"
 
 namespace tmemc::mc
 {
@@ -64,9 +65,10 @@ assocInit(AssocState &s, std::uint32_t power)
  * @return Pointer to the bucket head slot.
  */
 template <typename Ctx>
-Item **
+TM_CALLABLE Item **
 assocBucket(Ctx &c, AssocState &s, std::uint32_t hv)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocBucket");
     // Expansion state is cache-domain structure, read under the same
     // section that guards the buckets (memcached reads `expanding`
     // under cache_lock; its true volatiles are the time and
@@ -91,10 +93,11 @@ assocBucket(Ctx &c, AssocState &s, std::uint32_t hv)
  * paper's unsafe standard-library calls until the Lib stage.
  */
 template <typename Ctx>
-Item *
+TM_CALLABLE Item *
 assocFind(Ctx &c, AssocState &s, const char *key, std::size_t nkey,
           std::uint32_t hv)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocFind");
     Item **bucket = assocBucket(c, s, hv);
     Item *it = c.load(bucket);
     while (it != nullptr) {
@@ -108,9 +111,10 @@ assocFind(Ctx &c, AssocState &s, const char *key, std::size_t nkey,
 
 /** Insert a (fresh, filled) item at its bucket head. */
 template <typename Ctx>
-void
+TM_CALLABLE void
 assocInsert(Ctx &c, AssocState &s, Item *it, std::uint32_t hv)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocInsert");
     Item **bucket = assocBucket(c, s, hv);
     c.store(&it->hNext, c.load(bucket));
     c.store(bucket, it);
@@ -122,9 +126,10 @@ assocInsert(Ctx &c, AssocState &s, Item *it, std::uint32_t hv)
  * @return true if the item was found and removed.
  */
 template <typename Ctx>
-bool
+TM_CALLABLE bool
 assocUnlink(Ctx &c, AssocState &s, Item *it, std::uint32_t hv)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocUnlink");
     Item **slot = assocBucket(c, s, hv);
     for (;;) {
         Item *cur = c.load(slot);
@@ -149,9 +154,10 @@ assocUnlink(Ctx &c, AssocState &s, Item *it, std::uint32_t hv)
  *         crash) and a later trigger retries.
  */
 template <typename Ctx>
-bool
+TM_CALLABLE bool
 assocStartExpand(Ctx &c, AssocState &s)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocStartExpand");
     const std::uint32_t power = c.load(&s.hashPower);
     auto **fresh = static_cast<Item **>(
         c.allocRaw(sizeof(Item *) << (power + 1)));
@@ -174,9 +180,10 @@ assocStartExpand(Ctx &c, AssocState &s)
  * @return true when the expansion completed.
  */
 template <typename Ctx>
-bool
+TM_CALLABLE bool
 assocExpandBucket(Ctx &c, AssocState &s)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.primary, "assocExpandBucket");
     const std::uint64_t idx = c.load(&s.expandBucket);
     const std::uint32_t power = c.load(&s.hashPower);
     const std::uint64_t old_count = 1ull << (power - 1);

@@ -822,7 +822,7 @@ class CacheCore
     }
 
     template <typename Ctx>
-    void
+    TM_CALLABLE void
     copyThreadBlock(Ctx &c, const ThreadStatsBlock &src,
                     ThreadStatsBlock &dst)
     {
@@ -856,7 +856,7 @@ class CacheCore
 
     /** Unlink from hash + LRU (cache section held). */
     template <typename Ctx>
-    void
+    TM_CALLABLE void
     unlinkLocked(Ctx &c, Item *it, std::uint32_t hv)
     {
         const std::uint32_t cls = c.load(&it->clsid);
@@ -870,7 +870,7 @@ class CacheCore
 
     /** Expire helper: full unlink + free (refcount known zero). */
     template <typename Ctx>
-    void
+    TM_CALLABLE void
     unlinkAndFree(Ctx &c, Item *it, std::uint32_t hv)
     {
         const std::uint32_t cls = c.load(&it->clsid);
@@ -882,7 +882,7 @@ class CacheCore
 
     /** Return an unlinked, unreferenced item's chunk to its class. */
     template <typename Ctx>
-    void
+    TM_CALLABLE void
     freeItem(Ctx &c, Item *it)
     {
         const std::uint32_t cls = c.load(&it->clsid);

@@ -34,6 +34,7 @@
 #include "common/sem.h"
 #include "mc/branch.h"
 #include "tm/api.h"
+#include "tm/strict.h"
 #include "tmsafe/tm_alloc.h"
 #include "tmsafe/tm_convert.h"
 #include "tmsafe/tm_format.h"
@@ -68,6 +69,7 @@ struct PlainCtx
     T
     load(const T *p) const
     {
+        TMEMC_STRICT_RAW(p, "PlainCtx::load");
         return *p;
     }
 
@@ -75,6 +77,7 @@ struct PlainCtx
     void
     store(T *p, T v) const
     {
+        TMEMC_STRICT_RAW(p, "PlainCtx::store");
         *p = v;
     }
 
@@ -266,21 +269,21 @@ struct TmCtx
     tm::TxDesc &tx;
 
     template <typename T>
-    T
+    TM_SAFE T
     load(const T *p) const
     {
         return tm::txLoad(tx, p);
     }
 
     template <typename T>
-    void
+    TM_SAFE void
     store(T *p, T v) const
     {
         tm::txStore(tx, p, v);
     }
 
     // -- refcounts -------------------------------------------------------
-    std::uint64_t
+    TM_CALLABLE std::uint64_t
     refIncr(std::uint64_t *rc) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::AtomicRmw)) {
@@ -293,7 +296,7 @@ struct TmCtx
         }
     }
 
-    std::uint64_t
+    TM_CALLABLE std::uint64_t
     refDecr(std::uint64_t *rc) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::AtomicRmw)) {
@@ -306,7 +309,7 @@ struct TmCtx
         }
     }
 
-    std::uint64_t
+    TM_CALLABLE std::uint64_t
     refRead(const std::uint64_t *rc) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::AtomicRmw)) {
@@ -319,7 +322,7 @@ struct TmCtx
 
     // -- volatile maintenance flags (renamed non-volatile at Max) ---------
     template <typename T>
-    T
+    TM_CALLABLE T
     volatileLoad(const T *p) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::Volatile)) {
@@ -333,7 +336,7 @@ struct TmCtx
     }
 
     template <typename T>
-    void
+    TM_CALLABLE void
     volatileStore(T *p, T v) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::Volatile)) {
@@ -345,7 +348,7 @@ struct TmCtx
     }
 
     // -- library calls -----------------------------------------------------
-    int
+    TM_CALLABLE int
     memcmpS(const void *a, const void *b, std::size_t n) const
     {
         noteHelper("memcmp");
@@ -357,7 +360,7 @@ struct TmCtx
         }
     }
 
-    void
+    TM_CALLABLE void
     memcpyOut(void *priv_dst, const void *shared_src, std::size_t n) const
     {
         noteHelper("memcpy");
@@ -369,7 +372,7 @@ struct TmCtx
         }
     }
 
-    void
+    TM_CALLABLE void
     memcpyIn(void *shared_dst, const void *priv_src, std::size_t n) const
     {
         noteHelper("memcpy");
@@ -381,7 +384,7 @@ struct TmCtx
         }
     }
 
-    void
+    TM_CALLABLE void
     memmoveS(void *shared_dst, const void *shared_src,
              std::size_t n) const
     {
@@ -394,7 +397,7 @@ struct TmCtx
         }
     }
 
-    unsigned long long
+    TM_CALLABLE unsigned long long
     strtoullS(const char *shared, std::size_t max_len) const
     {
         noteHelper("strtoull");
@@ -406,7 +409,7 @@ struct TmCtx
         }
     }
 
-    int
+    TM_CALLABLE int
     snprintfUllS(char *shared_dst, std::size_t n,
                  unsigned long long v) const
     {
@@ -419,7 +422,7 @@ struct TmCtx
         }
     }
 
-    int
+    TM_CALLABLE int
     snprintfStatS(char *shared_dst, std::size_t n, const char *name,
                   unsigned long long v) const
     {
@@ -435,7 +438,7 @@ struct TmCtx
 
     // -- allocation ---------------------------------------------------------
     /** Same nullptr-on-exhaustion contract as PlainCtx::allocRaw. */
-    void *
+    TM_SAFE void *
     allocRaw(std::size_t bytes) const
     {
         if (TMEMC_UNLIKELY(fault::shouldFail("mc.ctx.alloc_raw")))
@@ -443,10 +446,10 @@ struct TmCtx
         return tm::txTryMalloc(tx, bytes);
     }
 
-    void freeRaw(void *p) const { tm::txFree(tx, p); }
+    TM_SAFE void freeRaw(void *p) const { tm::txFree(tx, p); }
 
     // -- I/O and termination --------------------------------------------------
-    void
+    TM_CALLABLE void
     logEvent(bool enabled, const char *msg) const
     {
         if (!enabled)
@@ -459,7 +462,7 @@ struct TmCtx
         }
     }
 
-    void
+    TM_CALLABLE void
     semPost(Semaphore &s) const
     {
         if constexpr (C.isUnsafe(UnsafeCat::Io)) {
@@ -470,7 +473,7 @@ struct TmCtx
         }
     }
 
-    void
+    TM_CALLABLE void
     assertThat(bool ok, const char *what) const
     {
         if (TMEMC_LIKELY(ok))
@@ -485,7 +488,7 @@ struct TmCtx
         panic("assertion failed: %s", what);
     }
 
-    const char *
+    TM_CALLABLE const char *
     eventVersion() const
     {
         if constexpr (C.isUnsafe(UnsafeCat::Io)) {
@@ -500,7 +503,7 @@ struct TmCtx
     }
 
     /** transaction_callable / inferred-safety model (Section 2). */
-    void
+    TM_SAFE void
     noteHelper(const char *name) const
     {
         tm::noteCall(tx,

@@ -9,6 +9,7 @@
 #define TMEMC_MC_LRU_H
 
 #include "mc/item.h"
+#include "tm/strict.h"
 
 namespace tmemc::mc
 {
@@ -26,9 +27,10 @@ struct LruState
 
 /** Insert @p it at the head (most recently used) of its class list. */
 template <typename Ctx>
-void
+TM_CALLABLE void
 lruLink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.heads[cls], "lruLink");
     Item *head = c.load(&s.heads[cls]);
     c.store(&it->prev, static_cast<Item *>(nullptr));
     c.store(&it->next, head);
@@ -42,9 +44,10 @@ lruLink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
 
 /** Remove @p it from its class list. */
 template <typename Ctx>
-void
+TM_CALLABLE void
 lruUnlink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.heads[cls], "lruUnlink");
     Item *prev = c.load(&it->prev);
     Item *next = c.load(&it->next);
     if (prev != nullptr)
@@ -62,9 +65,10 @@ lruUnlink(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
 
 /** Move @p it to the head of its list (item_update). */
 template <typename Ctx>
-void
+TM_CALLABLE void
 lruBump(Ctx &c, LruState &s, Item *it, std::uint32_t cls)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.heads[cls], "lruBump");
     if (c.load(&s.heads[cls]) == it)
         return;
     lruUnlink(c, s, it, cls);

@@ -20,6 +20,7 @@
 #include "mc/item.h"
 #include "mc/lru.h"
 #include "mc/settings.h"
+#include "tm/strict.h"
 
 namespace tmemc::mc
 {
@@ -111,9 +112,10 @@ slabClsid(const SlabState &s, std::size_t bytes)
  * checked the memory budget.
  */
 template <typename Ctx>
-void
+TM_CALLABLE void
 slabsCarvePage(Ctx &c, SlabState &s, std::uint32_t cls, void *page)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.classes[cls], "slabsCarvePage");
     SlabClass &k = s.classes[cls];
     const std::uint32_t chunk = k.chunkSize;  // Immutable.
     const std::uint32_t n = k.perPage;
@@ -123,12 +125,15 @@ slabsCarvePage(Ctx &c, SlabState &s, std::uint32_t cls, void *page)
     auto *base = static_cast<char *>(page);
     for (std::uint32_t j = 0; j + 1 < n; ++j) {
         auto *it = reinterpret_cast<Item *>(base + std::size_t{j} * chunk);
+        // tm-captured: page is not published until the c.store below
         it->hNext = reinterpret_cast<Item *>(base +
                                              (std::size_t{j} + 1) * chunk);
+        // tm-captured: page is not published until the c.store below
         it->itFlags = kItemSlabbed;
         it->clsid = static_cast<std::uint8_t>(cls);
     }
     auto *last = reinterpret_cast<Item *>(base + std::size_t{n - 1} * chunk);
+    // tm-captured: page is not published until the c.store below
     last->itFlags = kItemSlabbed;
     last->clsid = static_cast<std::uint8_t>(cls);
 
@@ -149,9 +154,10 @@ slabsCarvePage(Ctx &c, SlabState &s, std::uint32_t cls, void *page)
  * limit prevents growth (caller evicts, and may signal rebalance).
  */
 template <typename Ctx>
-Item *
+TM_CALLABLE Item *
 slabsAlloc(Ctx &c, SlabState &s, std::uint32_t cls)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.classes[cls], "slabsAlloc");
     // Chunk-level failure site: simulates a class whose free list and
     // growth path are both exhausted (tests drive the eviction and
     // SERVER_ERROR-out-of-memory machinery through this).
@@ -184,9 +190,10 @@ slabsAlloc(Ctx &c, SlabState &s, std::uint32_t cls)
 
 /** Return a chunk to its class free list. */
 template <typename Ctx>
-void
+TM_CALLABLE void
 slabsFree(Ctx &c, SlabState &s, Item *it, std::uint32_t cls)
 {
+    TMEMC_STRICT_SHARED_ENTRY(c, &s.classes[cls], "slabsFree");
     SlabClass &k = s.classes[cls];
     c.store(&it->itFlags, std::uint32_t{kItemSlabbed});
     c.store(&it->hNext, c.load(&k.freeList));

@@ -176,7 +176,7 @@ class TmPolicy
      * caller's save-for-later path runs.
      */
     template <typename Ctx, typename FOk>
-    bool
+    TM_CALLABLE bool
     itemTryWithin(Ctx &outer, std::uint32_t hv, FOk &&f_ok)
     {
         if constexpr (C.items == ItemStrategy::TxSection) {

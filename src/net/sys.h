@@ -15,6 +15,11 @@
  *
  * When no site is armed (production), each wrapper is the raw syscall
  * behind one relaxed atomic load.
+ *
+ * Every wrapper is annotated TM_UNSAFE: a syscall is irrevocable, so
+ * reaching one from an atomic transaction is a static error (tmlint
+ * rule TM3) — the paper's GCC build rejected exactly these sites until
+ * they were moved out of transactions or into relaxed ones.
  */
 
 #ifndef TMEMC_NET_SYS_H
@@ -25,12 +30,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/compiler.h"
 #include "common/fault.h"
 
 namespace tmemc::net::sys
 {
 
-inline int
+TM_UNSAFE inline int
 acceptConn(int listen_fd, int flags)
 {
     if (fault::enabled()) {
@@ -43,7 +49,7 @@ acceptConn(int listen_fd, int flags)
     return ::accept4(listen_fd, nullptr, nullptr, flags);
 }
 
-inline ssize_t
+TM_UNSAFE inline ssize_t
 readFd(int fd, void *buf, std::size_t count)
 {
     if (fault::enabled()) {
@@ -60,7 +66,7 @@ readFd(int fd, void *buf, std::size_t count)
     return ::read(fd, buf, count);
 }
 
-inline ssize_t
+TM_UNSAFE inline ssize_t
 writeFd(int fd, const void *buf, std::size_t count)
 {
     if (fault::enabled()) {
@@ -77,7 +83,7 @@ writeFd(int fd, const void *buf, std::size_t count)
     return ::write(fd, buf, count);
 }
 
-inline int
+TM_UNSAFE inline int
 epollWait(int epfd, epoll_event *events, int maxevents, int timeout_ms)
 {
     if (fault::enabled()) {

@@ -42,10 +42,10 @@ namespace tmemc::tm
 {
 
 /** This thread's transaction descriptor (registered on first use). */
-TxDesc &myDesc();
+TM_PURE TxDesc &myDesc();
 
 /** True while the calling thread is inside a transaction. */
-bool inTransaction();
+TM_PURE bool inTransaction();
 
 namespace detail
 {
@@ -78,17 +78,17 @@ storeWordDispatch(Runtime &rt, TxDesc &d, std::uintptr_t word_addr,
  * Transactionally copy @p n bytes from shared memory at @p src into
  * private memory at @p dst.
  */
-void txLoadBytes(TxDesc &d, void *dst, const void *src, std::size_t n);
+TM_SAFE void txLoadBytes(TxDesc &d, void *dst, const void *src, std::size_t n);
 
 /**
  * Transactionally copy @p n bytes from private memory at @p src into
  * shared memory at @p dst.
  */
-void txStoreBytes(TxDesc &d, void *dst, const void *src, std::size_t n);
+TM_SAFE void txStoreBytes(TxDesc &d, void *dst, const void *src, std::size_t n);
 
 /** Transactionally load a trivially copyable value. */
 template <typename T>
-T
+TM_SAFE T
 txLoad(TxDesc &d, const T *addr)
 {
     static_assert(std::is_trivially_copyable_v<T>,
@@ -109,7 +109,7 @@ txLoad(TxDesc &d, const T *addr)
 
 /** Transactionally store a trivially copyable value. */
 template <typename T>
-void
+TM_SAFE void
 txStore(TxDesc &d, T *addr, const T &val)
 {
     static_assert(std::is_trivially_copyable_v<T>,
@@ -139,14 +139,17 @@ class TmVar
     constexpr explicit TmVar(T v) : val_(v) {}
 
     /** Transactional read. */
-    T get(TxDesc &d) const { return txLoad(d, &val_); }
+    TM_SAFE T get(TxDesc &d) const { return txLoad(d, &val_); }
     /** Transactional write. */
-    void set(TxDesc &d, const T &v) { txStore(d, &val_, v); }
+    TM_SAFE void set(TxDesc &d, const T &v) { txStore(d, &val_, v); }
 
-    /** Uninstrumented read; caller provides synchronization. */
-    T rawGet() const { return const_cast<const volatile T &>(val_); }
-    /** Uninstrumented write; caller provides synchronization. */
-    void rawSet(const T &v) { const_cast<volatile T &>(val_) = v; }
+    /** Uninstrumented read; caller provides synchronization. Escape
+     *  hatch like tm/raw.h rawLoad: tmlint flags it inside checked
+     *  transaction bodies (rule TM1). */
+    TM_PURE T rawGet() const { return const_cast<const volatile T &>(val_); }
+    /** Uninstrumented write; caller provides synchronization. Escape
+     *  hatch: flagged by tmlint inside checked bodies (rule TM1). */
+    TM_PURE void rawSet(const T &v) { const_cast<volatile T &>(val_) = v; }
 
   private:
     T val_{};
@@ -158,26 +161,26 @@ class TmVar
  * action runs immediately — the pattern the paper needed
  * inTransaction() for.
  */
-void onCommit(TxDesc &d, std::function<void()> fn);
+TM_SAFE void onCommit(TxDesc &d, std::function<void()> fn);
 
 /** Register a deferred action to run after a rollback, pre-retry. */
-void onAbort(TxDesc &d, std::function<void()> fn);
+TM_SAFE void onAbort(TxDesc &d, std::function<void()> fn);
 
 /**
  * Transaction-safe allocation: memory is usable immediately; if the
  * transaction aborts, the allocation is reclaimed automatically.
  */
-void *txMalloc(TxDesc &d, std::size_t bytes);
+TM_SAFE void *txMalloc(TxDesc &d, std::size_t bytes);
 
 /** txMalloc that reports exhaustion: @return nullptr instead of
  *  terminating, for callers with a graceful out-of-memory path. */
-void *txTryMalloc(TxDesc &d, std::size_t bytes);
+TM_SAFE void *txTryMalloc(TxDesc &d, std::size_t bytes);
 
 /**
  * Transaction-safe free: the memory is reclaimed only after commit
  * (and after quiescence), so concurrent doomed readers cannot fault.
  */
-void txFree(TxDesc &d, void *ptr);
+TM_SAFE void txFree(TxDesc &d, void *ptr);
 
 /**
  * Execute @p body as a transaction described by @p attr.
@@ -188,7 +191,7 @@ void txFree(TxDesc &d, void *ptr);
  * (the draft specification's behaviour for relaxed transactions).
  */
 template <typename F>
-auto
+TM_SAFE auto
 run(const TxnAttr &attr, F &&body) -> std::invoke_result_t<F &, TxDesc &>
 {
     using R = std::invoke_result_t<F &, TxDesc &>;

@@ -11,6 +11,21 @@
  * The word/mask helpers convert arbitrary byte ranges into aligned
  * 64-bit word accesses with byte-enable masks, which is the granularity
  * at which every algorithm in src/tm operates.
+ *
+ * Annotation contract (read by tools/tmlint — see common/compiler.h):
+ *
+ *  - wordBase / wordOffset / byteMask / maskMerge are TM_PURE in the
+ *    strict sense: pure arithmetic on values, no memory access at all.
+ *  - rawLoad / rawStore are ALSO annotated TM_PURE, but they are the
+ *    deliberate escape hatch of this header: they touch shared memory
+ *    without a TxDesc. They exist solely so the TM runtime itself (the
+ *    algorithms, the serial fast path, the redo/undo logs) can
+ *    implement the instrumentation — the library analogue of libitm's
+ *    own internal accesses, which GCC's checker never sees either.
+ *    Application code under src/mc and src/net must never call them
+ *    from a transaction body; tmlint flags rawLoad/rawStore calls in
+ *    checked regions outside the trusted src/tm runtime (rule TM1),
+ *    annotation or not, precisely because they bypass instrumentation.
  */
 
 #ifndef TMEMC_TM_RAW_H
@@ -28,14 +43,14 @@ namespace tmemc::tm
 constexpr std::size_t wordBytes = 8;
 
 /** Align an address down to its containing TM word. */
-TMEMC_ALWAYS_INLINE std::uintptr_t
+TM_PURE TMEMC_ALWAYS_INLINE std::uintptr_t
 wordBase(const void *addr)
 {
     return reinterpret_cast<std::uintptr_t>(addr) & ~(wordBytes - 1);
 }
 
 /** Byte offset of an address within its TM word. */
-TMEMC_ALWAYS_INLINE std::size_t
+TM_PURE TMEMC_ALWAYS_INLINE std::size_t
 wordOffset(const void *addr)
 {
     return reinterpret_cast<std::uintptr_t>(addr) & (wordBytes - 1);
@@ -46,7 +61,7 @@ wordOffset(const void *addr)
  * word. Each enabled byte contributes 0xff to the mask.
  * @pre off + len <= wordBytes.
  */
-TMEMC_ALWAYS_INLINE std::uint64_t
+TM_PURE TMEMC_ALWAYS_INLINE std::uint64_t
 byteMask(std::size_t off, std::size_t len)
 {
     if (len >= wordBytes)
@@ -56,22 +71,24 @@ byteMask(std::size_t off, std::size_t len)
 }
 
 /** Merge masked bytes of @p val over @p base. */
-TMEMC_ALWAYS_INLINE std::uint64_t
+TM_PURE TMEMC_ALWAYS_INLINE std::uint64_t
 maskMerge(std::uint64_t base, std::uint64_t val, std::uint64_t mask)
 {
     return (base & ~mask) | (val & mask);
 }
 
-/** Relaxed atomic load of an aligned 64-bit word. */
-TMEMC_ALWAYS_INLINE std::uint64_t
+/** Relaxed atomic load of an aligned 64-bit word. Runtime-internal
+ *  escape hatch: bypasses instrumentation (see header comment). */
+TM_PURE TMEMC_ALWAYS_INLINE std::uint64_t
 rawLoad(const void *word_addr)
 {
     return __atomic_load_n(static_cast<const std::uint64_t *>(word_addr),
                            __ATOMIC_RELAXED);
 }
 
-/** Relaxed atomic store of an aligned 64-bit word. */
-TMEMC_ALWAYS_INLINE void
+/** Relaxed atomic store of an aligned 64-bit word. Runtime-internal
+ *  escape hatch: bypasses instrumentation (see header comment). */
+TM_PURE TMEMC_ALWAYS_INLINE void
 rawStore(void *word_addr, std::uint64_t val)
 {
     __atomic_store_n(static_cast<std::uint64_t *>(word_addr), val,

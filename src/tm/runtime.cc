@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tm/api.h"
+#include "tm/strict.h"
 
 namespace tmemc::tm
 {
@@ -186,6 +187,43 @@ inTransaction()
 {
     return tlsDesc.desc.nesting > 0;
 }
+
+#if TMEMC_TM_STRICT
+
+namespace strict
+{
+
+bool
+inSpeculativeTx()
+{
+    return tlsDesc.desc.state == RunState::Speculative;
+}
+
+void
+violation(const void *addr, const char *what)
+{
+    const TxDesc &d = tlsDesc.desc;
+    std::fprintf(stderr,
+                 "tm-strict: uninstrumented access to shared word %p via "
+                 "%s inside %s transaction '%s' (thread %llu)\n",
+                 addr, what,
+                 d.kind == TxnKind::Atomic ? "atomic" : "relaxed",
+                 d.attr != nullptr ? d.attr->name : "?",
+                 static_cast<unsigned long long>(d.threadId));
+    // Leave the event tail on stderr even when the recorder was not
+    // armed via --trace: the rings may still hold records from an
+    // earlier armed window, and the dump header orients the reader.
+    const std::string tail = obs::dumpTrace();
+    std::fputs("tm-strict: flight recorder tail follows\n", stderr);
+    std::fputs(tail.empty() ? "(flight recorder empty)\n" : tail.c_str(),
+               stderr);
+    panic("tm-strict violation: raw access via %s while speculative",
+          what);
+}
+
+} // namespace strict
+
+#endif // TMEMC_TM_STRICT
 
 // ---------------------------------------------------------------------
 // Ambient transaction domain

@@ -134,15 +134,19 @@ void setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr);
  * speculative relaxed transaction it aborts and restarts the
  * transaction in serial-irrevocable mode (what GCC does for an
  * in-flight switch). Once serial, it is a no-op.
+ *
+ * tmlint treats a preceding unsafeOp() call in the same block as the
+ * serial-path waiver for rule TM3: the irrevocable operation that
+ * follows it is exactly the in-flight-switch pattern.
  */
-void unsafeOp(TxDesc &d, const char *what);
+TM_SAFE void unsafeOp(TxDesc &d, const char *what);
 
 /**
  * Model a call to a function with annotation @p fn_attr from inside a
  * transaction. Unannotated callees force serialization unless the
  * runtime is configured to infer safety (as GCC does).
  */
-void noteCall(TxDesc &d, FnAttr fn_attr, const char *name);
+TM_SAFE void noteCall(TxDesc &d, FnAttr fn_attr, const char *name);
 
 /**
  * Condition synchronization: abort the current transaction, block the
@@ -151,7 +155,7 @@ void noteCall(TxDesc &d, FnAttr fn_attr, const char *name);
  * (e.g. "queue is empty"). Illegal in serial-irrevocable mode: an
  * irrevocable transaction excludes the very commits it would wait for.
  */
-[[noreturn]] void retry(TxDesc &d);
+[[noreturn]] TM_SAFE void retry(TxDesc &d);
 
 } // namespace tmemc::tm
 

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Strict-mode runtime cross-check for the tmlint static rules.
+ *
+ * tools/tmlint enforces the Draft C++ TM Specification's discipline at
+ * the source level, but a library STM has holes a source checker
+ * cannot close: template-parameter callables are resolved per
+ * instantiation, and nothing stops a future call path from routing an
+ * uninstrumented context into code running under a transaction.
+ *
+ * TMEMC_TM_STRICT (a CMake option, off by default) closes the loop at
+ * runtime: while the calling thread is inside a *speculative*
+ * transaction attempt, any access through an uninstrumented fast path
+ * — PlainCtx loads/stores, or the shared-state entry points of
+ * slabs.h / assoc.h / lru.h reached with a non-transactional context —
+ * panics with a flight-recorder dump. Serial-irrevocable execution is
+ * exempt: once a transaction holds the serial lock exclusively, direct
+ * access is exactly what GCC's runtime does too, and it is the legal
+ * landing spot of the unsafeOp() in-flight switch.
+ *
+ * The static rules and this check agree on what "safe" means: tmlint's
+ * TM1 ("raw shared access in a checked transaction body") is the
+ * compile-time face of the same invariant this guard enforces on the
+ * paths the checker had to trust.
+ *
+ * Cost: when the option is off, every guard compiles to nothing. When
+ * on, a guard is one thread-local read and a predictable branch.
+ */
+
+#ifndef TMEMC_TM_STRICT_H
+#define TMEMC_TM_STRICT_H
+
+#include <type_traits>
+
+#include "common/compiler.h"
+
+#ifndef TMEMC_TM_STRICT
+#  define TMEMC_TM_STRICT 0
+#endif
+
+namespace tmemc::tm::strict
+{
+
+/**
+ * Does @p Ctx perform instrumented accesses? The convention: every
+ * transactional context exposes its descriptor as a public member
+ * named `tx` (mc::TmCtx does); uninstrumented contexts do not.
+ */
+template <typename Ctx, typename = void>
+struct IsInstrumentedCtx : std::false_type
+{
+};
+
+template <typename Ctx>
+struct IsInstrumentedCtx<Ctx,
+                         std::void_t<decltype(std::declval<Ctx &>().tx)>>
+    : std::true_type
+{
+};
+
+#if TMEMC_TM_STRICT
+
+/** True while this thread is in a speculative transaction attempt
+ *  (atomic or relaxed — both forbid uninstrumented shared access;
+ *  serial-irrevocable mode is exempt). */
+bool inSpeculativeTx();
+
+/** Report a strict-mode violation: the word at @p addr was touched
+ *  through @p what without a TxDesc while a speculative transaction
+ *  was running. Dumps the flight recorder, then panics. */
+[[noreturn]] void violation(const void *addr, const char *what);
+
+/** Guard body shared by the macros below. */
+TMEMC_ALWAYS_INLINE void
+checkRaw(const void *addr, const char *what)
+{
+    if (TMEMC_UNLIKELY(inSpeculativeTx()))
+        violation(addr, what);
+}
+
+#endif // TMEMC_TM_STRICT
+
+} // namespace tmemc::tm::strict
+
+#if TMEMC_TM_STRICT
+/** Guard one uninstrumented access to a known-shared word. */
+#  define TMEMC_STRICT_RAW(addr, what)                                      \
+      ::tmemc::tm::strict::checkRaw(addr, what)
+/** Guard a shared-state entry point generic over the memory context:
+ *  fires only for uninstrumented contexts. */
+#  define TMEMC_STRICT_SHARED_ENTRY(c, addr, what)                          \
+      do {                                                                  \
+          if constexpr (!::tmemc::tm::strict::IsInstrumentedCtx<            \
+                            std::decay_t<decltype(c)>>::value)              \
+              ::tmemc::tm::strict::checkRaw(addr, what);                    \
+      } while (0)
+#else
+#  define TMEMC_STRICT_RAW(addr, what) ((void)0)
+#  define TMEMC_STRICT_SHARED_ENTRY(c, addr, what) ((void)0)
+#endif
+
+#endif // TMEMC_TM_STRICT_H

@@ -40,7 +40,7 @@ constexpr std::size_t kMaxMarshalOut = 8192;
  * that is the point of the pattern, and why it requires a
  * direct-update or captured-memory-aware STM.
  */
-inline void
+TM_SAFE inline void
 marshalIn(tm::TxDesc &d, void *priv_dst, const void *shared_src,
           std::size_t n)
 {
@@ -54,7 +54,7 @@ marshalIn(tm::TxDesc &d, void *priv_dst, const void *shared_src,
  * Marshal @p n bytes of a private buffer back into shared memory at
  * @p shared_dst with instrumented writes.
  */
-inline void
+TM_SAFE inline void
 marshalOut(tm::TxDesc &d, void *shared_dst, const void *priv_src,
            std::size_t n)
 {

@@ -10,6 +10,19 @@
  * the fresh buffer are uninstrumented because freshly allocated memory
  * is captured (thread-private until published). The old buffer's free
  * is deferred to commit; on abort the new buffer is reclaimed.
+ *
+ * Allocation audit (enforced by tmlint rule TM3): every malloc /
+ * realloc / free reachable from a transaction body flows through this
+ * header or tm::txMalloc / tm::txFree — inside TM branches,
+ * Ctx::allocRaw/freeRaw delegate to the transactional allocator. The
+ * raw std::malloc/std::free calls that remain in the tree are all
+ * outside transactional reach: PlainCtx::allocRaw (the uninstrumented
+ * baseline branch, which never runs speculatively), cache teardown in
+ * ~Cache (single-threaded, after all transactions have drained), and
+ * the runtime's own log/descriptor plumbing in src/tm/ (the trusted
+ * computing base — the libitm analogue allocates irrevocably by
+ * design). Adding a new raw allocation on a transactional path will
+ * fail `test_tmlint_tree` with a TM3 diagnostic.
  */
 
 #ifndef TMEMC_TMSAFE_TM_ALLOC_H
@@ -17,6 +30,7 @@
 
 #include <cstddef>
 
+#include "common/compiler.h"
 #include "tm/api.h"
 
 namespace tmemc::tmsafe
@@ -34,7 +48,7 @@ namespace tmemc::tmsafe
  *         old buffer is left intact so the caller can fail the
  *         operation without losing data.
  */
-void *tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
+TM_SAFE void *tm_realloc(tm::TxDesc &d, void *old_ptr, std::size_t old_size,
                  std::size_t new_size);
 
 } // namespace tmemc::tmsafe

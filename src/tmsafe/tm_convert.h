@@ -26,7 +26,7 @@ namespace tmemc::tmsafe
 {
 
 /** Transaction-pure isspace (no memory access beyond the argument). */
-int tm_isspace(int c);
+TM_PURE int tm_isspace(int c);
 
 /**
  * Transaction-safe strtol via marshaling.
@@ -38,16 +38,16 @@ int tm_isspace(int c);
  *                 cannot point into the private copy).
  * @param base     Numeric base, as for libc strtol.
  */
-long tm_strtol(tm::TxDesc &d, const char *nptr, std::size_t max_len,
+TM_SAFE long tm_strtol(tm::TxDesc &d, const char *nptr, std::size_t max_len,
                std::size_t *consumed, int base);
 
 /** Transaction-safe strtoull via marshaling; see tm_strtol. */
-unsigned long long tm_strtoull(tm::TxDesc &d, const char *nptr,
+TM_SAFE unsigned long long tm_strtoull(tm::TxDesc &d, const char *nptr,
                                std::size_t max_len, std::size_t *consumed,
                                int base);
 
 /** Transaction-safe atoi via marshaling. */
-int tm_atoi(tm::TxDesc &d, const char *nptr, std::size_t max_len);
+TM_SAFE int tm_atoi(tm::TxDesc &d, const char *nptr, std::size_t max_len);
 
 } // namespace tmemc::tmsafe
 

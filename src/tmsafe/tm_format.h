@@ -31,28 +31,28 @@ namespace tmemc::tmsafe
  * @return Number of characters that would have been written (libc
  *         snprintf contract).
  */
-int tm_snprintf_ull(tm::TxDesc &d, char *dst, std::size_t n,
+TM_SAFE int tm_snprintf_ull(tm::TxDesc &d, char *dst, std::size_t n,
                     unsigned long long v);
 
 /**
  * snprintf clone for "%s" where the argument is a shared string of at
  * most @p src_max meaningful bytes.
  */
-int tm_snprintf_str(tm::TxDesc &d, char *dst, std::size_t n,
+TM_SAFE int tm_snprintf_str(tm::TxDesc &d, char *dst, std::size_t n,
                     const char *src, std::size_t src_max);
 
 /**
  * snprintf clone for the "STAT <name> <value>\r\n" stats-line shape.
  * @p name must be private memory (a literal); the value is a scalar.
  */
-int tm_snprintf_stat(tm::TxDesc &d, char *dst, std::size_t n,
+TM_SAFE int tm_snprintf_stat(tm::TxDesc &d, char *dst, std::size_t n,
                      const char *name, unsigned long long v);
 
 /** Transaction-pure htons (scalar in, scalar out; paper Section 3.4). */
-std::uint16_t tm_htons(std::uint16_t host_val);
+TM_PURE std::uint16_t tm_htons(std::uint16_t host_val);
 
 /** Transaction-pure ntohs. */
-std::uint16_t tm_ntohs(std::uint16_t net_val);
+TM_PURE std::uint16_t tm_ntohs(std::uint16_t net_val);
 
 } // namespace tmemc::tmsafe
 

@@ -28,41 +28,41 @@ namespace tmemc::tmsafe
 // ----------------------------------------------------------------------
 
 /** Transaction-safe memcpy. @return dst. */
-void *tm_memcpy(tm::TxDesc &d, void *dst, const void *src, std::size_t n);
+TM_SAFE void *tm_memcpy(tm::TxDesc &d, void *dst, const void *src, std::size_t n);
 
 /** Transaction-safe memmove (overlap-tolerant). @return dst. */
-void *tm_memmove(tm::TxDesc &d, void *dst, const void *src, std::size_t n);
+TM_SAFE void *tm_memmove(tm::TxDesc &d, void *dst, const void *src, std::size_t n);
 
 /** Transaction-safe memcmp. */
-int tm_memcmp(tm::TxDesc &d, const void *a, const void *b, std::size_t n);
+TM_SAFE int tm_memcmp(tm::TxDesc &d, const void *a, const void *b, std::size_t n);
 
 /** Transaction-safe memset. @return dst. */
-void *tm_memset(tm::TxDesc &d, void *dst, int c, std::size_t n);
+TM_SAFE void *tm_memset(tm::TxDesc &d, void *dst, int c, std::size_t n);
 
 /** Transaction-safe strlen. */
-std::size_t tm_strlen(tm::TxDesc &d, const char *s);
+TM_SAFE std::size_t tm_strlen(tm::TxDesc &d, const char *s);
 
 /** Transaction-safe strncmp. */
-int tm_strncmp(tm::TxDesc &d, const char *a, const char *b, std::size_t n);
+TM_SAFE int tm_strncmp(tm::TxDesc &d, const char *a, const char *b, std::size_t n);
 
 /** Transaction-safe strncpy (pads with NULs like the libc one). */
-char *tm_strncpy(tm::TxDesc &d, char *dst, const char *src, std::size_t n);
+TM_SAFE char *tm_strncpy(tm::TxDesc &d, char *dst, const char *src, std::size_t n);
 
 /** Transaction-safe strchr. @return pointer into the shared string. */
-const char *tm_strchr(tm::TxDesc &d, const char *s, int c);
+TM_SAFE const char *tm_strchr(tm::TxDesc &d, const char *s, int c);
 
 // ----------------------------------------------------------------------
 // Non-transactional clones generated "from the same source"
 // ----------------------------------------------------------------------
 
-void *naive_memcpy(void *dst, const void *src, std::size_t n);
-void *naive_memmove(void *dst, const void *src, std::size_t n);
-int naive_memcmp(const void *a, const void *b, std::size_t n);
-void *naive_memset(void *dst, int c, std::size_t n);
-std::size_t naive_strlen(const char *s);
-int naive_strncmp(const char *a, const char *b, std::size_t n);
-char *naive_strncpy(char *dst, const char *src, std::size_t n);
-const char *naive_strchr(const char *s, int c);
+TM_UNSAFE void *naive_memcpy(void *dst, const void *src, std::size_t n);
+TM_UNSAFE void *naive_memmove(void *dst, const void *src, std::size_t n);
+TM_UNSAFE int naive_memcmp(const void *a, const void *b, std::size_t n);
+TM_UNSAFE void *naive_memset(void *dst, int c, std::size_t n);
+TM_UNSAFE std::size_t naive_strlen(const char *s);
+TM_UNSAFE int naive_strncmp(const char *a, const char *b, std::size_t n);
+TM_UNSAFE char *naive_strncpy(char *dst, const char *src, std::size_t n);
+TM_UNSAFE const char *naive_strchr(const char *s, int c);
 
 } // namespace tmemc::tmsafe
 

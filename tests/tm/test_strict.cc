@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the TMEMC_TM_STRICT runtime cross-check (tm/strict.h).
+ *
+ * With the option ON (cmake -DTMEMC_TM_STRICT=ON), an uninstrumented
+ * fast-path access made while the calling thread is speculating must
+ * panic with a flight-recorder dump; accesses outside transactions and
+ * on the serial-irrevocable path must not. With the option OFF (the
+ * default), the guard macros compile to nothing — verified here both
+ * functionally and with a min-of-many overhead spot check on the
+ * PlainCtx hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "mc/branch.h"
+#include "mc/ctx.h"
+#include "tm/api.h"
+#include "tm/strict.h"
+#include "tm_test_util.h"
+
+namespace
+{
+
+using namespace tmemc;
+using tmemc::tests::useRuntime;
+
+const tm::TxnAttr atomicAttr{"strict:atomic", tm::TxnKind::Atomic, false};
+const tm::TxnAttr relaxedAttr{"strict:relaxed", tm::TxnKind::Relaxed,
+                              false};
+
+std::uint64_t sharedCell;
+
+class StrictTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { useRuntime(tm::AlgoKind::GccEager); }
+};
+
+// The trait the TMEMC_STRICT_SHARED_ENTRY macro dispatches on must
+// hold regardless of build mode: TmCtx is instrumented (exposes .tx),
+// PlainCtx is not.
+TEST_F(StrictTest, InstrumentedCtxTraitClassifiesContexts)
+{
+    using Plain = mc::PlainCtx<mc::kBaseline>;
+    using Instr = mc::TmCtx<mc::kITMax>;
+    EXPECT_FALSE(tm::strict::IsInstrumentedCtx<Plain>::value);
+    EXPECT_TRUE(tm::strict::IsInstrumentedCtx<Instr>::value);
+}
+
+TEST_F(StrictTest, PlainAccessOutsideTransactionIsAlwaysLegal)
+{
+    mc::PlainCtx<mc::kBaseline> c;
+    c.store(&sharedCell, std::uint64_t{7});
+    EXPECT_EQ(c.load(&sharedCell), 7u);
+}
+
+#if TMEMC_TM_STRICT
+
+TEST_F(StrictTest, RawAccessInSpeculativeTransactionPanics)
+{
+    EXPECT_DEATH(
+        {
+            tm::run(atomicAttr, [](tm::TxDesc &) {
+                mc::PlainCtx<mc::kBaseline> c;
+                c.store(&sharedCell, std::uint64_t{1});
+            });
+        },
+        "tm-strict");
+}
+
+TEST_F(StrictTest, RawLoadInSpeculativeTransactionPanics)
+{
+    EXPECT_DEATH(
+        {
+            tm::run(atomicAttr, [](tm::TxDesc &) {
+                mc::PlainCtx<mc::kBaseline> c;
+                (void)c.load(&sharedCell);
+            });
+        },
+        "tm-strict");
+}
+
+// The serial-irrevocable path is exempt: after an in-flight switch
+// the transaction owns the serial lock and direct access is exactly
+// what GCC's runtime does too (and the legal landing spot of
+// unsafeOp()).
+TEST_F(StrictTest, SerialIrrevocablePathIsExempt)
+{
+    tm::run(relaxedAttr, [](tm::TxDesc &tx) {
+        tm::unsafeOp(tx, "test: go serial");
+        mc::PlainCtx<mc::kBaseline> c;
+        c.store(&sharedCell, std::uint64_t{3});
+    });
+    EXPECT_EQ(sharedCell, 3u);
+}
+
+// Instrumented contexts must pass through the shared-entry guards
+// without firing while speculating.
+TEST_F(StrictTest, InstrumentedAccessWhileSpeculatingIsLegal)
+{
+    static std::uint64_t cell = 0;
+    tm::run(atomicAttr, [](tm::TxDesc &tx) {
+        mc::TmCtx<mc::kITMax> c{tx};
+        c.store(&cell, c.load(&cell) + 1);
+    });
+    EXPECT_EQ(cell, 1u);
+}
+
+#else // !TMEMC_TM_STRICT
+
+// With the option off, uninstrumented access inside a transaction is
+// (dangerously) silent — the static checker is the line of defense.
+// This pins the no-op behaviour so turning strict mode on is a
+// deliberate choice, not an ambient one.
+TEST_F(StrictTest, GuardsAreNoOpsWhenDisabled)
+{
+    tm::run(atomicAttr, [](tm::TxDesc &) {
+        mc::PlainCtx<mc::kBaseline> c;
+        c.store(&sharedCell, std::uint64_t{11});
+    });
+    EXPECT_EQ(sharedCell, 11u);
+}
+
+// Overhead spot check: the guard macro expands to ((void)0), so the
+// guarded PlainCtx path must cost the same as a hand-written loop.
+// Min-of-many filters scheduler noise; the 1.05x bound is the
+// acceptance criterion for "no measurable overhead in default builds".
+TEST_F(StrictTest, PlainCtxPathHasNoMeasurableOverheadWhenDisabled)
+{
+    constexpr int kIters = 200000;
+    constexpr int kRounds = 9;
+    static std::uint64_t cells[16] = {};
+    mc::PlainCtx<mc::kBaseline> c;
+
+    auto timeOnce = [&](auto &&body) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kIters; ++i)
+            body(i);
+        asm volatile("" ::: "memory");
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    double guarded = 1e9;
+    double plain = 1e9;
+    for (int r = 0; r < kRounds; ++r) {
+        guarded = std::min(guarded, timeOnce([&](int i) {
+            c.store(&cells[i & 15], c.load(&cells[i & 15]) + 1);
+        }));
+        plain = std::min(plain, timeOnce([&](int i) {
+            std::uint64_t *p = &cells[i & 15];
+            asm volatile("" : "+r"(p));
+            *p = *p + 1;
+        }));
+    }
+    // Generous floor keeps sub-microsecond denominators from turning
+    // timer jitter into a ratio.
+    EXPECT_LE(guarded, plain * 1.05 + 1e-4)
+        << "guarded=" << guarded << "s plain=" << plain << "s";
+}
+
+#endif // TMEMC_TM_STRICT
+
+} // namespace

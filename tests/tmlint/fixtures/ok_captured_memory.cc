@@ -1,0 +1,42 @@
+/**
+ * @file
+ * tmlint fixture (negative): plain initialization of memory the
+ * transaction itself just allocated, under a tm-captured waiver. No
+ * other thread can reach the block before the instrumented store
+ * publishes it, so plain stores are invisible — the captured-memory
+ * optimization GCC performs automatically and a library STM must
+ * document by hand (slabsCarvePage is the production instance).
+ */
+
+#include "tm/api.h"
+
+namespace
+{
+
+struct Node
+{
+    std::uint64_t val;
+    Node *next;
+};
+
+Node *head;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:ok-captured",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+// tmlint-expect: none
+
+void
+pushFresh(std::uint64_t v)
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        auto *n = static_cast<Node *>(tm::txMalloc(tx, sizeof(Node)));
+        // tm-captured: n is transaction-fresh until the txStore below
+        n->val = v;
+        n->next = tm::txLoad(tx, &head);
+        tm::txStore(tx, &head, n);
+    });
+}
+
+} // namespace

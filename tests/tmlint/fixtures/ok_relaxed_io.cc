@@ -1,0 +1,36 @@
+/**
+ * @file
+ * tmlint fixture (negative): I/O inside a *relaxed* transaction is
+ * legal — the runtime serializes the transaction (GCC's in-flight
+ * switch to serial-irrevocable mode) and the write happens exactly
+ * once. This is the paper's answer to memcached's logging and stats
+ * paths; tmlint must stay quiet here.
+ */
+
+#include <cstdio>
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:ok-relaxed",
+                               tmemc::tm::TxnKind::Relaxed, false};
+
+// tmlint-expect: none
+
+void
+auditedBump()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        const std::uint64_t v = tm::txLoad(tx, &cell) + 1;
+        std::fprintf(stderr, "bump to %llu\n",
+                     static_cast<unsigned long long>(v));
+        tm::txStore(tx, &cell, v);
+    });
+}
+
+} // namespace

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * tmlint fixture: use of the tm/raw.h escape hatches (rawStore) and
+ * TmVar::rawGet inside a checked atomic body. The hatches exist for
+ * the runtime's own implementation and for code that has proven
+ * privatization; inside a speculative body they bypass versioning.
+ */
+
+#include "tm/api.h"
+#include "tm/raw.h"
+
+namespace
+{
+
+tmemc::tm::TmVar<std::uint64_t> hits{0};
+std::uint64_t shadow;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm1-raw",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+std::uint64_t
+peekBroken()
+{
+    namespace tm = tmemc::tm;
+    return tm::run(kAttr, [&](tm::TxDesc &tx) {
+        tm::rawStore(&shadow, tm::txLoad(tx, &shadow) + 1); // tmlint-expect: TM1
+        return hits.rawGet(); // tmlint-expect: TM1
+    });
+}
+
+} // namespace

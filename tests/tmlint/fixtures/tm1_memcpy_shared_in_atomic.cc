@@ -1,0 +1,43 @@
+/**
+ * @file
+ * tmlint fixture: std::memcpy touching shared memory inside an atomic
+ * body (flagged) next to the legal marshal pattern — the same call on
+ * private stack copies (exempt), which is how the paper routes
+ * memcached's library calls through transactions.
+ */
+
+#include <cstring>
+
+#include "tm/api.h"
+
+namespace
+{
+
+char sharedBuf[64];
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm1-memcpy",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+copyBroken(const char *src, std::size_t n)
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        std::memcpy(sharedBuf, src, n); // tmlint-expect: TM1
+        tm::txStore(tx, &sharedBuf[0], sharedBuf[0]);
+    });
+}
+
+void
+copyMarshalled(const char *src, std::size_t n)
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        char priv[64];
+        char out[64];
+        std::memcpy(priv, out, n);
+        tm::txStoreBytes(tx, sharedBuf, priv, n);
+    });
+}
+
+} // namespace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * tmlint fixture: a plain store to shared memory inside an atomic
+ * transaction body. This is the canonical bug the checker exists for —
+ * GCC would have instrumented the store; a library STM silently loses
+ * it from the undo/redo log and the transaction is no longer isolated.
+ */
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t counter;
+std::uint64_t *cell = &counter;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm1", tmemc::tm::TxnKind::Atomic,
+                               false};
+
+void
+bumpBroken()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        const std::uint64_t v = tm::txLoad(tx, cell);
+        *cell = v + 1; // tmlint-expect: TM1
+        counter = v + 2; // tmlint-expect: TM1
+    });
+}
+
+void
+bumpCorrect()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        tm::txStore(tx, cell, tm::txLoad(tx, cell) + 1);
+    });
+}
+
+} // namespace

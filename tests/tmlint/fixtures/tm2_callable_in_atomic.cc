@@ -1,0 +1,37 @@
+/**
+ * @file
+ * tmlint fixture: a TM_CALLABLE function invoked from an *explicitly*
+ * atomic body. Callable code is instrumented but licensed to contain
+ * branch-staged unsafe operations, so the specification only admits
+ * transaction_safe / transaction_pure callees inside atomic blocks.
+ * (From branch-configured section bodies — kind unknown until
+ * runtime — tmlint accepts callable callees; see slabsAlloc's users.)
+ */
+
+#include "common/compiler.h"
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t cell;
+
+TM_CALLABLE std::uint64_t
+stagedRead(tmemc::tm::TxDesc &tx)
+{
+    return tmemc::tm::txLoad(tx, &cell);
+}
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm2-callable",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+std::uint64_t
+readBroken()
+{
+    namespace tm = tmemc::tm;
+    return tm::run(kAttr, [&](tm::TxDesc &tx) {
+        return stagedRead(tx); // tmlint-expect: TM2
+    });
+}
+
+} // namespace

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * tmlint fixture: a TM_SAFE function whose body launders an unsafe
+ * operation through an unannotated helper. The annotation promises
+ * static safety; tmlint closes over the helper's visible body the way
+ * GCC's inliner-driven checking would and rejects the call.
+ */
+
+#include <cstdio>
+
+#include "common/compiler.h"
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t cell;
+
+std::uint64_t
+logAndLoad(tmemc::tm::TxDesc &tx)
+{
+    std::fprintf(stderr, "loading\n");
+    return tmemc::tm::txLoad(tx, &cell);
+}
+
+TM_SAFE std::uint64_t
+liesAboutSafety(tmemc::tm::TxDesc &tx)
+{
+    return logAndLoad(tx); // tmlint-expect: TM2
+}
+
+} // namespace

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * tmlint fixture: an atomic body calls a function that is neither
+ * annotated nor visible for body inference. GCC rejects this at
+ * compile time ("unsafe function call within atomic transaction");
+ * tmlint reproduces the diagnostic.
+ */
+
+#include "tm/api.h"
+
+namespace
+{
+
+// Declared, never defined here: nothing to infer safety from.
+std::uint64_t opaqueHelper(std::uint64_t v);
+
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm2",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+std::uint64_t
+computeBroken()
+{
+    namespace tm = tmemc::tm;
+    return tm::run(kAttr, [&](tm::TxDesc &tx) {
+        const std::uint64_t v = tm::txLoad(tx, &cell);
+        return opaqueHelper(v); // tmlint-expect: TM2
+    });
+}
+
+} // namespace

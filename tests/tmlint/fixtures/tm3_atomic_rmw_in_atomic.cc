@@ -1,0 +1,32 @@
+/**
+ * @file
+ * tmlint fixture: a std::atomic RMW inside an atomic transaction
+ * body. The fetch_add is immediately visible to other threads and is
+ * not undone on abort — it escapes both isolation and rollback. The
+ * instrumented equivalent is a txLoad/txStore pair (TmCtx::refIncr).
+ */
+
+#include <atomic>
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::atomic<std::uint64_t> refs{0};
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm3-rmw",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+pinBroken()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        refs.fetch_add(1, std::memory_order_relaxed); // tmlint-expect: TM3
+        tm::txStore(tx, &cell, tm::txLoad(tx, &cell) + 1);
+    });
+}
+
+} // namespace

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * tmlint fixture: mutex operations inside an atomic body. A lock
+ * acquired speculatively cannot be rolled back, and lock/transaction
+ * interleavings deadlock the serial path — the reason the paper's
+ * memcached port had to replace every cache lock with a transaction
+ * instead of mixing the two.
+ */
+
+#include <mutex>
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::mutex gate;
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm3-mutex",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+lockBroken()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        gate.lock(); // tmlint-expect: TM3
+        tm::txStore(tx, &cell, tm::txLoad(tx, &cell) + 1);
+        gate.unlock(); // tmlint-expect: TM3
+    });
+}
+
+} // namespace

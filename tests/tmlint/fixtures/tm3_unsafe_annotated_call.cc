@@ -1,0 +1,37 @@
+/**
+ * @file
+ * tmlint fixture: calling a TM_UNSAFE-annotated function (the
+ * net/sys.h syscall wrappers carry the same annotation) from an
+ * atomic body. The annotation is the library-STM spelling of
+ * "irrevocable-only": the callee performs I/O that can never be
+ * rolled back.
+ */
+
+#include "common/compiler.h"
+#include "tm/api.h"
+
+namespace
+{
+
+TM_UNSAFE int
+pollDevice(int fd)
+{
+    return fd; // stand-in for an ioctl
+}
+
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm3-unsafe",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+pollBroken(int fd)
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        tm::txStore(tx, &cell, tm::txLoad(tx, &cell) + 1);
+        pollDevice(fd); // tmlint-expect: TM3
+    });
+}
+
+} // namespace

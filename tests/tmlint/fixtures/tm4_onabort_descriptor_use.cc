@@ -1,0 +1,32 @@
+/**
+ * @file
+ * tmlint fixture: an onAbort handler that captures and touches the
+ * TxDesc. By the time abort handlers run, handleAbort has already
+ * rolled the descriptor back — reading through it observes undone
+ * state, and registering nested handlers from one is re-entrant.
+ */
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t cell;
+std::uint64_t attempts;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm4-abort",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+retryAccounting()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        tx.onAbort([&] {
+            attempts = tx.nesting; // tmlint-expect: TM4
+        });
+        tm::txStore(tx, &cell, tm::txLoad(tx, &cell) + 1);
+    });
+}
+
+} // namespace

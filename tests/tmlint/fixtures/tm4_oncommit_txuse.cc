@@ -1,0 +1,43 @@
+/**
+ * @file
+ * tmlint fixture: an onCommit handler that reaches back into the
+ * transactional API. Handlers run in finishCommit, after the
+ * descriptor has released its state — txStore there corrupts whatever
+ * transaction happens to run next on the thread. Handlers must be
+ * TM_PURE-clean: plain code over plain captured values.
+ */
+
+#include "tm/api.h"
+
+namespace
+{
+
+std::uint64_t cell;
+std::uint64_t journal;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:tm4",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+publishBroken()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        tm::txStore(tx, &cell, std::uint64_t{1});
+        tx.onCommit([&] {
+            tm::txStore(tx, &journal, std::uint64_t{1}); // tmlint-expect: TM4
+        });
+    });
+}
+
+void
+publishCorrect()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        const std::uint64_t v = tm::txLoad(tx, &cell);
+        tx.onCommit([v] { journal = v; });
+    });
+}
+
+} // namespace

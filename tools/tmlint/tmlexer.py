@@ -1,0 +1,186 @@
+"""C++ tokenizer for tmlint's fallback front end.
+
+Produces a flat token stream (no preprocessing, no template
+instantiation) that is good enough for the region/annotation analysis
+in tmmodel.py. Comments are stripped but scanned for tmlint waiver and
+expectation markers, which are returned alongside the tokens.
+
+Tokens are namedtuples (kind, text, line, col) with kind one of:
+  id     identifier or keyword (including qualified fragments; the
+         model layer joins `a :: b` sequences itself)
+  num    numeric literal
+  str    string literal (text is the raw literal, quotes included)
+  chr    character literal
+  punct  operator / punctuation, longest-match (e.g. '->', '::', '<<=')
+"""
+
+from __future__ import annotations
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line", "col"])
+Marker = namedtuple("Marker", ["line", "name", "arg"])
+
+# Longest-first so maximal munch works with a simple ordered scan.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?", ":", ".",
+    "#",
+]
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xXbB])?[0-9](?:[0-9a-fA-F'.]|[eEpP][+-])*[uUlLzZfF]*")
+
+# Waiver / expectation markers recognized inside comments:
+#   tmlint-expect: TM3            (fixture expectation on this line)
+#   tmlint-expect: none           (fixture must produce no diagnostics)
+#   tm-captured: <reason>         (TM1 waiver: fresh/captured memory)
+#   tm-pure-local: <reason>       (TM1 waiver: std call on private data)
+_MARKER_RE = re.compile(
+    r"(tmlint-expect|tm-captured|tm-pure-local)\s*:\s*([^\n*]*)")
+
+
+def tokenize(text):
+    """Return (tokens, markers) for one translation unit's source."""
+    tokens = []
+    markers = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def scan_comment(body, at_line):
+        for m in _MARKER_RE.finditer(body):
+            markers.append(
+                Marker(at_line + body[: m.start()].count("\n"),
+                       m.group(1), m.group(2).strip()))
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            col += 1
+            continue
+        # Line comment.
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            scan_comment(text[i:j], line)
+            col += j - i
+            i = j
+            continue
+        # Block comment.
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            body = text[i : j + 2]
+            scan_comment(body, line)
+            nl = body.count("\n")
+            if nl:
+                line += nl
+                col = len(body) - body.rfind("\n")
+            else:
+                col += len(body)
+            i = j + 2
+            continue
+        # Preprocessor directive: keep '#' token, then swallow the rest
+        # of the (possibly continued) line — includes/defines are read
+        # by the model layer from raw text, not from tokens.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    j = n
+                    break
+                if text[k - 1] == "\\" if k > 0 else False:
+                    j = k + 1
+                    line += 1
+                    continue
+                j = k
+                break
+            i = j
+            col = 1
+            continue
+        # Raw string literal.
+        m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+        if m:
+            delim = ")" + m.group(1) + '"'
+            j = text.find(delim, i + m.end())
+            j = n - len(delim) if j < 0 else j
+            lit = text[i : j + len(delim)]
+            tokens.append(Token("str", lit, line, col))
+            line += lit.count("\n")
+            i = j + len(delim)
+            continue
+        # String / char literal (with escapes).
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            lit = text[i : j + 1]
+            tokens.append(Token("str" if c == '"' else "chr", lit, line,
+                                col))
+            col += len(lit)
+            i = j + 1
+            continue
+        m = _ID_RE.match(text, i)
+        if m:
+            tokens.append(Token("id", m.group(0), line, col))
+            col += len(m.group(0))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _NUM_RE.match(text, i)
+            tokens.append(Token("num", m.group(0), line, col))
+            col += len(m.group(0))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                col += len(p)
+                i += len(p)
+                break
+        else:
+            i += 1  # Unknown byte: skip.
+            col += 1
+    return tokens, markers
+
+
+def match_brace(tokens, open_idx):
+    """Index of the '}' matching tokens[open_idx] == '{' (or len)."""
+    depth = 0
+    for k in range(open_idx, len(tokens)):
+        t = tokens[k]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return k
+    return len(tokens)
+
+
+def match_paren(tokens, open_idx):
+    """Index of the ')' matching tokens[open_idx] == '(' (or len)."""
+    depth = 0
+    for k in range(open_idx, len(tokens)):
+        t = tokens[k]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return k
+    return len(tokens)

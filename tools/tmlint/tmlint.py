@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""tmlint: static TM-safety checking for the tmemc library STM.
+
+GCC's transactional-memory front end rejects, at compile time, atomic
+transactions that reach code it cannot prove transaction-safe. tmemc
+models transactions as a library (tm::run + TxDesc), so the compiler
+provides none of that checking. tmlint restores it as an external
+pass: it walks every translation unit under src/, finds transaction
+bodies (lambdas passed to tm::run and to the branch-policy section
+runners) and annotated functions, and enforces the TM1-TM4 rule
+families documented in tmrules.py / docs/architecture.md section 9.
+
+Backends:
+  ctok   self-contained token-level front end (tmlexer + tmmodel).
+         Always available; the one CI runs.
+  clang  libclang AST refinement of the annotation index; used when a
+         clang Python binding exists (see clang_backend.py).
+  auto   clang when available, else ctok (default).
+
+Exit status: 0 clean, 1 diagnostics (or selftest mismatch), 2 usage.
+
+Usage:
+  tmlint.py --src src                          lint the tree
+  tmlint.py --selftest-fixtures tests/tmlint/fixtures
+  tmlint.py --src src --json report.json       machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import clang_backend
+import tmmodel
+import tmrules
+
+SOURCE_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def find_sources(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in ("build", ".git") and not d.startswith("build-"))
+        for f in sorted(filenames):
+            if f.endswith(SOURCE_EXTS):
+                out.append(os.path.join(dirpath, f))
+    return out
+
+
+def relpath(path, base):
+    try:
+        return os.path.relpath(path, base)
+    except ValueError:
+        return path
+
+
+def lint_tree(opts):
+    src_files = find_sources(opts.src)
+    if not src_files:
+        print(f"tmlint: no sources under {opts.src}", file=sys.stderr)
+        return 2
+    project = tmmodel.build_project(src_files)
+    backend = pick_backend(opts)
+    if backend == "clang":
+        merge_clang_annotations(project, src_files, opts.compile_commands)
+    checker = tmrules.Checker(project, infer=not opts.no_infer)
+    diags = sorted(checker.run(), key=lambda d: (d.file, d.line, d.rule))
+    base = os.getcwd()
+    for d in diags:
+        print(f"{relpath(d.file, base)}:{d.line}: [{d.rule}] {d.msg}")
+    summary = {
+        "backend": backend,
+        "files_checked": len(src_files),
+        "diagnostics": [
+            {"file": relpath(d.file, base), "line": d.line,
+             "rule": d.rule, "message": d.msg}
+            for d in diags
+        ],
+    }
+    if opts.json:
+        with open(opts.json, "w", encoding="utf-8") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+    print(f"tmlint: {len(diags)} diagnostic(s) across "
+          f"{len(src_files)} file(s) [backend={backend}]")
+    return 1 if diags else 0
+
+
+def pick_backend(opts):
+    if opts.backend == "clang":
+        if not clang_backend.available():
+            print("tmlint: clang backend requested but no usable "
+                  "clang.cindex/libclang found", file=sys.stderr)
+            sys.exit(2)
+        return "clang"
+    if opts.backend == "ctok":
+        return "ctok"
+    return "clang" if clang_backend.available() else "ctok"
+
+
+def merge_clang_annotations(project, src_files, compile_commands):
+    extra = clang_backend.annotation_index(
+        [p for p in src_files if p.endswith((".cc", ".cpp", ".cxx"))],
+        compile_commands)
+    for name, anns in extra.items():
+        project.annotation_index.setdefault(name, set()).update(anns)
+
+
+def expected_from_markers(sf):
+    """Fixture expectations from `// tmlint-expect: ...` markers."""
+    expected = set()
+    saw_none = False
+    for m in sf.markers:
+        if m.name != "tmlint-expect":
+            continue
+        if m.arg.strip().lower() == "none":
+            saw_none = True
+            continue
+        for rule in m.arg.split():
+            expected.add((m.line, rule.strip()))
+    return expected, saw_none
+
+
+def selftest(opts):
+    fixture_files = find_sources(opts.selftest_fixtures)
+    if not fixture_files:
+        print(f"tmlint: no fixtures under {opts.selftest_fixtures}",
+              file=sys.stderr)
+        return 2
+    # The real tree supplies the annotation index (txLoad, TmCtx
+    # methods, ...) so fixtures resolve calls the way product code does.
+    src_files = find_sources(opts.src) if os.path.isdir(opts.src) else []
+    failures = 0
+    for fixture in fixture_files:
+        project = tmmodel.build_project(src_files + [fixture])
+        checker = tmrules.Checker(project, infer=not opts.no_infer,
+                                  check_paths=[fixture])
+        diags = checker.run()
+        sf = next(f for f in project.files if f.path == fixture)
+        expected, saw_none = expected_from_markers(sf)
+        got = {(d.line, d.rule) for d in diags}
+        name = os.path.basename(fixture)
+        if not expected and not saw_none:
+            print(f"FAIL {name}: fixture declares no tmlint-expect "
+                  "markers (add `// tmlint-expect: none` if clean)")
+            failures += 1
+            continue
+        if got == expected:
+            label = "none" if saw_none and not expected else ", ".join(
+                sorted(f"{r}@{ln}" for ln, r in expected))
+            print(f"ok   {name}: {label}")
+            continue
+        failures += 1
+        print(f"FAIL {name}:")
+        for ln, rule in sorted(expected - got):
+            print(f"  missing expected {rule} at line {ln}")
+        for ln, rule in sorted(got - expected):
+            msg = next(d.msg for d in diags
+                       if (d.line, d.rule) == (ln, rule))
+            print(f"  unexpected {rule} at line {ln}: {msg}")
+    total = len(fixture_files)
+    print(f"tmlint selftest: {total - failures}/{total} fixtures ok")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="tmlint.py",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("--src", default="src",
+                    help="source tree to lint (default: src)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang backend")
+    ap.add_argument("--json", default=None,
+                    help="write a JSON report to this path")
+    ap.add_argument("--backend", choices=("auto", "clang", "ctok"),
+                    default="auto")
+    ap.add_argument("--no-infer", action="store_true",
+                    help="disable callable-safety inference for "
+                         "unresolvable calls (models a conservative "
+                         "compiler; see RuntimeCfg::inferCallableSafety)")
+    ap.add_argument("--selftest-fixtures", default=None,
+                    help="run the fixture selftest over this directory "
+                         "instead of linting --src")
+    opts = ap.parse_args(argv)
+    if opts.selftest_fixtures:
+        return selftest(opts)
+    return lint_tree(opts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

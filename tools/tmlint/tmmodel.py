@@ -1,0 +1,428 @@
+"""Source model for tmlint: functions, annotations, and checked regions.
+
+Built on the token stream from tmlexer.py. The model is deliberately
+approximate — it has no preprocessor, no overload resolution, and no
+template instantiation — but the approximations are all conservative
+for the code shapes this repository uses (clang-format enforced,
+annotation macros spelled literally, transactions entered through
+tm::run or the branch-policy section runners). The libclang backend,
+when a clang Python binding is present, replaces the annotation
+extraction with an AST-accurate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from tmlexer import match_brace, match_paren, tokenize
+
+# Macro spellings carrying the annotation contract (common/compiler.h).
+ANNOTATIONS = {
+    "TM_SAFE": "safe",
+    "TM_CALLABLE": "callable",
+    "TM_PURE": "pure",
+    "TM_UNSAFE": "unsafe",
+}
+
+# Call names that enter a transaction with a lambda body. tm::run is
+# the library's __transaction_* rendering; the section runners are the
+# branch policies' wrappers around it (sync_tm.h), through which every
+# cache critical section flows.
+RUN_NAMES = {"run"}
+SECTION_RUNNERS = {
+    "cacheSection",
+    "slabsSection",
+    "statsSection",
+    "threadStatsSection",
+    "itemSection",
+}
+
+# Deferred-handler registration points (tm/handlers.h machinery).
+HANDLER_NAMES = {"onCommit", "onAbort"}
+
+_KEYWORDS_NOT_CALLS = {
+    "if", "while", "for", "switch", "return", "sizeof", "alignof",
+    "decltype", "static_cast", "reinterpret_cast", "const_cast",
+    "dynamic_cast", "catch", "throw", "new", "delete", "noexcept",
+    "alignas", "static_assert", "defined", "assert", "constexpr",
+    "typeid", "co_await", "co_return", "co_yield", "requires",
+    "operator",
+}
+
+_TYPE_STARTERS = {
+    "auto", "const", "constexpr", "static", "inline", "unsigned",
+    "signed", "char", "int", "long", "short", "bool", "float", "double",
+    "void", "struct", "class", "enum", "volatile", "register",
+    "thread_local", "mutable", "extern",
+}
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    qual: str             # Qualified spelling as written, e.g. a::b::f.
+    annotation: str       # '', 'safe', 'callable', 'pure', 'unsafe'.
+    file: str = ""
+    line: int = 0
+    params: list = field(default_factory=list)   # Parameter names.
+    body: tuple = (0, 0)  # Token index range [lo, hi) of the body.
+
+
+@dataclass
+class Region:
+    """A lexical transaction body (lambda passed to a run call)."""
+    kind: str             # 'atomic', 'relaxed', 'unknown'.
+    entry: str            # The call that created it (run/cacheSection).
+    file: str = ""
+    line: int = 0
+    params: list = field(default_factory=list)   # Lambda params.
+    outer_params: list = field(default_factory=list)
+    body: tuple = (0, 0)
+
+
+@dataclass
+class HandlerSite:
+    """A lambda registered as an onCommit/onAbort handler."""
+    which: str            # 'onCommit' or 'onAbort'.
+    file: str = ""
+    line: int = 0
+    txdesc_names: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+    body: tuple = (0, 0)
+
+
+@dataclass
+class SourceFile:
+    path: str
+    tokens: list = field(default_factory=list)
+    markers: list = field(default_factory=list)
+    functions: list = field(default_factory=list)
+    regions: list = field(default_factory=list)
+    handlers: list = field(default_factory=list)
+    attr_kinds: dict = field(default_factory=dict)  # attr var -> kind.
+
+
+@dataclass
+class Project:
+    files: list = field(default_factory=list)
+    # name -> set of annotations seen project-wide for that name. A
+    # name annotated differently across overloads is 'ambiguous' to
+    # the rules layer.
+    annotation_index: dict = field(default_factory=dict)
+    # name -> list of (SourceFile, FunctionDef) with visible bodies.
+    bodies: dict = field(default_factory=dict)
+
+
+def _qualified_name_ending(tokens, idx):
+    """Walk a qualified id ending at tokens[idx]; return (lo, qual)."""
+    parts = [tokens[idx].text]
+    k = idx - 1
+    while k >= 1 and tokens[k].kind == "punct" and tokens[k].text == "::":
+        if tokens[k - 1].kind == "id":
+            parts.append(tokens[k - 1].text)
+            parts.append("::")
+            k -= 2
+        else:
+            break
+    parts.reverse()
+    return k + 1, "".join(p for p in parts)
+
+
+def _param_names(tokens, lo, hi):
+    """Best-effort parameter names of a parameter list (lo, hi)."""
+    names = []
+    depth = 0
+    last_id = None
+    for k in range(lo + 1, hi):
+        t = tokens[k]
+        if t.kind == "punct":
+            if t.text in "(<[{":
+                depth += 1
+            elif t.text in ")>]}":
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                if last_id is not None:
+                    names.append(last_id)
+                last_id = None
+            elif t.text == "=" and depth == 0:
+                pass  # Default argument: keep the name seen so far.
+        elif t.kind == "id" and depth == 0:
+            last_id = t.text
+    if last_id is not None:
+        names.append(last_id)
+    return names
+
+
+def _find_lambda(tokens, lo, hi):
+    """First lambda intro in [lo, hi); returns (lb, params, b0, b1)
+    token indices or None. b0/b1 delimit the body braces."""
+    k = lo
+    while k < hi:
+        t = tokens[k]
+        if t.kind == "punct" and t.text == "[":
+            close = None
+            depth = 0
+            for j in range(k, min(hi, len(tokens))):
+                tj = tokens[j]
+                if tj.kind == "punct":
+                    if tj.text == "[":
+                        depth += 1
+                    elif tj.text == "]":
+                        depth -= 1
+                        if depth == 0:
+                            close = j
+                            break
+            if close is None:
+                return None
+            j = close + 1
+            params = []
+            if j < len(tokens) and tokens[j].kind == "punct" \
+                    and tokens[j].text == "(":
+                pc = match_paren(tokens, j)
+                params = _param_names(tokens, j, pc)
+                j = pc + 1
+            # Skip specifiers (mutable, noexcept, -> ret) up to '{'.
+            while j < len(tokens) and not (
+                    tokens[j].kind == "punct" and tokens[j].text in "{;"):
+                j += 1
+            if j < len(tokens) and tokens[j].text == "{":
+                return k, params, j, match_brace(tokens, j)
+            return None
+        k += 1
+    return None
+
+
+def _collect_attr_kinds(tokens):
+    """Map TxnAttr variable names declared in this TU to their static
+    TxnKind ('atomic'/'relaxed') where the initializer names one."""
+    kinds = {}
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "TxnAttr":
+            continue
+        # TxnAttr NAME { ... TxnKind::X ... }  (or = { ... }).
+        j = k + 1
+        if j < len(tokens) and tokens[j].kind == "id":
+            name = tokens[j].text
+            j += 1
+            while j < len(tokens) and tokens[j].text in ("=",):
+                j += 1
+            if j < len(tokens) and tokens[j].text == "{":
+                end = match_brace(tokens, j)
+                init = tokens[j:end]
+                for q, tq in enumerate(init):
+                    if tq.kind == "id" and tq.text == "TxnKind":
+                        if q + 2 < len(init) and init[q + 2].kind == "id":
+                            kinds[name] = init[q + 2].text.lower()
+        # TMEMC_TXN_SITE(var, name, kind, serial)
+        if t.text == "TMEMC_TXN_SITE" and k + 1 < len(tokens) \
+                and tokens[k + 1].text == "(":
+            end = match_paren(tokens, k + 1)
+            args = tokens[k + 2 : end]
+            if args:
+                name = args[0].text
+                for q, tq in enumerate(args):
+                    if tq.kind == "id" and tq.text == "TxnKind" \
+                            and q + 2 < len(args):
+                        kinds[name] = args[q + 2].text.lower()
+    return kinds
+
+
+def _run_site_kind(tokens, arg_lo, arg_hi, attr_kinds):
+    """Classify the attr argument of a run call."""
+    ids = [t.text for t in tokens[arg_lo:arg_hi] if t.kind == "id"]
+    for k, name in enumerate(ids):
+        if name == "TxnKind" and k + 1 < len(ids):
+            return ids[k + 1].lower()
+    for name in ids:
+        if name in attr_kinds:
+            return attr_kinds[name]
+    return "unknown"
+
+
+def _scan_functions(sf):
+    """Find function definitions and their annotations."""
+    tokens = sf.tokens
+    n = len(tokens)
+    k = 0
+    while k < n:
+        t = tokens[k]
+        if not (t.kind == "punct" and t.text == "("):
+            k += 1
+            continue
+        # Candidate: id '(' ... ')' [const/noexcept/...] '{'
+        if k == 0 or tokens[k - 1].kind != "id":
+            k += 1
+            continue
+        name_idx = k - 1
+        name = tokens[name_idx].text
+        if name in _KEYWORDS_NOT_CALLS or name in _TYPE_STARTERS:
+            k += 1
+            continue
+        close = match_paren(tokens, k)
+        if close >= n:
+            k += 1
+            continue
+        j = close + 1
+        while j < n and tokens[j].kind == "id" and tokens[j].text in (
+                "const", "noexcept", "override", "final", "mutable"):
+            j += 1
+        # Trailing return type: skip '-> T' fragments.
+        while j < n and tokens[j].kind == "punct" and tokens[j].text == "->":
+            j += 1
+            while j < n and not (tokens[j].kind == "punct"
+                                 and tokens[j].text in ("{", ";")):
+                j += 1
+        if not (j < n and tokens[j].kind == "punct"
+                and tokens[j].text == "{"):
+            k += 1
+            continue
+        # Reject control-flow and initializer-list shapes: the token
+        # before the name must not be '.', '->', 'new', or the name
+        # itself a declared variable init (heuristic: preceding token
+        # is '=' or ',' or '(' means expression context).
+        prev = tokens[name_idx - 1] if name_idx > 0 else None
+        if prev is not None and prev.kind == "punct" and prev.text in (
+                ".", "->", "=", ",", "(", "[", "!", "|", "+", "-",
+                "/", "<", "?", ":"):
+            # Expression context, not a definition. '*', '&', '>',
+            # and '::' stay allowed: pointer/reference returns
+            # (`Item *assocFind(...)`), template returns
+            # (`vector<int> f(...)`), and qualified names.
+            k += 1
+            continue
+        lo, qual = _qualified_name_ending(tokens, name_idx)
+        # Annotation: scan backwards over the declaration prefix until
+        # a hard boundary token.
+        annotation = ""
+        b = lo - 1
+        while b >= 0:
+            tb = tokens[b]
+            if tb.kind == "punct" and tb.text in ("{", "}", ";"):
+                break
+            if tb.kind == "id" and tb.text in ANNOTATIONS:
+                annotation = ANNOTATIONS[tb.text]
+                break
+            b -= 1
+        body_end = match_brace(tokens, j)
+        sf.functions.append(FunctionDef(
+            name=name, qual=qual, annotation=annotation, file=sf.path,
+            line=tokens[name_idx].line,
+            params=_param_names(tokens, k, close),
+            body=(j + 1, body_end)))
+        k = close + 1
+
+
+def _enclosing_function(sf, tok_idx):
+    for fn in sf.functions:
+        if fn.body[0] <= tok_idx < fn.body[1]:
+            return fn
+    return None
+
+
+def _scan_regions_and_handlers(sf):
+    tokens = sf.tokens
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id":
+            continue
+        is_run = t.text in RUN_NAMES
+        is_section = t.text in SECTION_RUNNERS
+        is_handler = t.text in HANDLER_NAMES
+        if not (is_run or is_section or is_handler):
+            continue
+        if k + 1 >= n or tokens[k + 1].text != "(":
+            continue
+        if is_run:
+            # Accept only qualified tm::run / tmemc::tm::run spellings
+            # (plain run(...) is too common a word).
+            if not (k >= 2 and tokens[k - 1].text == "::"
+                    and tokens[k - 2].kind == "id"
+                    and tokens[k - 2].text in ("tm", "Runtime")):
+                continue
+        close = match_paren(tokens, k + 1)
+        # First argument: up to the first depth-0 comma.
+        arg_hi = close
+        depth = 0
+        for j in range(k + 2, close):
+            tj = tokens[j]
+            if tj.kind == "punct":
+                if tj.text in "([{":
+                    depth += 1
+                elif tj.text in ")]}":
+                    depth -= 1
+                elif tj.text == "," and depth == 0:
+                    arg_hi = j
+                    break
+        lam = _find_lambda(tokens, k + 2, close + 1)
+        if lam is None:
+            continue
+        lam_open, lparams, b0, b1 = lam
+        encl = _enclosing_function(sf, k)
+        outer = list(encl.params) if encl is not None else []
+        if is_handler:
+            # The TxDesc the handler must not touch: the receiver of a
+            # `tx.onCommit(...)` call, or ids in the argument list
+            # before the lambda for `onCommit(tx, ...)` spellings.
+            txnames = []
+            if k >= 2 and tokens[k - 1].kind == "punct" \
+                    and tokens[k - 1].text in (".", "->") \
+                    and tokens[k - 2].kind == "id":
+                txnames.append(tokens[k - 2].text)
+            txnames += [tok.text for tok in tokens[k + 2 : lam_open]
+                        if tok.kind == "id"]
+            sf.handlers.append(HandlerSite(
+                which=t.text, file=sf.path, line=t.line,
+                txdesc_names=txnames or ["tx"],
+                params=lparams, body=(b0 + 1, b1)))
+            continue
+        if is_section:
+            kind = "unknown"
+        else:
+            kind = _run_site_kind(tokens, k + 2, arg_hi, sf.attr_kinds)
+            if kind not in ("atomic", "relaxed"):
+                kind = "unknown"
+        sf.regions.append(Region(
+            kind=kind, entry=t.text, file=sf.path, line=t.line,
+            params=lparams, outer_params=outer, body=(b0 + 1, b1)))
+
+
+def parse_file(path, text=None):
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    tokens, markers = tokenize(text)
+    sf = SourceFile(path=path, tokens=tokens, markers=markers)
+    sf.attr_kinds = _collect_attr_kinds(tokens)
+    _scan_functions(sf)
+    _scan_regions_and_handlers(sf)
+    return sf
+
+
+def build_project(paths, texts=None):
+    proj = Project()
+    for p in paths:
+        sf = parse_file(p, None if texts is None else texts.get(p))
+        proj.files.append(sf)
+        for fn in sf.functions:
+            if fn.annotation:
+                proj.annotation_index.setdefault(fn.name, set()).add(
+                    fn.annotation)
+            proj.bodies.setdefault(fn.name, []).append((sf, fn))
+    # Annotated declarations without bodies (header prototypes) also
+    # feed the index: scan for 'TM_X <tokens> name (' ... ');'.
+    for sf in proj.files:
+        tokens = sf.tokens
+        for k, t in enumerate(tokens):
+            if t.kind == "id" and t.text in ANNOTATIONS:
+                # Find the declared name: the id right before the next
+                # '(' at this declaration.
+                j = k + 1
+                while j < len(tokens) and not (
+                        tokens[j].kind == "punct"
+                        and tokens[j].text in ("(", ";", "{", "}")):
+                    j += 1
+                if j < len(tokens) and tokens[j].text == "(" \
+                        and tokens[j - 1].kind == "id":
+                    proj.annotation_index.setdefault(
+                        tokens[j - 1].text, set()).add(ANNOTATIONS[t.text])
+    return proj
