@@ -18,12 +18,25 @@
  *
  * Usage: bench_net [--branch NAME] [--ops N] [--window N]
  *                  [--threads a,b,c] [--shards N] [--ascii]
+ *                  [--backend epoll|writev|io_uring]
  *                  [--timeout-ms N] [--trials K] [--json OUT]
+ *                  [--probe-io-uring]
  *
  * --json writes one tmemc-bench-v1 row per (topology, thread count):
  * bench "bench_net_inproc" for the in-process drive and
  * "bench_net_loopback" for the served one, so the perf gate can watch
  * the network stack's cost separately from the cache's.
+ *
+ * --backend selects the server's I/O backend (io_backend.h). With a
+ * non-epoll backend the loopback row's branch is suffixed with the
+ * *effective* backend ("IP-onCommit+writev") so the gate tracks each
+ * write path as its own row, and the in-process row is not emitted
+ * (it would duplicate the epoll run's). Pair with --ascii to exercise
+ * the zero-copy pinned-GET path, which serves ASCII get/gets.
+ *
+ * --probe-io-uring reports whether the kernel lets this process
+ * create an io_uring and exits 0 (available) / 3 (unavailable) — the
+ * CI capability gate.
  *
  * --timeout-ms bounds every connect and recv (default 10000), so a
  * wedged server fails the gate in seconds instead of hanging CI.
@@ -37,6 +50,7 @@
 
 #include "figure_harness.h"
 #include "mc/cache_iface.h"
+#include "net/io_backend.h"
 #include "net/server.h"
 #include "obs/hist.h"
 #include "obs/metrics.h"
@@ -81,11 +95,20 @@ main(int argc, char **argv)
     // Best-of-K: fixed work, so background load only adds time; the
     // minimum is the noise-robust estimate the perf gate wants.
     std::uint32_t trials = 1;
+    net::IoBackend backend = net::IoBackend::Epoll;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : "";
         };
+        if (a == "--probe-io-uring") {
+            // CI capability gate: 0 = the kernel lets this process
+            // create a ring, 3 = it does not (ENOSYS/EPERM/seccomp).
+            const bool have = net::ioUringSupported();
+            std::printf("io_uring: %s\n",
+                        have ? "available" : "unavailable");
+            return have ? 0 : 3;
+        }
         if (a == "--branch")
             branch = next();
         else if (a == "--ops")
@@ -105,12 +128,23 @@ main(int argc, char **argv)
             json_path = next();
         else if (a == "--trials")
             trials = static_cast<std::uint32_t>(std::atoi(next()));
-        else {
+        else if (a == "--backend") {
+            const std::string v = next();
+            if (!net::parseIoBackend(v, backend)) {
+                std::fprintf(stderr,
+                             "unknown --backend '%s' (want epoll, "
+                             "writev, or io_uring)\n",
+                             v.c_str());
+                return 2;
+            }
+        } else {
             std::fprintf(stderr,
                          "usage: %s [--branch NAME] [--ops N] "
                          "[--window N] [--threads a,b,c] [--shards N] "
-                         "[--ascii] [--timeout-ms N] [--trials K] "
-                         "[--json OUT]\n",
+                         "[--ascii] "
+                         "[--backend epoll|writev|io_uring] "
+                         "[--timeout-ms N] [--trials K] "
+                         "[--json OUT] [--probe-io-uring]\n",
                          argv[0]);
             return 2;
         }
@@ -119,10 +153,11 @@ main(int argc, char **argv)
         trials = 1;
 
     std::printf("bench_net: branch=%s protocol=%s ops/thread=%llu "
-                "window=%llu shards=%u\n",
+                "window=%llu shards=%u backend=%s\n",
                 branch.c_str(), binary ? "binary" : "ascii",
                 static_cast<unsigned long long>(ops),
-                static_cast<unsigned long long>(window), shards);
+                static_cast<unsigned long long>(window), shards,
+                net::ioBackendName(backend));
     std::printf("%8s %16s %16s %8s %6s\n", "threads", "inproc ops/s",
                 "loopback ops/s", "net/ip", "lost");
 
@@ -204,11 +239,19 @@ main(int argc, char **argv)
             net::ServerCfg scfg;
             scfg.port = 0;
             scfg.workers = n;
+            scfg.ioBackend = backend;
             net::Server server(*cache, scfg);
             if (!server.start()) {
                 std::fprintf(stderr, "server start failed\n");
                 return 1;
             }
+            // Label the loopback row with what actually ran: a
+            // requested io_uring may have degraded to writev, and the
+            // gate must not compare rows across write paths.
+            if (server.ioBackend() != net::IoBackend::Epoll)
+                netRow.branch =
+                    branch + "+" +
+                    net::ioBackendName(server.ioBackend());
             cfg.serverPort = server.port();
             const workload::MemslapResult lb =
                 workload::runMemslapNet(cfg);
@@ -246,7 +289,11 @@ main(int argc, char **argv)
             }
         }
         if (!json_path.empty()) {
-            bench::addBenchRow(inprocRow);
+            // The in-process drive never touches the I/O backend, so
+            // a non-epoll run would just duplicate the epoll run's
+            // inproc row; emit it once, from the epoll run.
+            if (backend == net::IoBackend::Epoll)
+                bench::addBenchRow(inprocRow);
             bench::addBenchRow(netRow);
         }
         ok = ok && row_ok;

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * bench_ro_tx: the invisible-reader ablation — read-only transaction
+ * throughput with the fast path on vs off, across the three
+ * speculative algorithms.
+ *
+ * Each worker thread runs a fixed count of read-only transactions;
+ * every transaction sums a window of words from a shared array through
+ * a site hinted TxnAttr::readOnlyHint. With RuntimeCfg::roFastPath on,
+ * those transactions take the invisible-reader path (sequence-validated
+ * loads against the domain clock, no read set, O(1) commit); off, they
+ * run the full algorithm — the "-fast" vs "-full" branch pair per
+ * algorithm is the measured delta, the Cost-of-Concurrency slice for
+ * the dominant GET-shaped transaction.
+ *
+ * Doubles as a correctness gate: every load is checked against the
+ * known array contents, and the run fails if a "-fast" combo commits
+ * nothing on the fast path (hint silently ignored) or a "-full" combo
+ * commits anything on it (ablation knob broken).
+ *
+ * Usage: bench_ro_tx [--ops N] [--threads a,b,c] [--reads N]
+ *                    [--trials K] [--json OUT]
+ *
+ * --json writes tmemc-bench-v1 rows with bench "bench_ro_tx" and
+ * branch "<algo>-fast" / "<algo>-full" (algo in gcc, lazy, norec) so
+ * the perf gate can hold the fast path's win.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "figure_harness.h"
+#include "tm/api.h"
+
+namespace
+{
+
+using namespace tmemc;
+
+constexpr std::size_t kWords = 4096;
+
+/** Shared read target; every word holds 1 so a window of R words must
+ *  sum to exactly R — a per-transaction consistency check. */
+tm::TmVar<std::uint64_t> gWords[kWords];
+
+/** Static site attr with the read-only hint set — the bench's subject. */
+const tm::TxnAttr kRoAttr{"bench_ro_tx:read", tm::TxnKind::Atomic,
+                          false, true};
+
+std::vector<std::uint32_t>
+parseThreadList(const char *arg)
+{
+    std::vector<std::uint32_t> out;
+    const char *p = arg;
+    while (*p != '\0') {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p)
+            break;
+        if (v > 0)
+            out.push_back(static_cast<std::uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+    }
+    return out;
+}
+
+struct Combo
+{
+    const char *label;  //!< JSON branch ("gcc-fast", ...).
+    tm::AlgoKind algo;
+    bool fast;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 200000;
+    std::vector<std::uint32_t> threads{1, 4, 8};
+    std::uint32_t reads = 16;
+    std::uint32_t trials = 1;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--ops")
+            ops = std::strtoull(next(), nullptr, 10);
+        else if (a == "--threads")
+            threads = parseThreadList(next());
+        else if (a == "--reads")
+            reads = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--trials")
+            trials = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--json")
+            json_path = next();
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--ops N] [--threads a,b,c] "
+                         "[--reads N] [--trials K] [--json OUT]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (reads == 0 || reads > kWords)
+        reads = 16;
+    if (trials == 0)
+        trials = 1;
+
+    for (std::size_t i = 0; i < kWords; ++i)
+        gWords[i].rawSet(1);
+
+    const Combo combos[] = {
+        {"gcc-fast", tm::AlgoKind::GccEager, true},
+        {"gcc-full", tm::AlgoKind::GccEager, false},
+        {"lazy-fast", tm::AlgoKind::Lazy, true},
+        {"lazy-full", tm::AlgoKind::Lazy, false},
+        {"norec-fast", tm::AlgoKind::NOrec, true},
+        {"norec-full", tm::AlgoKind::NOrec, false},
+    };
+
+    std::printf("bench_ro_tx: ops/thread=%llu reads/tx=%u words=%zu\n",
+                static_cast<unsigned long long>(ops), reads, kWords);
+    std::printf("%12s %8s %14s %10s %8s\n", "branch", "threads",
+                "ops/s", "rofast%", "aborts");
+
+    bool ok = true;
+    for (const Combo &c : combos) {
+        for (const std::uint32_t n : threads) {
+            double best_secs = 0.0;
+            bench::BenchRow row{"bench_ro_tx", c.label, n, 1,
+                                0.0,           0.0,     0.0, 0.0, 0.0};
+            double rofast_pct = 0.0;
+            std::uint64_t aborts = 0;
+            for (std::uint32_t trial = 0; trial < trials; ++trial) {
+                tm::RuntimeCfg cfg;
+                cfg.algo = c.algo;
+                cfg.roFastPath = c.fast;
+                tm::Runtime::get().configure(cfg);
+                tm::Runtime::get().resetStats();
+
+                std::vector<std::thread> workers;
+                workers.reserve(n);
+                std::atomic<bool> sum_ok{true};
+                const auto t0 = std::chrono::steady_clock::now();
+                for (std::uint32_t t = 0; t < n; ++t) {
+                    workers.emplace_back([&, t] {
+                        // Per-thread rotating window start so threads
+                        // don't all hammer the same cache lines.
+                        std::size_t start = (t * 97) % kWords;
+                        for (std::uint64_t k = 0; k < ops; ++k) {
+                            const std::uint64_t sum = tm::run(
+                                kRoAttr, [&](tm::TxDesc &tx) {
+                                    std::uint64_t s = 0;
+                                    for (std::uint32_t r = 0; r < reads;
+                                         ++r) {
+                                        const std::size_t idx =
+                                            (start + r) % kWords;
+                                        s += gWords[idx].get(tx);
+                                    }
+                                    return s;
+                                });
+                            if (sum != reads)
+                                sum_ok.store(false);
+                            start = (start + reads) % kWords;
+                        }
+                    });
+                }
+                for (auto &w : workers)
+                    w.join();
+                const auto t1 = std::chrono::steady_clock::now();
+                const double secs =
+                    std::chrono::duration<double>(t1 - t0).count();
+
+                const auto snap = tm::Runtime::get().snapshot();
+                const std::uint64_t commits = snap.total.commits;
+                const std::uint64_t rofast = snap.total.roFastCommits;
+                if (!sum_ok.load()) {
+                    std::fprintf(stderr,
+                                 "%s/%u: inconsistent read-only sum\n",
+                                 c.label, n);
+                    ok = false;
+                }
+                // The ablation knob must actually steer the path.
+                if (c.fast && rofast == 0) {
+                    std::fprintf(stderr,
+                                 "%s/%u: no fast-path commits despite "
+                                 "roFastPath=true\n",
+                                 c.label, n);
+                    ok = false;
+                }
+                if (!c.fast && rofast != 0) {
+                    std::fprintf(stderr,
+                                 "%s/%u: %llu fast-path commits despite "
+                                 "roFastPath=false\n",
+                                 c.label, n,
+                                 static_cast<unsigned long long>(rofast));
+                    ok = false;
+                }
+
+                if (trial == 0 || secs < best_secs) {
+                    best_secs = secs;
+                    row.secs = secs;
+                    row.opsPerSec =
+                        secs > 0.0 ? static_cast<double>(n) *
+                                         static_cast<double>(ops) / secs
+                                   : 0.0;
+                    if (commits > 0) {
+                        row.abortsPerCommit =
+                            static_cast<double>(snap.total.aborts) /
+                            static_cast<double>(commits);
+                        row.serialPct =
+                            100.0 *
+                            static_cast<double>(
+                                snap.total.serialCommits) /
+                            static_cast<double>(commits);
+                        rofast_pct = 100.0 *
+                                     static_cast<double>(rofast) /
+                                     static_cast<double>(commits);
+                    }
+                    aborts = snap.total.aborts;
+                }
+            }
+            if (!json_path.empty())
+                bench::addBenchRow(row);
+            std::printf("%12s %8u %14.0f %9.1f%% %8llu\n", c.label, n,
+                        row.opsPerSec, rofast_pct,
+                        static_cast<unsigned long long>(aborts));
+        }
+    }
+
+    if (!json_path.empty() && !bench::writeBenchJson(json_path)) {
+        std::fprintf(stderr, "bench_ro_tx: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "bench_ro_tx: FAILED (consistency or "
+                             "path-steering check)\n");
+        return 1;
+    }
+    std::printf("bench_ro_tx: OK\n");
+    return 0;
+}

@@ -118,8 +118,11 @@ struct PlainCtx
     refRead(const std::uint64_t *rc) const
     {
         if constexpr (C.useTm && !C.isUnsafe(UnsafeCat::AtomicRmw)) {
+            // Load-only mini-transaction: eligible for the
+            // invisible-reader fast path (readOnlyHint).
             static const tm::TxnAttr attr{"mc:refcount-expr",
-                                          tm::TxnKind::Atomic, false};
+                                          tm::TxnKind::Atomic, false,
+                                          true};
             return tm::run(attr, [&](tm::TxDesc &tx) {
                 return tm::txLoad(tx, rc);
             });
@@ -139,9 +142,11 @@ struct PlainCtx
     volatileLoad(const T *p) const
     {
         if constexpr (C.useTm && !C.isUnsafe(UnsafeCat::Volatile)) {
-            // Transaction expression over the renamed non-volatile.
+            // Transaction expression over the renamed non-volatile;
+            // load-only, so hinted for the invisible-reader fast path.
             static const tm::TxnAttr attr{"mc:volatile-expr",
-                                          tm::TxnKind::Atomic, false};
+                                          tm::TxnKind::Atomic, false,
+                                          true};
             return tm::run(attr,
                            [&](tm::TxDesc &tx) { return tm::txLoad(tx, p); });
         } else {

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Segmented wire reply: the unit the zero-copy write path ships.
+ *
+ * A Reply is an ordered list of segments, each either *owned* bytes
+ * (headers, END lines, full replies from the legacy formatting path)
+ * or a *pinned* span — value bytes still living in the slab chunk,
+ * kept alive by the item reference a getPinned() hit took. Owned
+ * appends coalesce into the trailing owned segment, so a multi-key
+ * get becomes [header|header|...] interleaved with pinned spans
+ * instead of one small segment per append.
+ *
+ * Ownership rule: a pinned segment owns its item reference. Segments
+ * release on destruction (and are move-only), so a Reply abandoned on
+ * a dying connection cannot leak a refcount — the eviction and
+ * rebalance paths both wait on those counts.
+ */
+
+#ifndef TMEMC_MC_REPLY_H
+#define TMEMC_MC_REPLY_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/cache_iface.h"
+
+namespace tmemc::mc
+{
+
+/** Ordered owned/pinned segments forming one wire reply. */
+class Reply
+{
+  public:
+    /** One segment; move-only, releases its pin when destroyed. */
+    struct Seg
+    {
+        std::string owned;
+        CacheIface::PinnedValue pin;  //!< Engaged when pin.data != null.
+        /** Bytes already written to the socket (used by net::Conn;
+         *  always 0 while the segment still sits in a Reply). */
+        std::size_t off = 0;
+
+        Seg() = default;
+        Seg(const Seg &) = delete;
+        Seg &operator=(const Seg &) = delete;
+
+        Seg(Seg &&o) noexcept
+            : owned(std::move(o.owned)), pin(o.pin), off(o.off)
+        {
+            o.disarm();
+        }
+
+        Seg &
+        operator=(Seg &&o) noexcept
+        {
+            if (this != &o) {
+                pin.release();
+                owned = std::move(o.owned);
+                pin = o.pin;
+                off = o.off;
+                o.disarm();
+            }
+            return *this;
+        }
+
+        ~Seg() { pin.release(); }
+
+        bool pinned() const { return pin.data != nullptr; }
+
+        const char *
+        data() const
+        {
+            return pinned() ? pin.data : owned.data();
+        }
+
+        std::size_t
+        size() const
+        {
+            return pinned() ? pin.vlen : owned.size();
+        }
+
+      private:
+        void
+        disarm()
+        {
+            // The moved-from segment must neither release the pin nor
+            // read as pinned.
+            pin.owner = nullptr;
+            pin.handle = nullptr;
+            pin.data = nullptr;
+            pin.vlen = 0;
+            off = 0;
+        }
+    };
+
+    Reply() = default;
+    Reply(const Reply &) = delete;
+    Reply &operator=(const Reply &) = delete;
+    Reply(Reply &&) = default;
+    Reply &operator=(Reply &&) = default;
+
+    /** Append owned bytes, coalescing into the trailing owned seg. */
+    void
+    append(const char *data, std::size_t n)
+    {
+        if (n == 0)
+            return;
+        if (segs_.empty() || segs_.back().pinned())
+            segs_.emplace_back();
+        segs_.back().owned.append(data, n);
+        bytes_ += n;
+    }
+
+    void append(const std::string &s) { append(s.data(), s.size()); }
+
+    /** Append an owned string without copying when it starts a seg. */
+    void
+    append(std::string &&s)
+    {
+        if (s.empty())
+            return;
+        if (!segs_.empty() && !segs_.back().pinned()) {
+            bytes_ += s.size();
+            segs_.back().owned.append(s);
+            return;
+        }
+        bytes_ += s.size();
+        segs_.emplace_back();
+        segs_.back().owned = std::move(s);
+    }
+
+    /**
+     * Append a pinned value span. Takes over the item reference: the
+     * caller must NOT call release() on its copy of @p v afterwards.
+     * Misses (no handle) are fine — the segment is just empty.
+     */
+    void
+    appendPinned(const CacheIface::PinnedValue &v)
+    {
+        segs_.emplace_back();
+        segs_.back().pin = v;
+        bytes_ += v.vlen;
+    }
+
+    /** Total payload bytes across every segment (owned + pinned). */
+    std::size_t bytes() const { return bytes_; }
+
+    bool empty() const { return segs_.empty(); }
+
+    /** True if any segment pins slab memory. */
+    bool
+    hasPinned() const
+    {
+        for (const Seg &s : segs_)
+            if (s.pinned())
+                return true;
+        return false;
+    }
+
+    /** Render to one owned string (tests; copies pinned spans). */
+    std::string
+    str() const
+    {
+        std::string out;
+        out.reserve(bytes_);
+        for (const Seg &s : segs_)
+            out.append(s.data(), s.size());
+        return out;
+    }
+
+    /** Hand the segments to the writer; the Reply becomes empty. */
+    std::vector<Seg>
+    takeSegments()
+    {
+        bytes_ = 0;
+        return std::exchange(segs_, {});
+    }
+
+  private:
+    std::vector<Seg> segs_;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace tmemc::mc
+
+#endif // TMEMC_MC_REPLY_H

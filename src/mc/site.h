@@ -46,6 +46,10 @@ struct SiteInfo
     UnsafeMask alwaysUnsafe;
     /** Categories on some path only. */
     UnsafeMask maybeUnsafe;
+    /** No path through this section writes shared state: the runtime
+     *  may start it on the invisible-reader fast path. Advisory — a
+     *  store would still promote to the full path at run time. */
+    bool readOnly = false;
 };
 
 /** True if any category in @p mask is still unsafe for @p cfg. */

@@ -65,6 +65,10 @@ class SiteAttrRegistry
             it->second.kind = (always || maybe) ? tm::TxnKind::Relaxed
                                                 : tm::TxnKind::Atomic;
             it->second.startsSerial = always;
+            // A section every path of which is read-only is eligible
+            // for the invisible-reader fast path — unless it must
+            // start serial, in which case it never runs speculatively.
+            it->second.readOnlyHint = site.readOnly && !always;
         }
         return it->second;
     }

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "mc/binary_protocol.h"
@@ -17,14 +18,21 @@
 namespace tmemc::net
 {
 
-Conn::Conn(int fd, std::uint64_t id, const ConnLimits &limits)
-    : fd_(fd), id_(id), limits_(limits),
+Conn::Conn(int fd, std::uint64_t id, const ConnLimits &limits,
+           bool gather_writes)
+    : fd_(fd), id_(id), limits_(limits), gather_(gather_writes),
       lastActivity_(std::chrono::steady_clock::now())
 {
 }
 
 Conn::~Conn()
 {
+    // Segment destructors release any still-queued pins before the
+    // socket goes; order does not matter, but the release must happen
+    // on whatever thread destroys the Conn (loop thread normally,
+    // EventLoop::stop()'s caller during teardown) — releasePinned
+    // runs its own transaction and any registered thread may.
+    outq_.clear();
     if (fd_ >= 0)
         ::close(fd_);
 }
@@ -164,6 +172,33 @@ Conn::discardInput()
     }
 }
 
+void
+Conn::queueOwned(const char *data, std::size_t n)
+{
+    if (n == 0)
+        return;
+    // Coalesce into the trailing owned segment (appending is safe
+    // even when the segment is partially written — off indexes into
+    // the string, which only grows).
+    if (outq_.empty() || outq_.back().pinned())
+        outq_.emplace_back();
+    outq_.back().owned.append(data, n);
+    pending_ += n;
+}
+
+void
+Conn::enqueue(mc::Reply &&reply)
+{
+    for (mc::Reply::Seg &seg : reply.takeSegments()) {
+        if (!seg.pinned()) {
+            queueOwned(seg.owned.data(), seg.owned.size());
+            continue;
+        }
+        pending_ += seg.size();
+        outq_.push_back(std::move(seg));
+    }
+}
+
 bool
 Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
 {
@@ -176,11 +211,13 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
     std::string quietRun;
     std::uint64_t quietFrames = 0;
     // Per-command latency: framed request handed to exec() until its
-    // reply bytes land in wbuf_. A batched quiet-get run counts as one
+    // reply segments are queued. A batched quiet-get run counts as one
     // command — that is the unit of work the executor sees.
     auto timedExec = [&](bool binary, const std::string &frame) {
         const std::uint64_t t0 = obs::nowNanos();
-        wbuf_ += exec(worker, binary, frame);
+        mc::Reply reply;
+        exec(worker, binary, frame, reply);
+        enqueue(std::move(reply));
         obs::hist(obs::HistKind::Command).record(obs::nowNanos() - t0);
     };
     auto flushQuietRun = [&]() {
@@ -214,7 +251,8 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
             // binary stream cannot be re-synchronized, so it just
             // closes.
             if (!binary && fr.error != nullptr)
-                wbuf_.append(fr.error);
+                queueOwned(fr.error, std::char_traits<char>::length(
+                                         fr.error));
             ok = false;
             break;
         }
@@ -249,25 +287,66 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
     return ok;
 }
 
+void
+Conn::consumeOut(std::size_t n)
+{
+    while (n > 0 && !outq_.empty()) {
+        mc::Reply::Seg &front = outq_.front();
+        const std::size_t rem = front.size() - front.off;
+        const std::size_t take = rem < n ? rem : n;
+        front.off += take;
+        pending_ -= take;
+        n -= take;
+        if (front.off == front.size())
+            outq_.pop_front();  // Seg destructor releases its pin.
+    }
+}
+
 bool
 Conn::flush()
 {
-    while (woff_ < wbuf_.size()) {
-        const ssize_t n = sys::writeFd(fd_, wbuf_.data() + woff_,
-                                       wbuf_.size() - woff_);
+    while (!outq_.empty()) {
+        // Retire already-empty segments (zero-length values) so the
+        // syscall below always has bytes to move.
+        while (!outq_.empty() &&
+               outq_.front().off == outq_.front().size())
+            outq_.pop_front();
+        if (outq_.empty())
+            break;
+
+        ssize_t n;
+        if (gather_) {
+            // One gather write over the whole queue: reply headers
+            // from owned segments, values straight from the slab.
+            struct iovec iov[sys::kMaxWriteIov];
+            int cnt = 0;
+            for (const mc::Reply::Seg &seg : outq_) {
+                if (cnt == sys::kMaxWriteIov)
+                    break;
+                iov[cnt].iov_base = const_cast<char *>(seg.data()) +
+                                    seg.off;
+                iov[cnt].iov_len = seg.size() - seg.off;
+                ++cnt;
+            }
+            n = sys::writevFd(fd_, iov, cnt);
+        } else {
+            const mc::Reply::Seg &front = outq_.front();
+            n = sys::writeFd(fd_, front.data() + front.off,
+                             front.size() - front.off);
+        }
         if (n > 0) {
-            woff_ += static_cast<std::size_t>(n);
+            consumeOut(static_cast<std::size_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             return true;  // Event loop will re-arm EPOLLOUT.
         if (n < 0 && errno == EINTR)
             continue;
+        if (n == 0)
+            return true;  // Nothing accepted; wait for EPOLLOUT.
         closeReason_ = CloseReason::Peer;
         return false;  // EPIPE etc.: peer is gone.
     }
-    wbuf_.clear();
-    woff_ = 0;
     return true;
 }
 

@@ -1,14 +1,25 @@
 /**
  * @file
- * One TCP connection: nonblocking fd, incremental read/write buffers,
- * and streaming protocol framing.
+ * One TCP connection: nonblocking fd, incremental read buffer, a
+ * segmented reply queue, and streaming protocol framing.
  *
  * memcached's conn state machine (conn_read -> conn_parse_cmd ->
  * conn_nread -> conn_write) collapses here into two reactive entry
  * points driven by the owning event loop: onReadable() drains the
  * socket, carves complete requests out of the read buffer with the
  * mc framing hooks (protocolTryFrame / binaryTryFrame), executes
- * them, and queues replies; onWritable() flushes the write buffer.
+ * them, and queues replies; onWritable() flushes the reply queue.
+ *
+ * Replies are mc::Reply segment lists. On the seed epoll backend the
+ * executor only produces owned segments, consecutive owned segments
+ * coalesce, and the flush is the classic copy-and-write(2) loop. On
+ * the gather backends (writev / io_uring) a GET hit's value rides as
+ * a *pinned* segment — a pointer into the slab chunk held live by the
+ * item refcount — and flush() hands header + value + CRLF to one
+ * writev(2), so the value bytes are never copied into a reply buffer.
+ * A pinned segment releases its reference the moment its last byte is
+ * accepted by the kernel, or when the connection dies with the
+ * segment still queued.
  *
  * Protocol selection follows memcached's sniffing rule: a frame whose
  * first byte is the binary request magic (0x80) is binary, anything
@@ -17,11 +28,10 @@
  *
  * Overload behaviour is bounded on both sides (ConnLimits):
  *  - the read buffer caps unframeable input (slowloris guard);
- *  - the write buffer has a soft cap — once pending replies exceed
- *    it, wantsRead() goes false, the loop stops polling EPOLLIN, and
- *    TCP backpressure reaches the client that is not reading — and a
- *    hard cap, past which the connection is closed (a reply burst no
- *    sane client would leave unread);
+ *  - pendingWrite() — which counts owned AND pinned bytes, so the
+ *    zero-copy path cannot dodge the caps — has a soft cap (stop
+ *    polling EPOLLIN; TCP backpressure reaches the slow reader) and
+ *    a hard cap (close: a reply burst no sane client leaves unread);
  *  - lastActivity() feeds the loop's idle reaper.
  *
  * Parsing and reply formatting happen entirely on these private
@@ -35,20 +45,24 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 
 #include "mc/protocol.h"
+#include "mc/reply.h"
 
 namespace tmemc::net
 {
 
 /**
- * Execute one complete request frame on worker thread @p worker and
- * return the wire reply. @p binary distinguishes the two protocols.
+ * Execute one complete request frame on worker thread @p worker,
+ * appending the wire reply to @p out (owned and/or pinned segments).
+ * @p binary distinguishes the two protocols.
  */
-using ExecFn = std::function<std::string(
-    std::uint32_t worker, bool binary, const std::string &frame)>;
+using ExecFn =
+    std::function<void(std::uint32_t worker, bool binary,
+                       const std::string &frame, mc::Reply &out)>;
 
 /** Per-connection byte budgets (shared, immutable per server). */
 struct ConnLimits
@@ -67,15 +81,21 @@ enum class CloseReason : std::uint8_t
 {
     None,          //!< Still alive.
     Peer,          //!< EOF, reset, protocol error, quit.
-    Backpressure,  //!< Write buffer exceeded the hard cap.
+    Backpressure,  //!< Write backlog exceeded the hard cap.
 };
 
 /** A connected client socket owned by one event loop. */
 class Conn
 {
   public:
-    /** Takes ownership of @p fd (closed on destruction). */
-    Conn(int fd, std::uint64_t id, const ConnLimits &limits);
+    /**
+     * Takes ownership of @p fd (closed on destruction).
+     * @param gather_writes  Flush via writev over the whole segment
+     *        queue (the zero-copy backends); false uses the seed
+     *        one-segment-at-a-time write(2) loop.
+     */
+    Conn(int fd, std::uint64_t id, const ConnLimits &limits,
+         bool gather_writes);
     ~Conn();
 
     Conn(const Conn &) = delete;
@@ -109,15 +129,16 @@ class Conn
      */
     bool flushOnly();
 
-    /** True while the write buffer holds unsent bytes. */
-    bool wantsWrite() const { return woff_ < wbuf_.size(); }
+    /** True while the reply queue holds unsent segments. */
+    bool wantsWrite() const { return !outq_.empty(); }
 
     /** False while pending replies exceed the soft cap: the loop
      *  must stop polling EPOLLIN until the client drains us. */
     bool wantsRead() const { return pendingWrite() < limits_.wbufSoftCap; }
 
-    /** Unflushed reply bytes. */
-    std::size_t pendingWrite() const { return wbuf_.size() - woff_; }
+    /** Unflushed reply bytes — owned and pinned alike, so the
+     *  zero-copy path is subject to the same caps as the copy path. */
+    std::size_t pendingWrite() const { return pending_; }
 
     /** Why the last onReadable/onWritable returned false. */
     CloseReason closeReason() const { return closeReason_; }
@@ -142,8 +163,20 @@ class Conn
     /** Execute buffered complete frames; false on fatal frame error. */
     bool drainFrames(std::uint32_t worker, const ExecFn &exec);
 
-    /** write() until EAGAIN or empty. @return false on socket error. */
+    /** Flush the segment queue until EAGAIN or empty.
+     *  @return false on socket error. */
     bool flush();
+
+    /** Move a reply's segments onto the out-queue (coalescing owned
+     *  runs) and account their bytes. */
+    void enqueue(mc::Reply &&reply);
+
+    /** Queue owned bytes (error lines and the like). */
+    void queueOwned(const char *data, std::size_t n);
+
+    /** Retire @p n written bytes off the queue front, releasing pins
+     *  whose segments completed. */
+    void consumeOut(std::size_t n);
 
     /**
      * Once the goodbye reply is flushed, half-close the socket
@@ -159,9 +192,14 @@ class Conn
     int fd_;
     std::uint64_t id_;
     const ConnLimits &limits_;
+    bool gather_;
     std::string rbuf_;
-    std::string wbuf_;
-    std::size_t woff_ = 0;
+    /** Reply queue; front segment may be partially written (its off).
+     *  Segment destructors release pins, so clearing the queue — or
+     *  destroying the Conn with replies still queued — cannot leak an
+     *  item reference. */
+    std::deque<mc::Reply::Seg> outq_;
+    std::size_t pending_ = 0;  //!< Unwritten bytes across outq_.
     std::uint64_t served_ = 0;
     std::chrono::steady_clock::time_point lastActivity_;
     CloseReason closeReason_ = CloseReason::None;

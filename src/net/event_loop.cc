@@ -1,6 +1,7 @@
 /**
  * @file
- * Event-loop implementation (epoll, level-triggered).
+ * Event-loop implementation over the pluggable readiness backends
+ * (level-triggered contract; see io_backend.h).
  */
 
 #include "net/event_loop.h"
@@ -8,7 +9,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <unistd.h>
 
@@ -20,9 +20,11 @@ namespace tmemc::net
 {
 
 EventLoop::EventLoop(std::uint32_t worker_id, ExecFn exec, ConnLimits limits,
-                     std::uint32_t idle_timeout_ms, NetCounters &counters)
+                     std::uint32_t idle_timeout_ms, NetCounters &counters,
+                     IoBackend backend)
     : worker_(worker_id), exec_(std::move(exec)), limits_(limits),
-      idleTimeoutMs_(idle_timeout_ms), counters_(counters)
+      idleTimeoutMs_(idle_timeout_ms), counters_(counters),
+      requested_(backend)
 {
 }
 
@@ -34,22 +36,18 @@ EventLoop::~EventLoop()
 bool
 EventLoop::start()
 {
-    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
-    if (epfd_ < 0)
+    poller_ = makePoller(requested_, effective_);
+    if (poller_ == nullptr)
         return false;
     wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (wakefd_ < 0) {
-        ::close(epfd_);
-        epfd_ = -1;
+        poller_.reset();
         return false;
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = wakefd_;
-    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    if (!poller_->add(wakefd_, true, false)) {
         ::close(wakefd_);
-        ::close(epfd_);
-        wakefd_ = epfd_ = -1;
+        wakefd_ = -1;
+        poller_.reset();
         return false;
     }
     thread_ = std::thread([this] { run(); });
@@ -75,9 +73,8 @@ EventLoop::stop()
     }
     if (wakefd_ >= 0)
         ::close(wakefd_);
-    if (epfd_ >= 0)
-        ::close(epfd_);
-    wakefd_ = epfd_ = -1;
+    wakefd_ = -1;
+    poller_.reset();
 }
 
 void
@@ -108,21 +105,21 @@ EventLoop::wakeup()
 void
 EventLoop::adoptPending()
 {
+    // Connections on the zero-copy backends (anything but the seed
+    // epoll) queue pinned reply segments and flush them with writev.
+    const bool gather = effective_ != IoBackend::Epoll;
     std::vector<int> batch;
     {
         std::lock_guard<std::mutex> guard(pendingMu_);
         batch.swap(pending_);
     }
     for (int fd : batch) {
-        epoll_event ev{};
-        ev.events = EPOLLIN;
-        ev.data.fd = fd;
-        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        if (!poller_->add(fd, true, false)) {
             ::close(fd);
             continue;
         }
-        conns_.emplace(
-            fd, std::make_unique<Conn>(fd, nextConnId_++, limits_));
+        conns_.emplace(fd, std::make_unique<Conn>(fd, nextConnId_++,
+                                                  limits_, gather));
         open_.fetch_add(1, std::memory_order_relaxed);
         counters_.currConnections.fetch_add(1, std::memory_order_relaxed);
     }
@@ -139,7 +136,7 @@ EventLoop::closeConn(int fd)
     if (it->second->closeReason() == CloseReason::Backpressure)
         counters_.backpressureCloses.fetch_add(1,
                                                std::memory_order_relaxed);
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    poller_->remove(fd);
     conns_.erase(it);  // Conn destructor closes the fd.
     open_.fetch_sub(1, std::memory_order_relaxed);
     counters_.currConnections.fetch_sub(1, std::memory_order_relaxed);
@@ -176,11 +173,13 @@ EventLoop::retireDrained()
 void
 EventLoop::updateInterest(Conn &c)
 {
-    epoll_event ev{};
-    ev.events = (c.wantsRead() ? EPOLLIN : 0u) |
-                (c.wantsWrite() ? EPOLLOUT : 0u);
-    ev.data.fd = c.fd();
-    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, c.fd(), &ev);
+    poller_->update(c.fd(), c.wantsRead(), c.wantsWrite());
+    // A flush that ran out of kernel buffer (or hit a transient
+    // EAGAIN) leaves queued bytes behind; make sure the next wait()
+    // reports the fd again even on pollers whose delivered events are
+    // consumed-on-report (io_uring multishot).
+    if (c.wantsWrite())
+        poller_->rearm(c.fd());
 }
 
 void
@@ -191,26 +190,23 @@ EventLoop::run()
     // rather than materializing inside the first transaction.
     tm::myDesc();
 
-    // The epoll timeout doubles as the idle-reaper tick: short enough
+    // The wait timeout doubles as the idle-reaper tick: short enough
     // that a connection overstays its deadline by at most ~25%.
     int timeout_ms = 100;
     if (idleTimeoutMs_ > 0)
         timeout_ms = std::clamp(static_cast<int>(idleTimeoutMs_ / 4), 1,
                                 timeout_ms);
 
-    epoll_event events[64];
+    PollEvent events[64];
     while (!stopping_.load(std::memory_order_acquire)) {
-        const int n = sys::epollWait(
-            epfd_, events, static_cast<int>(std::size(events)), timeout_ms);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
+        const int n = poller_->wait(
+            events, static_cast<int>(std::size(events)), timeout_ms);
+        if (n < 0)
             break;
-        }
         adoptPending();
         const bool draining = draining_.load(std::memory_order_acquire);
         for (int i = 0; i < n; ++i) {
-            const int fd = events[i].data.fd;
+            const int fd = events[i].fd;
             if (fd == wakefd_) {
                 std::uint64_t drain;
                 [[maybe_unused]] ssize_t r =
@@ -223,19 +219,19 @@ EventLoop::run()
                 continue;
             Conn &c = *it->second;
             bool alive = true;
-            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+            if (events[i].hangup || events[i].error) {
                 // Let a readable-but-hung-up socket drain its final
                 // bytes; a pure error closes immediately.
-                alive = (events[i].events & EPOLLIN) != 0;
+                alive = events[i].readable;
             }
             if (draining) {
                 // No new requests; just push queued replies out.
-                if (alive && (events[i].events & EPOLLOUT))
+                if (alive && events[i].writable)
                     alive = c.flushOnly();
             } else {
-                if (alive && (events[i].events & EPOLLIN))
+                if (alive && events[i].readable)
                     alive = c.onReadable(worker_, exec_);
-                if (alive && (events[i].events & EPOLLOUT))
+                if (alive && events[i].writable)
                     alive = c.onWritable(worker_, exec_);
             }
             if (!alive) {

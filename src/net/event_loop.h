@@ -1,7 +1,8 @@
 /**
  * @file
- * One worker event loop: an epoll instance, an eventfd wakeup, and
- * the set of connections assigned to this worker.
+ * One worker event loop: a readiness backend (epoll or io_uring, see
+ * io_backend.h), an eventfd wakeup, and the set of connections
+ * assigned to this worker.
  *
  * This is the libevent worker thread of memcached's threads.c. The
  * listener hands accepted sockets over through adopt() (the analogue
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "net/conn.h"
+#include "net/io_backend.h"
 
 namespace tmemc::net
 {
@@ -71,9 +73,13 @@ class EventLoop
      * @param idle_timeout_ms  Reap connections idle this long
      *                         (0: never).
      * @param counters   Server-wide resilience counters.
+     * @param backend    Requested I/O backend; IoUring falls back to
+     *                   Writev when the kernel refuses (backend()
+     *                   reports what actually runs, after start()).
      */
     EventLoop(std::uint32_t worker_id, ExecFn exec, ConnLimits limits,
-              std::uint32_t idle_timeout_ms, NetCounters &counters);
+              std::uint32_t idle_timeout_ms, NetCounters &counters,
+              IoBackend backend = IoBackend::Epoll);
     ~EventLoop();
 
     EventLoop(const EventLoop &) = delete;
@@ -100,6 +106,9 @@ class EventLoop
 
     std::uint32_t workerId() const { return worker_; }
 
+    /** Effective backend (post-fallback); valid after start(). */
+    IoBackend backend() const { return effective_; }
+
     /** Requests served across all connections ever owned here. */
     std::uint64_t requestsServed() const
     {
@@ -121,7 +130,7 @@ class EventLoop
     void reapIdle();
     /** Drain mode: retire connections whose replies are all out. */
     void retireDrained();
-    /** Re-arm epoll interest according to wantsRead()/wantsWrite(). */
+    /** Re-arm poll interest according to wantsRead()/wantsWrite(). */
     void updateInterest(Conn &c);
 
     std::uint32_t worker_;
@@ -129,7 +138,9 @@ class EventLoop
     ConnLimits limits_;
     std::uint32_t idleTimeoutMs_;
     NetCounters &counters_;
-    int epfd_ = -1;
+    IoBackend requested_;
+    IoBackend effective_ = IoBackend::Epoll;
+    std::unique_ptr<Poller> poller_;
     int wakefd_ = -1;
     std::thread thread_;
     std::atomic<bool> stopping_{false};

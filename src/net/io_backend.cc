@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Readiness-backend implementations.
+ *
+ * EpollPoller is the seed event machinery extracted behind the Poller
+ * interface (its epoll_wait still runs through the net.epoll_wait
+ * fault site). UringPoller drives the same level-style contract with
+ * IORING_OP_POLL_ADD — multishot when the kernel accepts it, one-shot
+ * with immediate re-arm otherwise — using raw syscalls and mmapped
+ * rings so no external liburing is needed. Blocking happens by
+ * poll(2)-ing the ring fd itself (readable exactly when completions
+ * are pending), which gives the same timeout semantics as epoll_wait
+ * without queueing timeout SQEs.
+ */
+
+#include "net/io_backend.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "net/sys.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define TMEMC_HAS_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#else
+#define TMEMC_HAS_IO_URING 0
+#endif
+
+namespace tmemc::net
+{
+
+const char *
+ioBackendName(IoBackend b)
+{
+    switch (b) {
+      case IoBackend::Epoll:
+        return "epoll";
+      case IoBackend::Writev:
+        return "writev";
+      case IoBackend::IoUring:
+        return "io_uring";
+    }
+    return "?";
+}
+
+bool
+parseIoBackend(const std::string &s, IoBackend &out)
+{
+    if (s == "epoll") {
+        out = IoBackend::Epoll;
+        return true;
+    }
+    if (s == "writev") {
+        out = IoBackend::Writev;
+        return true;
+    }
+    if (s == "io_uring" || s == "uring" || s == "io-uring") {
+        out = IoBackend::IoUring;
+        return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+// ----------------------------------------------------------------------
+// Epoll backend (the seed machinery, behind the interface)
+// ----------------------------------------------------------------------
+
+class EpollPoller final : public Poller
+{
+  public:
+    static std::unique_ptr<EpollPoller>
+    create()
+    {
+        const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+        if (fd < 0)
+            return nullptr;
+        return std::unique_ptr<EpollPoller>(new EpollPoller(fd));
+    }
+
+    ~EpollPoller() override { ::close(epfd_); }
+
+    const char *name() const override { return "epoll"; }
+
+    bool
+    add(int fd, bool want_read, bool want_write) override
+    {
+        epoll_event ev{};
+        ev.events = mask(want_read, want_write);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+
+    void
+    update(int fd, bool want_read, bool want_write) override
+    {
+        epoll_event ev{};
+        ev.events = mask(want_read, want_write);
+        ev.data.fd = fd;
+        ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+
+    void
+    remove(int fd) override
+    {
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+
+    int
+    wait(PollEvent *out, int cap, int timeout_ms) override
+    {
+        epoll_event events[64];
+        const int want = cap < 64 ? cap : 64;
+        const int n = sys::epollWait(epfd_, events, want, timeout_ms);
+        if (n < 0)
+            return errno == EINTR ? 0 : -1;
+        for (int i = 0; i < n; ++i) {
+            out[i].fd = events[i].data.fd;
+            out[i].readable = (events[i].events & EPOLLIN) != 0;
+            out[i].writable = (events[i].events & EPOLLOUT) != 0;
+            out[i].hangup = (events[i].events & EPOLLHUP) != 0;
+            out[i].error = (events[i].events & EPOLLERR) != 0;
+        }
+        return n;
+    }
+
+  private:
+    explicit EpollPoller(int fd) : epfd_(fd) {}
+
+    static std::uint32_t
+    mask(bool r, bool w)
+    {
+        return (r ? EPOLLIN : 0u) | (w ? EPOLLOUT : 0u);
+    }
+
+    int epfd_;
+};
+
+// ----------------------------------------------------------------------
+// io_uring backend (raw syscalls; no liburing dependency)
+// ----------------------------------------------------------------------
+
+#if TMEMC_HAS_IO_URING
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+// Older uapi headers predate multishot poll; the wire values are ABI.
+#ifndef IORING_POLL_ADD_MULTI
+#define IORING_POLL_ADD_MULTI (1U << 0)
+#endif
+#ifndef IORING_CQE_F_MORE
+#define IORING_CQE_F_MORE (1U << 1)
+#endif
+
+int
+uringSetup(unsigned entries, io_uring_params *p)
+{
+    return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int
+uringEnter(int fd, unsigned to_submit, unsigned min_complete,
+           unsigned flags)
+{
+    return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                      min_complete, flags, nullptr, 0));
+}
+
+class UringPoller final : public Poller
+{
+  public:
+    static std::unique_ptr<UringPoller>
+    create()
+    {
+        auto p = std::unique_ptr<UringPoller>(new UringPoller());
+        if (!p->init())
+            return nullptr;
+        return p;
+    }
+
+    ~UringPoller() override
+    {
+        if (sqes_ != MAP_FAILED)
+            ::munmap(sqes_, sqesSize_);
+        if (cqRing_ != MAP_FAILED && cqRing_ != sqRing_)
+            ::munmap(cqRing_, cqRingSize_);
+        if (sqRing_ != MAP_FAILED)
+            ::munmap(sqRing_, sqRingSize_);
+        if (ringFd_ >= 0)
+            ::close(ringFd_);
+    }
+
+    const char *name() const override { return "io_uring"; }
+
+    bool
+    add(int fd, bool want_read, bool want_write) override
+    {
+        FdState &st = fds_[fd];
+        st.mask = pollMask(want_read, want_write);
+        st.gen = nextGen();
+        st.armed = false;
+        if (!armPoll(fd, st)) {
+            fds_.erase(fd);
+            return false;
+        }
+        return flushSubmit();
+    }
+
+    void
+    update(int fd, bool want_read, bool want_write) override
+    {
+        auto it = fds_.find(fd);
+        if (it == fds_.end())
+            return;
+        FdState &st = it->second;
+        const std::uint16_t want = pollMask(want_read, want_write);
+        if (st.mask == want && st.armed)
+            return;  // Interest unchanged and the poll is live.
+        if (st.armed)
+            cancelPoll(fd, st.gen);
+        st.mask = want;
+        st.gen = nextGen();
+        st.armed = false;
+        armPoll(fd, st);
+        flushSubmit();
+    }
+
+    void
+    rearm(int fd) override
+    {
+        // The caller still has un-consumed work (pending flush) and
+        // needs the next wait() to report this fd if it is ready
+        // right now. A multishot poll that already delivered won't
+        // post again without a socket wakeup, so supersede it with a
+        // fresh POLL_ADD: the kernel completes it immediately when
+        // the fd is currently ready, and parks it otherwise — either
+        // way the level-triggered contract holds.
+        auto it = fds_.find(fd);
+        if (it == fds_.end())
+            return;
+        FdState &st = it->second;
+        if (st.armed)
+            cancelPoll(fd, st.gen);
+        st.gen = nextGen();
+        st.armed = false;
+        armPoll(fd, st);
+        flushSubmit();
+    }
+
+    void
+    remove(int fd) override
+    {
+        auto it = fds_.find(fd);
+        if (it == fds_.end())
+            return;
+        if (it->second.armed)
+            cancelPoll(fd, it->second.gen);
+        fds_.erase(it);
+        flushSubmit();
+    }
+
+    int
+    wait(PollEvent *out, int cap, int timeout_ms) override
+    {
+        const int n = reap(out, cap);
+        if (n != 0)
+            return n;
+        // Completions pending? The ring fd polls readable exactly
+        // then, so an ordinary poll(2) supplies the timeout.
+        pollfd pfd{ringFd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr < 0)
+            return errno == EINTR ? 0 : -1;
+        if (pr == 0)
+            return 0;
+        return reap(out, cap);
+    }
+
+  private:
+    struct FdState
+    {
+        std::uint16_t mask = 0;
+        std::uint32_t gen = 0;  //!< 24-bit; stamps user_data.
+        bool armed = false;     //!< A POLL_ADD for gen is in flight.
+    };
+
+    static constexpr std::uint64_t kTagPoll = 1;
+    static constexpr std::uint64_t kTagCancel = 2;
+
+    UringPoller() = default;
+
+    static std::uint16_t
+    pollMask(bool r, bool w)
+    {
+        return static_cast<std::uint16_t>((r ? POLLIN : 0) |
+                                          (w ? POLLOUT : 0));
+    }
+
+    static std::uint64_t
+    packUserData(std::uint64_t tag, std::uint32_t gen, int fd)
+    {
+        return (tag << 56) |
+               (static_cast<std::uint64_t>(gen & 0xffffffu) << 32) |
+               static_cast<std::uint32_t>(fd);
+    }
+
+    std::uint32_t nextGen() { return ++genCounter_ & 0xffffffu; }
+
+    bool
+    init()
+    {
+        io_uring_params p{};
+        ringFd_ = uringSetup(256, &p);
+        if (ringFd_ < 0)
+            return false;
+        sqRingSize_ = p.sq_off.array + p.sq_entries * sizeof(__u32);
+        cqRingSize_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+        bool single_mmap = false;
+#ifdef IORING_FEAT_SINGLE_MMAP
+        single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+        if (single_mmap && cqRingSize_ > sqRingSize_)
+            sqRingSize_ = cqRingSize_;
+#endif
+        sqRing_ = ::mmap(nullptr, sqRingSize_, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, ringFd_,
+                         IORING_OFF_SQ_RING);
+        if (sqRing_ == MAP_FAILED)
+            return false;
+        cqRing_ = single_mmap
+                      ? sqRing_
+                      : ::mmap(nullptr, cqRingSize_,
+                               PROT_READ | PROT_WRITE,
+                               MAP_SHARED | MAP_POPULATE, ringFd_,
+                               IORING_OFF_CQ_RING);
+        if (cqRing_ == MAP_FAILED)
+            return false;
+        sqesSize_ = p.sq_entries * sizeof(io_uring_sqe);
+        sqes_ = ::mmap(nullptr, sqesSize_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ringFd_,
+                       IORING_OFF_SQES);
+        if (sqes_ == MAP_FAILED)
+            return false;
+
+        auto sqPtr = [&](std::size_t off) {
+            return static_cast<char *>(sqRing_) + off;
+        };
+        auto cqPtr = [&](std::size_t off) {
+            return static_cast<char *>(cqRing_) + off;
+        };
+        sqKhead_ = reinterpret_cast<unsigned *>(sqPtr(p.sq_off.head));
+        sqKtail_ = reinterpret_cast<unsigned *>(sqPtr(p.sq_off.tail));
+        sqMask_ = *reinterpret_cast<unsigned *>(sqPtr(p.sq_off.ring_mask));
+        sqArray_ = reinterpret_cast<unsigned *>(sqPtr(p.sq_off.array));
+        sqEntries_ = p.sq_entries;
+        cqKhead_ = reinterpret_cast<unsigned *>(cqPtr(p.cq_off.head));
+        cqKtail_ = reinterpret_cast<unsigned *>(cqPtr(p.cq_off.tail));
+        cqMask_ = *reinterpret_cast<unsigned *>(cqPtr(p.cq_off.ring_mask));
+        cqes_ = reinterpret_cast<io_uring_cqe *>(cqPtr(p.cq_off.cqes));
+        sqTail_ = *sqKtail_;
+        return true;
+    }
+
+    io_uring_sqe *
+    getSqe()
+    {
+        const unsigned head =
+            __atomic_load_n(sqKhead_, __ATOMIC_ACQUIRE);
+        if (sqTail_ - head >= sqEntries_) {
+            // Ring full: push what we have so the kernel drains it.
+            if (!flushSubmit())
+                return nullptr;
+        }
+        io_uring_sqe *sqe = &static_cast<io_uring_sqe *>(sqes_)[sqTail_ &
+                                                                sqMask_];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqArray_[sqTail_ & sqMask_] = sqTail_ & sqMask_;
+        ++sqTail_;
+        __atomic_store_n(sqKtail_, sqTail_, __ATOMIC_RELEASE);
+        ++pendingSubmit_;
+        return sqe;
+    }
+
+    bool
+    flushSubmit()
+    {
+        for (int tries = 0; pendingSubmit_ > 0 && tries < 1000;
+             ++tries) {
+            const int r = uringEnter(ringFd_, pendingSubmit_, 0, 0);
+            if (r < 0) {
+                if (errno == EINTR || errno == EAGAIN || errno == EBUSY)
+                    continue;
+                return false;
+            }
+            pendingSubmit_ -= static_cast<unsigned>(r);
+        }
+        return pendingSubmit_ == 0;
+    }
+
+    bool
+    armPoll(int fd, FdState &st)
+    {
+        if (st.mask == 0) {
+            st.armed = false;
+            return true;  // Nothing wanted; re-armed on next update.
+        }
+        io_uring_sqe *sqe = getSqe();
+        if (sqe == nullptr)
+            return false;
+        sqe->opcode = IORING_OP_POLL_ADD;
+        sqe->fd = fd;
+        sqe->poll_events = st.mask;
+        if (multishot_)
+            sqe->len = IORING_POLL_ADD_MULTI;
+        sqe->user_data = packUserData(kTagPoll, st.gen, fd);
+        st.armed = true;
+        return true;
+    }
+
+    void
+    cancelPoll(int fd, std::uint32_t gen)
+    {
+        io_uring_sqe *sqe = getSqe();
+        if (sqe == nullptr)
+            return;
+        sqe->opcode = IORING_OP_POLL_REMOVE;
+        sqe->addr = packUserData(kTagPoll, gen, fd);
+        sqe->user_data = packUserData(kTagCancel, gen, fd);
+    }
+
+    int
+    reap(PollEvent *out, int cap)
+    {
+        int n = 0;
+        unsigned head = *cqKhead_;
+        const unsigned tail =
+            __atomic_load_n(cqKtail_, __ATOMIC_ACQUIRE);
+        while (head != tail && n < cap) {
+            const io_uring_cqe &cqe = cqes_[head & cqMask_];
+            const std::uint64_t tag = cqe.user_data >> 56;
+            const int fd = static_cast<int>(
+                static_cast<std::uint32_t>(cqe.user_data));
+            const std::uint32_t gen =
+                static_cast<std::uint32_t>(cqe.user_data >> 32) &
+                0xffffffu;
+            ++head;
+            if (tag != kTagPoll)
+                continue;  // Cancel acknowledgements.
+            auto it = fds_.find(fd);
+            if (it == fds_.end() || it->second.gen != gen)
+                continue;  // Removed or superseded poll; stale cqe.
+            FdState &st = it->second;
+            if (cqe.res == -EINVAL && multishot_) {
+                // Kernel predates IORING_POLL_ADD_MULTI: drop to
+                // one-shot re-arm for every poll from here on.
+                multishot_ = false;
+                st.armed = false;
+                armPoll(fd, st);
+                continue;
+            }
+            if (cqe.res < 0) {
+                st.armed = false;  // -ECANCELED and kin.
+                continue;
+            }
+            const auto revents = static_cast<unsigned>(cqe.res);
+            const bool more =
+                multishot_ && (cqe.flags & IORING_CQE_F_MORE) != 0;
+            if (!more) {
+                // One-shot (or a terminated multishot): re-arm now so
+                // the contract stays level-triggered.
+                st.armed = false;
+                armPoll(fd, st);
+            }
+            out[n].fd = fd;
+            out[n].readable = (revents & POLLIN) != 0;
+            out[n].writable = (revents & POLLOUT) != 0;
+            out[n].hangup = (revents & POLLHUP) != 0;
+            out[n].error = (revents & POLLERR) != 0;
+            ++n;
+        }
+        __atomic_store_n(cqKhead_, head, __ATOMIC_RELEASE);
+        flushSubmit();  // Push any re-arms queued above.
+        return n;
+    }
+
+    int ringFd_ = -1;
+    void *sqRing_ = MAP_FAILED;
+    void *cqRing_ = MAP_FAILED;
+    void *sqes_ = MAP_FAILED;
+    std::size_t sqRingSize_ = 0;
+    std::size_t cqRingSize_ = 0;
+    std::size_t sqesSize_ = 0;
+    unsigned *sqKhead_ = nullptr;
+    unsigned *sqKtail_ = nullptr;
+    unsigned *sqArray_ = nullptr;
+    unsigned sqMask_ = 0;
+    unsigned sqEntries_ = 0;
+    unsigned sqTail_ = 0;
+    unsigned *cqKhead_ = nullptr;
+    unsigned *cqKtail_ = nullptr;
+    unsigned cqMask_ = 0;
+    io_uring_cqe *cqes_ = nullptr;
+    unsigned pendingSubmit_ = 0;
+    bool multishot_ = true;  //!< Until the kernel says -EINVAL.
+    std::uint32_t genCounter_ = 0;
+    std::unordered_map<int, FdState> fds_;
+};
+
+#endif // TMEMC_HAS_IO_URING
+
+} // namespace
+
+bool
+ioUringSupported()
+{
+#if TMEMC_HAS_IO_URING
+    io_uring_params p{};
+    const int fd = uringSetup(4, &p);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::unique_ptr<Poller>
+makePoller(IoBackend requested, IoBackend &effective)
+{
+    effective = requested;
+    if (requested == IoBackend::IoUring) {
+#if TMEMC_HAS_IO_URING
+        auto uring = UringPoller::create();
+        if (uring != nullptr)
+            return uring;
+        warn("io_uring unavailable (errno %d): falling back to the "
+             "writev backend",
+             errno);
+#else
+        warn("built without <linux/io_uring.h>: falling back to the "
+             "writev backend");
+#endif
+        // Same zero-copy write path, epoll readiness.
+        effective = IoBackend::Writev;
+    }
+    return EpollPoller::create();
+}
+
+} // namespace tmemc::net

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pluggable readiness backends for the event loops.
+ *
+ * The paper's topology keeps the network stack on-machine so it can
+ * measure what the stack costs next to TM; this interface lets the
+ * same experiment vary the stack itself:
+ *
+ *  - Epoll:   the seed backend — level-triggered epoll, one write(2)
+ *             per flush, every reply copied into the write buffer.
+ *  - Writev:  epoll readiness, but replies are segment lists and the
+ *             flush is one gather writev(2) — GET hits pin the item
+ *             in the slab and ship its bytes zero-copy.
+ *  - IoUring: the same zero-copy write path with readiness driven by
+ *             an io_uring poll set (multishot when the kernel has it,
+ *             one-shot re-arm otherwise). Selected at runtime and
+ *             falls back to Writev when io_uring_setup is denied
+ *             (old kernel, seccomp, RLIMIT_MEMLOCK) — the server
+ *             still starts, reporting the effective backend.
+ *
+ * A Poller owns kernel-side readiness state only; connection
+ * ownership and all socket I/O stay in the EventLoop/Conn layer, so
+ * every backend shares one data path and one test suite.
+ */
+
+#ifndef TMEMC_NET_IO_BACKEND_H
+#define TMEMC_NET_IO_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tmemc::net
+{
+
+/** Which readiness/write machinery the event loops run on. */
+enum class IoBackend : std::uint8_t
+{
+    Epoll,    //!< epoll + copying write() flush (the seed behaviour).
+    Writev,   //!< epoll + zero-copy gather writev() flush.
+    IoUring,  //!< io_uring poll + zero-copy gather flush.
+};
+
+/** Stable lowercase name ("epoll", "writev", "io_uring"). */
+const char *ioBackendName(IoBackend b);
+
+/** Parse a --io-backend value; accepts the names above ("uring" too). */
+bool parseIoBackend(const std::string &s, IoBackend &out);
+
+/**
+ * Runtime capability probe: can this process create an io_uring?
+ * False on pre-5.1 kernels, seccomp filters that deny the syscalls,
+ * and builds without <linux/io_uring.h>.
+ */
+bool ioUringSupported();
+
+/** One readiness report from Poller::wait. */
+struct PollEvent
+{
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+    bool error = false;
+};
+
+/**
+ * Level-triggered readiness set. Not thread-safe: add/update/remove/
+ * wait are all loop-thread calls (add may also run once before the
+ * loop thread starts, during EventLoop::start()).
+ */
+class Poller
+{
+  public:
+    virtual ~Poller() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Register @p fd. @return false on kernel refusal (caller closes). */
+    virtual bool add(int fd, bool want_read, bool want_write) = 0;
+
+    /** Change interest for a registered fd. */
+    virtual void update(int fd, bool want_read, bool want_write) = 0;
+
+    /** Drop a registered fd (before it is closed). */
+    virtual void remove(int fd) = 0;
+
+    /**
+     * Re-assert readiness for a registered fd whose handler left work
+     * un-consumed (e.g. a flush that ended with bytes still queued).
+     * Level-triggered epoll re-reports on its own, so the default is
+     * a no-op; io_uring's multishot poll only posts on socket
+     * *wakeups* — an fd that stays ready with no new event would
+     * never re-report — so its override arms a fresh poll, which
+     * completes immediately if the fd is ready right now.
+     */
+    virtual void rearm(int fd) { (void)fd; }
+
+    /**
+     * Block up to @p timeout_ms for readiness.
+     * @return number of events written to @p out, 0 on timeout,
+     *         -1 on error (errno set; EINTR is handled internally).
+     */
+    virtual int wait(PollEvent *out, int cap, int timeout_ms) = 0;
+};
+
+/**
+ * Build the poller for @p requested and report what actually runs in
+ * @p effective: IoUring degrades to Writev when the kernel refuses,
+ * everything else is served as asked. @return nullptr only when even
+ * epoll cannot be created.
+ */
+std::unique_ptr<Poller> makePoller(IoBackend requested,
+                                   IoBackend &effective);
+
+} // namespace tmemc::net
+
+#endif // TMEMC_NET_IO_BACKEND_H

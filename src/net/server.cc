@@ -130,15 +130,27 @@ Server::start()
     }
     port_ = ntohs(bound.sin_port);
 
-    ExecFn exec = [this](std::uint32_t worker, bool binary,
-                         const std::string &frame) {
+    // The pinned (zero-copy) GET path needs both halves: a gather
+    // backend, so value segments reach writev un-copied, and a branch
+    // whose items can be pinned (refcounts + non-transactional value
+    // bytes — pinnedGetSupported()). Everything else — stores, binary
+    // protocol, unsupported branches — takes the legacy string path.
+    const bool allow_pinned = cfg_.ioBackend != IoBackend::Epoll &&
+                              cache_.pinnedGetSupported();
+    ExecFn exec = [this, allow_pinned](std::uint32_t worker, bool binary,
+                                       const std::string &frame,
+                                       mc::Reply &out) {
         if (!binary && frameIsMetrics(frame)) {
             // Admin command: the whole metrics snapshot as one JSON
             // line. Served here, not in protocol.cc, so it exists
             // only where a server (and its net counters) exists.
-            return obs::MetricsRegistry::get().snapshot().toJson() +
-                   "\r\nEND\r\n";
+            out.append(obs::MetricsRegistry::get().snapshot().toJson() +
+                       "\r\nEND\r\n");
+            return;
         }
+        if (allow_pinned && !binary &&
+            mc::protocolExecutePinned(cache_, worker, frame, out))
+            return;
         std::string reply =
             binary ? mc::binaryExecute(cache_, worker, frame)
                    : mc::protocolExecute(cache_, worker, frame);
@@ -150,16 +162,20 @@ Server::start()
             // cache's trailing END so clients see one stats block.
             reply.insert(reply.size() - 5, statsLines());
         }
-        return reply;
+        out.append(std::move(reply));
     };
     for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
         loops_.push_back(std::make_unique<EventLoop>(
-            w, exec, cfg_.limits, cfg_.idleTimeoutMs, counters_));
+            w, exec, cfg_.limits, cfg_.idleTimeoutMs, counters_,
+            cfg_.ioBackend));
         if (!loops_.back()->start()) {
             stop();
             return false;
         }
     }
+    // Every loop ran the same probe, so they all landed on the same
+    // effective backend; report loop 0's.
+    effectiveBackend_ = loops_[0]->backend();
     // The source stays registered across stop() — the counters and
     // servedFinal_ stay valid after teardown, so a metrics dump taken
     // after drain() still carries the final net totals. It is dropped
@@ -281,6 +297,7 @@ Server::statsLines() const
     char buf[512];
     const int n = std::snprintf(
         buf, sizeof(buf),
+        "STAT io_backend %s\r\n"
         "STAT curr_connections %llu\r\n"
         "STAT total_connections %llu\r\n"
         "STAT rejected_connections %llu\r\n"
@@ -288,6 +305,7 @@ Server::statsLines() const
         "STAT backpressure_closes %llu\r\n"
         "STAT oom_errors %llu\r\n"
         "STAT accept_failures %llu\r\n",
+        ioBackendName(effectiveBackend_),
         static_cast<unsigned long long>(s.currConnections),
         static_cast<unsigned long long>(s.totalConnections),
         static_cast<unsigned long long>(s.rejectedConnections),

@@ -6,6 +6,7 @@
  * Usage: tmemc_server [--branch NAME] [--port N] [--workers N]
  *                     [--shards N] [--mem MB] [--max-conns N]
  *                     [--idle-timeout MS] [--drain-ms MS]
+ *                     [--io-backend epoll|writev|io_uring]
  *                     [--metrics-json PATH] [--trace] [--verbose]
  *
  * Serves both protocols on one port until SIGINT/SIGTERM, then drains
@@ -60,6 +61,7 @@ main(int argc, char **argv)
     std::uint32_t max_conns = 0;
     std::uint32_t idle_timeout_ms = 0;
     std::uint32_t drain_ms = 2000;
+    net::IoBackend io_backend = net::IoBackend::Epoll;
     std::string metrics_json;
     bool trace = false;
     int verbose = 0;
@@ -85,7 +87,16 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--drain-ms")
             drain_ms = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (a == "--metrics-json")
+        else if (a == "--io-backend") {
+            const std::string v = next();
+            if (!net::parseIoBackend(v, io_backend)) {
+                std::fprintf(stderr,
+                             "unknown --io-backend '%s' (want epoll, "
+                             "writev, or io_uring)\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (a == "--metrics-json")
             metrics_json = next();
         else if (a == "--trace")
             trace = true;
@@ -96,7 +107,9 @@ main(int argc, char **argv)
                          "usage: %s [--branch NAME] [--port N] "
                          "[--workers N] [--shards N] [--mem MB] "
                          "[--max-conns N] [--idle-timeout MS] "
-                         "[--drain-ms MS] [--metrics-json PATH] "
+                         "[--drain-ms MS] "
+                         "[--io-backend epoll|writev|io_uring] "
+                         "[--metrics-json PATH] "
                          "[--trace] [--verbose]\n",
                          argv[0]);
             return 2;
@@ -122,6 +135,7 @@ main(int argc, char **argv)
     cfg.workers = workers;
     cfg.maxConns = max_conns;
     cfg.idleTimeoutMs = idle_timeout_ms;
+    cfg.ioBackend = io_backend;
     net::Server server(*cache, cfg);
     if (!server.start()) {
         std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n",
@@ -131,8 +145,9 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::printf("tmemc_server: branch=%s workers=%u shards=%u "
-                "listening on 127.0.0.1:%u\n",
+                "io_backend=%s listening on 127.0.0.1:%u\n",
                 cache->branchName(), workers, cache->shardCount(),
+                net::ioBackendName(server.ioBackend()),
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
 #include "tm/txdesc.h"
 
 namespace tmemc::tm
@@ -36,6 +37,34 @@ class Algo
 
     /** Begin a speculative attempt (serial mode bypasses the algo). */
     virtual void begin(Runtime &rt, TxDesc &d) = 0;
+
+    /**
+     * Begin an invisible-reader (read-only fast path) attempt.
+     * @return false when the algorithm has no fast path; the caller
+     *         must then begin() on the full path instead.
+     */
+    virtual bool
+    beginRO(Runtime &rt, TxDesc &d)
+    {
+        (void)rt;
+        (void)d;
+        return false;
+    }
+
+    /**
+     * Fast-path load: validate the word against the begin snapshot
+     * without recording it in any read set. Only called between a
+     * successful beginRO() and commit/rollback; a conflict throws
+     * TxAbort (there is no read set to extend or revalidate).
+     */
+    virtual std::uint64_t
+    loadWordRO(Runtime &rt, TxDesc &d, std::uintptr_t word_addr)
+    {
+        (void)rt;
+        (void)d;
+        (void)word_addr;
+        panic("loadWordRO on an algorithm without a read-only fast path");
+    }
 
     /**
      * Transactional load of the aligned word at @p word_addr.

@@ -36,6 +36,38 @@ class GccEagerAlgo : public Algo
         d.publishStart(d.startTime);
     }
 
+    bool
+    beginRO(Runtime &rt, TxDesc &d) override
+    {
+        begin(rt, d);
+        return true;
+    }
+
+    std::uint64_t
+    loadWordRO(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
+    {
+        // Invisible reader: the orec double-check proves the word was
+        // stable at a version <= startTime, so every load on the
+        // attempt sees the same snapshot without a read set. A newer
+        // version aborts — with no read set there is nothing to
+        // revalidate at an extended start time.
+        OrecWord &o = d.dom().orecs().forWord(word_addr);
+        for (;;) {
+            const std::uint64_t w1 = o.load(std::memory_order_acquire);
+            const OrecSnapshot s1{w1};
+            if (s1.locked())
+                throw TxAbort{};  // Fast path never holds write locks.
+            const std::uint64_t val =
+                rawLoad(reinterpret_cast<void *>(word_addr));
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (o.load(std::memory_order_relaxed) != w1)
+                continue;  // Raced with a commit; re-sample.
+            if (s1.version() > d.startTime)
+                throw TxAbort{};
+            return val;
+        }
+    }
+
     std::uint64_t
     loadWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
     {

@@ -32,6 +32,36 @@ class LazyAlgo : public Algo
         d.publishStart(d.startTime);
     }
 
+    bool
+    beginRO(Runtime &rt, TxDesc &d) override
+    {
+        begin(rt, d);
+        return true;
+    }
+
+    std::uint64_t
+    loadWordRO(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
+    {
+        // Same invisible-reader protocol as GccEager: with an empty
+        // redo log there is nothing to merge, and with no read set a
+        // version newer than startTime cannot be extended past.
+        OrecWord &o = d.dom().orecs().forWord(word_addr);
+        for (;;) {
+            const std::uint64_t w1 = o.load(std::memory_order_acquire);
+            const OrecSnapshot s1{w1};
+            if (s1.locked())
+                throw TxAbort{};
+            const std::uint64_t mem =
+                rawLoad(reinterpret_cast<void *>(word_addr));
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (o.load(std::memory_order_relaxed) != w1)
+                continue;
+            if (s1.version() > d.startTime)
+                throw TxAbort{};
+            return mem;
+        }
+    }
+
     std::uint64_t
     loadWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
     {

@@ -42,6 +42,28 @@ class NOrecAlgo : public Algo
         }
     }
 
+    bool
+    beginRO(Runtime &rt, TxDesc &d) override
+    {
+        begin(rt, d);
+        return true;
+    }
+
+    std::uint64_t
+    loadWordRO(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
+    {
+        // Invisible reader: any writer commit since the begin snapshot
+        // dooms the attempt — there is no value read set to revalidate
+        // against, so the seqlock check is the whole protocol.
+        const std::uint64_t mem =
+            rawLoad(reinterpret_cast<void *>(word_addr));
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (d.dom().norecSeq.load(std::memory_order_relaxed) !=
+            d.norecSnapshot)
+            throw TxAbort{};
+        return mem;
+    }
+
     std::uint64_t
     loadWord(Runtime &rt, TxDesc &d, std::uintptr_t word_addr) override
     {

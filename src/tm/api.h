@@ -56,6 +56,8 @@ loadWordDispatch(Runtime &rt, TxDesc &d, std::uintptr_t word_addr)
 {
     if (d.state == RunState::SerialIrrevocable)
         return rawLoad(reinterpret_cast<void *>(word_addr));
+    if (d.roFast)
+        return rt.algo().loadWordRO(rt, d, word_addr);
     return rt.algo().loadWord(rt, d, word_addr);
 }
 
@@ -69,6 +71,8 @@ storeWordDispatch(Runtime &rt, TxDesc &d, std::uintptr_t word_addr,
         rawStore(p, maskMerge(rawLoad(p), val, mask));
         return;
     }
+    if (d.roFast)
+        promoteRoFast(d, "store");  // Throws; retry takes the full path.
     rt.algo().storeWord(rt, d, word_addr, val, mask);
 }
 

@@ -68,6 +68,16 @@ struct TxnAttr
      * pointless and the transaction begins serial.
      */
     bool startsSerial = false;
+    /**
+     * True when the site is expected to perform no transactional
+     * writes (a GET-path copy, a refcount read). The runtime may start
+     * such transactions on the invisible-reader fast path: loads are
+     * sequence-validated against the domain clock, no read set is
+     * kept, and commit is O(1). The hint is advisory — a write (or any
+     * operation needing commit/abort machinery) promotes the attempt
+     * to the full path and re-executes.
+     */
+    bool readOnlyHint = false;
 };
 
 /** Function annotations from the specification (+ GCC's extension). */
@@ -123,6 +133,13 @@ struct RuntimeCfg
     bool inferCallableSafety = true;
     /** log2 of the ownership-record table size. */
     std::uint32_t orecTableBits = 18;
+    /**
+     * Whether sites hinted TxnAttr::readOnlyHint begin on the
+     * invisible-reader fast path (no orec writes, no read set, O(1)
+     * commit). Off reverts every transaction to the full path — the
+     * ablation knob bench_ro_tx measures.
+     */
+    bool roFastPath = true;
 };
 
 } // namespace tmemc::tm

@@ -40,6 +40,8 @@ Runtime::Runtime() : home_(RuntimeCfg{}.orecTableBits)
             {"abort_serial", t.abortSerial},
             {"serial_commits", t.serialCommits},
             {"readonly_commits", t.readOnlyCommits},
+            {"rofast_commits", t.roFastCommits},
+            {"rofast_promotions", t.roPromotions},
         };
     });
 }
@@ -276,6 +278,8 @@ setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr)
                                       : SerialCause::None;
     d.pendingSerialRestart = attr.startsSerial;
     d.abortIsSwitch = false;
+    d.roFast = false;
+    d.roPromote = false;
     d.consecAborts = 0;
     d.obsStartNs = obs::nowNanos();
     d.obsSerialStartNs = 0;
@@ -316,6 +320,14 @@ beginAttempt(Runtime &rt, TxDesc &d)
     if (rt.cfg().useSerialLock)
         d.dom().serialLock.readLock();
     d.state = RunState::Speculative;
+    // Invisible-reader fast path: hinted read-only sites skip the read
+    // set and orec writes entirely. The start time is still published —
+    // writer commits must quiesce on fast readers like any others.
+    if (rt.cfg().roFastPath && d.attr->readOnlyHint && !d.roPromote &&
+        rt.algo().beginRO(rt, d)) {
+        d.roFast = true;
+        return;
+    }
     rt.algo().begin(rt, d);
 }
 
@@ -323,6 +335,16 @@ void
 commitAttempt(Runtime &rt, TxDesc &d)
 {
     if (d.state == RunState::Speculative) {
+        if (d.roFast) {
+            // Invisible-reader commit: every load was validated against
+            // the begin snapshot as it happened, so the attempt is a
+            // consistent snapshot already. No clock movement, nothing
+            // to release, nothing to quiesce on.
+            d.unpublishStart();
+            if (rt.cfg().useSerialLock)
+                d.dom().serialLock.readUnlock();
+            return;
+        }
         // Throws TxAbort if validation fails.
         const std::uint64_t quiesce_at = rt.algo().commit(rt, d);
         d.unpublishStart();
@@ -363,6 +385,11 @@ finishCommit(Runtime &rt, TxDesc &d)
     if (d.state == RunState::SerialIrrevocable) {
         d.stats.total.serialCommits++;
         site.serialCommits++;
+    } else if (d.roFast) {
+        d.stats.total.readOnlyCommits++;
+        site.readOnlyCommits++;
+        d.stats.total.roFastCommits++;
+        site.roFastCommits++;
     } else if (rt.algo().isReadOnly(d)) {
         d.stats.total.readOnlyCommits++;
         site.readOnlyCommits++;
@@ -381,6 +408,7 @@ finishCommit(Runtime &rt, TxDesc &d)
 
     d.state = RunState::Inactive;
     d.nesting = 0;
+    d.roFast = false;
     rt.cm().afterCommit(rt, d);
 
     // Deferred frees: safe now — commit() already quiesced, so no
@@ -401,6 +429,8 @@ handleAbort(Runtime &rt, TxDesc &d)
 {
     if (d.state == RunState::SerialIrrevocable)
         panic("serial-irrevocable transaction '%s' aborted", d.attr->name);
+    const bool was_ro_fast = d.roFast;
+    d.roFast = false;
     rt.algo().rollback(rt, d);
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
@@ -423,6 +453,21 @@ handleAbort(Runtime &rt, TxDesc &d)
         d.abortIsSwitch = false;
         return;
     }
+    if (was_ro_fast && d.roPromote) {
+        // Promotion, not a conflict: the body needs write-path
+        // machinery the fast path lacks. The retry runs fully
+        // instrumented; the contention manager is not consulted.
+        d.stats.total.roPromotions++;
+        d.stats.site(d.attr).roPromotions++;
+        return;
+    }
+    if (was_ro_fast) {
+        // Fast-path conflict: with no read set the attempt cannot
+        // extend past the conflicting commit, but the full path can.
+        // Retry there — and still charge the abort below, because this
+        // was a genuine data conflict.
+        d.roPromote = true;
+    }
 
     obs::traceRecord(obs::TraceEvent::TxAbort, d.attr->name);
     d.stats.total.aborts++;
@@ -433,6 +478,14 @@ handleAbort(Runtime &rt, TxDesc &d)
         if (d.serialCause == SerialCause::None)
             d.serialCause = SerialCause::Abort;
     }
+}
+
+void
+promoteRoFast(TxDesc &d, const char *what)
+{
+    obs::traceRecord(obs::TraceEvent::TxAbort, what);
+    d.roPromote = true;
+    throw TxAbort{};
 }
 
 } // namespace detail
@@ -451,6 +504,7 @@ handleRetry(Runtime &rt, TxDesc &d)
     const std::uint64_t seq_then =
         dom.norecSeq.load(std::memory_order_acquire);
 
+    d.roFast = false;
     rt.algo().rollback(rt, d);
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
@@ -551,6 +605,8 @@ onCommit(TxDesc &d, std::function<void()> fn)
         fn();  // Outside a transaction: run immediately.
         return;
     }
+    if (d.roFast)
+        detail::promoteRoFast(d, "tm::onCommit");
     d.onCommitHandlers.push(std::move(fn));
 }
 
@@ -559,6 +615,8 @@ onAbort(TxDesc &d, std::function<void()> fn)
 {
     if (d.nesting == 0)
         return;
+    if (d.roFast)
+        detail::promoteRoFast(d, "tm::onAbort");
     d.onAbortHandlers.push(std::move(fn));
 }
 
@@ -591,6 +649,11 @@ txFree(TxDesc &d, void *ptr)
         std::free(ptr);
         return;
     }
+    // A deferred free relies on commit-time quiescence to wait out
+    // doomed readers; the fast path skips quiescence, so it cannot
+    // safely reclaim shared memory.
+    if (d.roFast)
+        detail::promoteRoFast(d, "tm::txFree");
     d.commitFrees.push_back(ptr);
 }
 

@@ -125,6 +125,15 @@ void handleRetry(Runtime &rt, TxDesc &d);
 /** Set up descriptor state for a new top-level transaction. */
 void setupTop(Runtime &rt, TxDesc &d, const TxnAttr &attr);
 
+/**
+ * Promote an invisible-reader fast-path attempt to the full path: the
+ * body performed an operation the fast path cannot support (a store, a
+ * deferred handler, a txFree). Rolls the attempt back via TxAbort; the
+ * retry re-executes with full instrumentation. Not a conflict — the
+ * contention manager is not consulted.
+ */
+[[noreturn]] void promoteRoFast(TxDesc &d, const char *what);
+
 } // namespace detail
 
 /**

@@ -34,6 +34,8 @@ struct StatBlock
     std::uint64_t abortSerial = 0;     //!< Serialized for progress by CM.
     std::uint64_t serialCommits = 0;   //!< Commits that ran serial.
     std::uint64_t readOnlyCommits = 0; //!< Commits with empty write set.
+    std::uint64_t roFastCommits = 0;   //!< Invisible-reader fast commits.
+    std::uint64_t roPromotions = 0;    //!< Fast-path attempts promoted.
     std::uint64_t retries = 0;         //!< tm::retry() waits.
 
     /** Accumulate another block into this one. */
@@ -48,6 +50,8 @@ struct StatBlock
         abortSerial += o.abortSerial;
         serialCommits += o.serialCommits;
         readOnlyCommits += o.readOnlyCommits;
+        roFastCommits += o.roFastCommits;
+        roPromotions += o.roPromotions;
         retries += o.retries;
     }
 };

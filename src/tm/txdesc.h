@@ -111,6 +111,13 @@ class alignas(cachelineBytes) TxDesc
     /** The rollback in progress was requested by unsafeOp(), not by a
      *  data conflict; it must not feed the contention manager. */
     bool abortIsSwitch = false;
+    /** This attempt is on the invisible-reader fast path: loads are
+     *  validated individually, no read set is kept, commit is O(1). */
+    bool roFast = false;
+    /** The next attempt must take the full path: the fast path hit a
+     *  write (promotion) or a conflict (the full path can extend its
+     *  start time; the fast path cannot). Cleared by setupTop. */
+    bool roPromote = false;
     /** Consecutive conflict aborts of the current transaction. */
     std::uint32_t consecAborts = 0;
 

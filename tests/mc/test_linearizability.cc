@@ -430,6 +430,57 @@ TEST_P(LinearizabilityTest, ConcurrentHistoryIsLinearizable)
     }
 }
 
+TEST_P(LinearizabilityTest, InvisibleReaderFastPathPreservesLinearizability)
+{
+    // The GET path's read-only sites (mc:get-copy, mc:refcount-expr)
+    // run as invisible readers when RuntimeCfg::roFastPath is on:
+    // sequence-validated loads, no read set, O(1) commit. Opacity of
+    // that path is exactly single-key linearizability of get against
+    // concurrent set/incr/del — record the same mixed history with
+    // the fast path on and off and demand both check out, plus proof
+    // that the "on" leg actually carried fast-path commits (on the
+    // branches whose get-copy is speculative) so the pass is not
+    // vacuous.
+    const std::string &branch = GetParam();
+    const bool hintedBranch =
+        branch.find("Lib") != std::string::npos ||
+        branch.find("onCommit") != std::string::npos;
+    for (const bool fast : {true, false}) {
+        for (const std::uint32_t shards : {1u, 4u}) {
+            tm::RuntimeCfg cfg;
+            cfg.roFastPath = fast;
+            tm::Runtime::get().configure(cfg);
+            tm::Runtime::get().resetStats();
+
+            Settings s;
+            s.maxBytes = 64 * 1024 * 1024;
+            auto cache = makeShardedCache(branch, s, 4, shards);
+            ASSERT_NE(cache, nullptr);
+            const std::vector<Op> history = recordHistory(
+                *cache, /*threads=*/4, /*ops_per_thread=*/40,
+                /*keys=*/8, /*seed=*/20260808 + shards + (fast ? 1 : 0));
+            EXPECT_TRUE(linearizable(history))
+                << branch << " roFastPath=" << fast
+                << " shards=" << shards;
+
+            const auto snap = tm::Runtime::get().snapshot();
+            if (fast && hintedBranch) {
+                EXPECT_GT(snap.total.roFastCommits, 0u)
+                    << branch << ": fast path never engaged";
+            }
+            if (!fast) {
+                EXPECT_EQ(snap.total.roFastCommits, 0u)
+                    << branch << ": ablation knob ignored";
+            }
+            // The cache (and its maintenance thread) must be gone
+            // before the next configure(), which refuses while any
+            // transaction is in flight.
+            cache.reset();
+        }
+    }
+    tm::Runtime::get().configure(tm::RuntimeCfg{});
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBranches, LinearizabilityTest,
     ::testing::ValuesIn(allBranchNames()),

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The invisible-reader fast path (TxnAttr::readOnlyHint +
+ * RuntimeCfg::roFastPath): correctness, promotion, opacity, and the
+ * ablation knob, across the three speculative algorithms.
+ *
+ * The contract under test:
+ *  - a hinted read-only transaction returns consistent values and
+ *    commits without advancing the domain's clocks (it is invisible:
+ *    no orec writes, no seqlock bump);
+ *  - the first write (or handler registration) inside a hinted
+ *    transaction promotes the attempt to the full path and re-executes
+ *    — the hint can never produce a wrong result, only a slower one;
+ *  - roFastCommits / roPromotions account exactly;
+ *  - roFastPath=false disables the path entirely (the bench_ro_tx
+ *    ablation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tm/api.h"
+
+namespace
+{
+
+using namespace tmemc;
+
+const tm::TxnAttr kRo{"ro_fastpath:ro", tm::TxnKind::Atomic, false,
+                      true};
+const tm::TxnAttr kRw{"ro_fastpath:rw", tm::TxnKind::Atomic, false,
+                      false};
+
+class RoFastPathTest : public ::testing::TestWithParam<tm::AlgoKind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tm::RuntimeCfg cfg;
+        cfg.algo = GetParam();
+        cfg.roFastPath = true;
+        tm::Runtime::get().configure(cfg);
+        tm::Runtime::get().resetStats();
+    }
+
+    void
+    TearDown() override
+    {
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+    }
+};
+
+TEST_P(RoFastPathTest, HintedReadsAreCorrectAndCounted)
+{
+    tm::TmVar<std::uint64_t> a{3}, b{4};
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t sum = tm::run(kRo, [&](tm::TxDesc &tx) {
+            return a.get(tx) + b.get(tx);
+        });
+        EXPECT_EQ(sum, 7u);
+    }
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.roFastCommits, 100u);
+    EXPECT_EQ(snap.total.roPromotions, 0u);
+    EXPECT_EQ(snap.total.commits, 100u);
+}
+
+TEST_P(RoFastPathTest, RoCommitsDoNotAdvanceDomainClocks)
+{
+    tm::TmVar<std::uint64_t> x{1};
+    // One full read-write commit first so both clocks are provably
+    // live (a stuck-at-zero clock would vacuously pass).
+    tm::run(kRw, [&](tm::TxDesc &tx) { x.set(tx, 2); });
+
+    auto &dom = tm::Runtime::get().homeDomain();
+    const std::uint64_t clock0 = dom.clock.load();
+    const std::uint64_t seq0 = dom.norecSeq.load();
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t v =
+            tm::run(kRo, [&](tm::TxDesc &tx) { return x.get(tx); });
+        EXPECT_EQ(v, 2u);
+    }
+    // Invisible means invisible: the sequence-validated loads left no
+    // trace in either domain clock.
+    EXPECT_EQ(dom.clock.load(), clock0);
+    EXPECT_EQ(dom.norecSeq.load(), seq0);
+    EXPECT_GE(tm::Runtime::get().snapshot().total.roFastCommits, 50u);
+}
+
+TEST_P(RoFastPathTest, StorePromotesToFullPathAndWrites)
+{
+    tm::TmVar<std::uint64_t> x{10};
+    // The hint is wrong here — the body writes. The attempt must
+    // promote and re-execute on the full path, and the write must
+    // land exactly once.
+    tm::run(kRo, [&](tm::TxDesc &tx) { x.set(tx, x.get(tx) + 1); });
+    const std::uint64_t v =
+        tm::run(kRo, [&](tm::TxDesc &tx) { return x.get(tx); });
+    EXPECT_EQ(v, 11u);
+
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_GE(snap.total.roPromotions, 1u);
+    // The promoted attempt commits on the full path; only the pure
+    // read afterwards is a fast commit.
+    EXPECT_EQ(snap.total.roFastCommits, 1u);
+    EXPECT_EQ(snap.total.commits, 2u);
+}
+
+TEST_P(RoFastPathTest, OnCommitHandlerPromotes)
+{
+    tm::TmVar<std::uint64_t> x{5};
+    bool ran = false;
+    tm::run(kRo, [&](tm::TxDesc &tx) {
+        (void)x.get(tx);
+        // Handler registration needs the commit machinery the fast
+        // path skips; it must promote, not silently drop the handler.
+        tm::onCommit(tx, [&] { ran = true; });
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_GE(tm::Runtime::get().snapshot().total.roPromotions, 1u);
+}
+
+TEST_P(RoFastPathTest, AblationKnobDisablesFastPath)
+{
+    tm::RuntimeCfg cfg;
+    cfg.algo = GetParam();
+    cfg.roFastPath = false;
+    tm::Runtime::get().configure(cfg);
+    tm::Runtime::get().resetStats();
+
+    tm::TmVar<std::uint64_t> x{9};
+    for (int i = 0; i < 20; ++i) {
+        const std::uint64_t v =
+            tm::run(kRo, [&](tm::TxDesc &tx) { return x.get(tx); });
+        EXPECT_EQ(v, 9u);
+    }
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.roFastCommits, 0u);
+    EXPECT_EQ(snap.total.roPromotions, 0u);
+    EXPECT_EQ(snap.total.commits, 20u);
+}
+
+TEST_P(RoFastPathTest, OpaqueUnderConcurrentWriters)
+{
+    // Writers keep the invariant a + b == 1000 through full
+    // transactions; hinted readers must never observe a torn pair, no
+    // matter how the fast path's validation interleaves with commits.
+    tm::TmVar<std::uint64_t> a{1000}, b{0};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad{0};
+
+    std::thread writer([&] {
+        for (int i = 0; !stop.load(); ++i) {
+            tm::run(kRw, [&](tm::TxDesc &tx) {
+                const std::uint64_t av = a.get(tx);
+                a.set(tx, av - 1);
+                b.set(tx, b.get(tx) + 1);
+            });
+            if (a.rawGet() == 0) {
+                tm::run(kRw, [&](tm::TxDesc &tx) {
+                    a.set(tx, 1000);
+                    b.set(tx, 0);
+                });
+            }
+        }
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            for (int i = 0; i < 20000; ++i) {
+                const std::uint64_t sum =
+                    tm::run(kRo, [&](tm::TxDesc &tx) {
+                        return a.get(tx) + b.get(tx);
+                    });
+                if (sum != 1000)
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : readers)
+        t.join();
+    stop.store(true);
+    writer.join();
+
+    EXPECT_EQ(bad.load(), 0u);
+    // The fast path must actually have carried traffic for this test
+    // to mean anything (conflicted attempts may promote or abort; the
+    // uncontended majority should not).
+    EXPECT_GT(tm::Runtime::get().snapshot().total.roFastCommits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, RoFastPathTest,
+                         ::testing::Values(tm::AlgoKind::GccEager,
+                                           tm::AlgoKind::Lazy,
+                                           tm::AlgoKind::NOrec),
+                         [](const auto &info) {
+                             switch (info.param) {
+                             case tm::AlgoKind::GccEager:
+                                 return "GccEager";
+                             case tm::AlgoKind::Lazy:
+                                 return "Lazy";
+                             case tm::AlgoKind::NOrec:
+                                 return "NOrec";
+                             default:
+                                 return "Other";
+                             }
+                         });
+
+} // namespace
