@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# chaos_cluster.sh — the kill-a-node gate at process granularity.
+#
+# Boots three tmemc_server processes on loopback, runs bench_cluster
+# (R=2 replication, acked-update tracking) against them, kill -9s one
+# node mid-run, restarts it, and fails if:
+#   - bench_cluster reports any lost acknowledged update, or
+#   - the kill window missed the run entirely (ejections == 0 means
+#     the workload never saw the dead node — the gate proved nothing;
+#     raise OPS), or
+#   - the restarted node was never re-admitted (readmissions == 0).
+#
+# Usage: chaos_cluster.sh [BUILD_DIR] [OPS_PER_THREAD] [THREADS]
+# Env:   TMEMC_CHAOS_BASE_PORT (default 11411)
+#        TMEMC_CHAOS_KILL_AFTER / TMEMC_CHAOS_DOWN_FOR (seconds)
+
+set -euo pipefail
+
+BUILD=${1:-build}
+OPS=${2:-60000}
+THREADS=${3:-4}
+BASE_PORT=${TMEMC_CHAOS_BASE_PORT:-11411}
+KILL_AFTER=${TMEMC_CHAOS_KILL_AFTER:-0.7}
+DOWN_FOR=${TMEMC_CHAOS_DOWN_FOR:-1.5}
+
+SERVER="$BUILD/src/net/tmemc_server"
+BENCH="$BUILD/bench/bench_cluster"
+[ -x "$SERVER" ] || { echo "missing $SERVER (build first)" >&2; exit 2; }
+[ -x "$BENCH" ] || { echo "missing $BENCH (build first)" >&2; exit 2; }
+
+LOG_DIR=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_node() { # $1 = node index (0-based); appends to PIDS
+    local port=$((BASE_PORT + $1))
+    "$SERVER" --port "$port" --branch IP-onCommit --shards 4 \
+        --workers 2 --mem 64 >"$LOG_DIR/node$1.log" 2>&1 &
+    PIDS+=($!)
+}
+
+wait_ready() { # $1 = port
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+            exec 3>&- 3<&- 2>/dev/null || true
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "node on port $1 never became ready" >&2
+    return 1
+}
+
+for i in 0 1 2; do start_node "$i"; done
+for i in 0 1 2; do wait_ready $((BASE_PORT + i)); done
+ENDPOINTS="127.0.0.1:$BASE_PORT,127.0.0.1:$((BASE_PORT + 1)),127.0.0.1:$((BASE_PORT + 2))"
+echo "cluster up: $ENDPOINTS"
+
+"$BENCH" --cluster "$ENDPOINTS" --replicas 2 --node-timeout-ms 150 \
+    --ops "$OPS" --threads "$THREADS" --window 2000 \
+    --set-fraction 0.5 >"$LOG_DIR/bench.log" 2>&1 &
+BENCH_PID=$!
+
+sleep "$KILL_AFTER"
+VICTIM_PID=${PIDS[1]}
+echo "killing node 1 (pid $VICTIM_PID)"
+kill -9 "$VICTIM_PID"
+sleep "$DOWN_FOR"
+echo "restarting node 1"
+start_node 1
+wait_ready $((BASE_PORT + 1))
+
+BENCH_RC=0
+wait "$BENCH_PID" || BENCH_RC=$?
+cat "$LOG_DIR/bench.log"
+if [ "$BENCH_RC" -ne 0 ]; then
+    echo "chaos_cluster: FAILED (bench_cluster exit $BENCH_RC)" >&2
+    exit 1
+fi
+
+CLUSTER_LINE=$(grep '^cluster:' "$LOG_DIR/bench.log" || true)
+EJECTIONS=$(sed -n 's/.*ejections=\([0-9]*\).*/\1/p' <<<"$CLUSTER_LINE")
+READMISSIONS=$(sed -n 's/.*readmissions=\([0-9]*\).*/\1/p' <<<"$CLUSTER_LINE")
+if [ -z "$EJECTIONS" ] || [ "$EJECTIONS" -eq 0 ]; then
+    echo "chaos_cluster: FAILED (no ejection observed — the kill" \
+         "window missed the run; raise OPS)" >&2
+    exit 1
+fi
+if [ -z "$READMISSIONS" ] || [ "$READMISSIONS" -eq 0 ]; then
+    echo "chaos_cluster: FAILED (restarted node never re-admitted)" >&2
+    exit 1
+fi
+echo "chaos_cluster: OK (ejections=$EJECTIONS readmissions=$READMISSIONS, zero lost acked updates)"

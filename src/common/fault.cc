@@ -5,7 +5,9 @@
 
 #include "common/fault.h"
 
+#include <chrono>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -132,7 +134,8 @@ consultSlow(const char *site)
             }
             if (fire) {
                 ++s.fires;
-                action = {true, s.policy.errnoValue, s.policy.byteCap};
+                action = {true, s.policy.errnoValue, s.policy.byteCap,
+                          s.policy.delayUs};
             }
         }
     }
@@ -144,6 +147,14 @@ consultSlow(const char *site)
             hook(site);
     }
     return action;
+}
+
+void
+maybeDelay(const Action &action)
+{
+    if (action.fire && action.delayUs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(action.delayUs));
 }
 
 std::uint64_t

@@ -17,8 +17,12 @@
  *     first K hits.
  *
  * A policy can carry an *action* payload the site interprets: an
- * errno to fail a syscall wrapper with (see net/sys.h), or a byte cap
- * that truncates an I/O request into a short read/write.
+ * errno to fail a syscall wrapper with (see net/sys.h), a byte cap
+ * that truncates an I/O request into a short read/write, or a delay
+ * in microseconds that stalls the caller before it proceeds — the
+ * building block for slow-node and partition schedules in the cluster
+ * tests (a partition is a delay long enough to blow the deadline, or
+ * an errno like EHOSTUNREACH, depending on what the test models).
  *
  * Cost model: while no site is armed anywhere in the process, every
  * check is one relaxed atomic load of a global flag and a predictable
@@ -58,6 +62,7 @@ struct Policy
     std::uint64_t skipFirst = 0; //!< Hits to let pass before firing.
     int errnoValue = 0;          //!< Syscall wrappers: fail with this.
     std::size_t byteCap = 0;     //!< Syscall wrappers: short I/O cap.
+    std::uint64_t delayUs = 0;   //!< Stall the caller this long first.
 };
 
 /** What a fired (or quiet) site should do. */
@@ -66,6 +71,7 @@ struct Action
     bool fire = false;
     int errnoValue = 0;
     std::size_t byteCap = 0;
+    std::uint64_t delayUs = 0;
 };
 
 /** One relaxed load: true while any site is armed process-wide. */
@@ -102,6 +108,16 @@ shouldFail(const char *site)
 {
     return enabled() && consultSlow(site).fire;
 }
+
+/**
+ * Sleep for @p action's delay payload, if any. Sites that support
+ * slow-node schedules call this with the consult() result before
+ * interpreting errnoValue/byteCap, so a policy can combine "stall
+ * 50ms, then fail with ETIMEDOUT". Must only be called from contexts
+ * that may block (syscall wrappers, the cluster client) — never from
+ * inside a transaction.
+ */
+void maybeDelay(const Action &action);
 
 /**
  * Observer invoked on every armed-site hit (fired or not), with the

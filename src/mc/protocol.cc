@@ -294,6 +294,13 @@ protocolExecute(CacheIface &cache, std::uint32_t worker,
             return obs::MetricsRegistry::get().snapshot().asciiTmRows() +
                    "END\r\n";
         }
+        if (tok.size() >= 2 && tok[1] == "cluster") {
+            // Cluster-client counters (net/cluster.h): populated when
+            // a net::Cluster shares this process, empty otherwise.
+            return obs::MetricsRegistry::get().snapshot()
+                       .asciiClusterRows() +
+                   "END\r\n";
+        }
         std::vector<char> buf(16384);
         const std::size_t n =
             cache.statsText(worker, buf.data(), buf.size());

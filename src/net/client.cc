@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "mc/binary_protocol.h"
+#include "net/sys.h"
 
 namespace tmemc::net
 {
@@ -131,7 +132,9 @@ asciiResponseTryFrame(const char *data, std::size_t len)
 
 Client::Client(Client &&other) noexcept
     : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)),
-      recvTimeoutMs_(other.recvTimeoutMs_)
+      recvTimeoutMs_(other.recvTimeoutMs_),
+      host_(std::move(other.host_)), port_(other.port_),
+      haveEndpoint_(other.haveEndpoint_)
 {
 }
 
@@ -143,6 +146,9 @@ Client::operator=(Client &&other) noexcept
         fd_ = std::exchange(other.fd_, -1);
         buf_ = std::move(other.buf_);
         recvTimeoutMs_ = other.recvTimeoutMs_;
+        host_ = std::move(other.host_);
+        port_ = other.port_;
+        haveEndpoint_ = other.haveEndpoint_;
     }
     return *this;
 }
@@ -152,6 +158,9 @@ Client::connect(const std::string &host, std::uint16_t port,
                 std::uint32_t timeout_ms)
 {
     close();
+    host_ = host;
+    port_ = port;
+    haveEndpoint_ = true;
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0)
         return false;
@@ -163,8 +172,8 @@ Client::connect(const std::string &host, std::uint16_t port,
         return false;
     }
     if (timeout_ms == 0) {
-        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) != 0) {
+        if (sys::connectFd(fd_, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)) != 0) {
             close();
             return false;
         }
@@ -177,7 +186,7 @@ Client::connect(const std::string &host, std::uint16_t port,
             close();
             return false;
         }
-        const int rc = ::connect(
+        const int rc = sys::connectFd(
             fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
         if (rc != 0) {
             if (errno != EINPROGRESS) {
@@ -207,6 +216,16 @@ Client::connect(const std::string &host, std::uint16_t port,
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     applyRecvTimeout();
     return true;
+}
+
+bool
+Client::ensureConnected(std::uint32_t timeout_ms)
+{
+    if (fd_ >= 0)
+        return true;
+    if (!haveEndpoint_)
+        return false;
+    return connect(host_, port_, timeout_ms);
 }
 
 void
@@ -248,6 +267,7 @@ Client::sendAll(const std::string &bytes)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            close();  // Dead socket: let ensureConnected re-dial.
             return false;
         }
         off += static_cast<std::size_t>(n);
@@ -265,10 +285,20 @@ Client::fill()
             buf_.append(chunk, static_cast<std::size_t>(n));
             return true;
         }
-        if (n == 0)
-            return false;  // Peer closed.
+        if (n == 0) {
+            close();  // Peer closed; ensureConnected re-dials.
+            return false;
+        }
         if (errno == EINTR)
             continue;
+        // A recv timeout (SO_RCVTIMEO) is not proof the peer died, so
+        // the fd survives it — but callers that give up mid-reply must
+        // close() themselves, because a late reply would desync the
+        // framing (the cluster pool does exactly that). Hard errors
+        // mean the connection is gone: drop it so the next
+        // ensureConnected() re-dials instead of erroring forever.
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            close();
         return false;
     }
 }

@@ -51,6 +51,17 @@ class Client
                  std::uint32_t timeout_ms = 0);
 
     /**
+     * Re-dial the last connect()ed endpoint if the socket is dead.
+     * A server restart used to leave the client erroring forever:
+     * fill()/sendAll() reported failure but kept the defunct fd, so
+     * every later call failed on it. Both now close the socket on
+     * EOF/error, and callers (the cluster pool, retry loops) call
+     * ensureConnected() before each request to transparently pick up
+     * a restarted server. @return true when a live socket exists.
+     */
+    bool ensureConnected(std::uint32_t timeout_ms = 0);
+
+    /**
      * Bound every subsequent recv by @p ms (SO_RCVTIMEO); recv*
      * calls return false when the server goes quiet that long.
      * 0 disables the bound. Survives reconnects; applies immediately
@@ -86,6 +97,9 @@ class Client
     int fd_ = -1;
     std::string buf_;
     std::uint32_t recvTimeoutMs_ = 0;
+    std::string host_;          //!< Last endpoint, for ensureConnected.
+    std::uint16_t port_ = 0;
+    bool haveEndpoint_ = false;
 };
 
 } // namespace tmemc::net

@@ -8,11 +8,17 @@
  * an epoll_wait(2) that spuriously times out. Each wrapper consults a
  * fault-injection site (common/fault.h) before touching the kernel:
  *
- *   net.accept      fail with policy errno (default EMFILE)
- *   net.read        fail with errno, or short-read via byteCap
- *   net.write       fail with errno, or short-write via byteCap
- *   net.sys.writev  fail with errno, or truncate the gather (byteCap)
- *   net.epoll_wait  fail with errno, or report zero events
+ *   net.accept       fail with policy errno (default EMFILE)
+ *   net.read         fail with errno, or short-read via byteCap
+ *   net.write        fail with errno, or short-write via byteCap
+ *   net.sys.writev   fail with errno, or truncate the gather (byteCap)
+ *   net.epoll_wait   fail with errno, or report zero events
+ *   net.sys.connect  fail with errno (default ECONNREFUSED)
+ *
+ * Sites that model a slow peer honour the policy's delayUs payload
+ * (fault::maybeDelay) before interpreting errno/byteCap, so one armed
+ * policy expresses "stall 50ms then refuse" — the shape the cluster
+ * client's deadline and ejection logic is tested against.
  *
  * When no site is armed (production), each wrapper is the raw syscall
  * behind one relaxed atomic load.
@@ -52,12 +58,27 @@ acceptConn(int listen_fd, int flags)
     return ::accept4(listen_fd, nullptr, nullptr, flags);
 }
 
+TM_UNSAFE inline int
+connectFd(int fd, const struct sockaddr *addr, socklen_t len)
+{
+    if (fault::enabled()) {
+        const fault::Action a = fault::consult("net.sys.connect");
+        if (a.fire) {
+            fault::maybeDelay(a);
+            errno = a.errnoValue != 0 ? a.errnoValue : ECONNREFUSED;
+            return -1;
+        }
+    }
+    return ::connect(fd, addr, len);
+}
+
 TM_UNSAFE inline ssize_t
 readFd(int fd, void *buf, std::size_t count)
 {
     if (fault::enabled()) {
         const fault::Action a = fault::consult("net.read");
         if (a.fire) {
+            fault::maybeDelay(a);
             if (a.errnoValue != 0) {
                 errno = a.errnoValue;
                 return -1;
@@ -75,6 +96,7 @@ writeFd(int fd, const void *buf, std::size_t count)
     if (fault::enabled()) {
         const fault::Action a = fault::consult("net.write");
         if (a.fire) {
+            fault::maybeDelay(a);
             if (a.errnoValue != 0) {
                 errno = a.errnoValue;
                 return -1;
@@ -95,6 +117,7 @@ writevFd(int fd, const struct iovec *iov, int iovcnt)
     if (fault::enabled()) {
         const fault::Action a = fault::consult("net.sys.writev");
         if (a.fire) {
+            fault::maybeDelay(a);
             if (a.errnoValue != 0) {
                 errno = a.errnoValue;
                 return -1;

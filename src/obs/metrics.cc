@@ -203,6 +203,17 @@ MetricsSnapshot::asciiLatencyRows() const
 }
 
 std::string
+MetricsSnapshot::asciiClusterRows() const
+{
+    std::string out;
+    for (const Counter &c : counters) {
+        if (c.name.rfind("cluster_", 0) == 0)
+            statRow(out, c.name.c_str(), c.value);
+    }
+    return out;
+}
+
+std::string
 MetricsSnapshot::asciiTmRows() const
 {
     std::string out;

@@ -73,6 +73,10 @@ struct MetricsSnapshot
     std::string asciiLatencyRows() const;
     /** STAT rows for the ASCII `stats tm` reply. */
     std::string asciiTmRows() const;
+    /** STAT rows for the ASCII `stats cluster` reply: every counter a
+     *  net::Cluster living in this process registered ("cluster_"
+     *  prefix); empty when the process hosts no cluster client. */
+    std::string asciiClusterRows() const;
 };
 
 /** Process-wide metrics aggregation point. */

@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "mc/binary_protocol.h"
 #include "net/client.h"
+#include "net/cluster.h"
 
 namespace tmemc::workload
 {
@@ -112,7 +113,212 @@ netGet(net::Client &client, bool binary, const std::string &key,
         ++ctr.misses;
 }
 
+/** Sequence-stamped cluster value: "s<seq-hex>-t<thread>" + padding.
+ *  The stamp is what makes lost acked updates detectable: every write
+ *  of a key carries a strictly increasing sequence, so any read can
+ *  be compared against the newest acknowledged one. */
+std::string
+clusterValue(std::uint32_t thread, std::uint64_t seq,
+             std::size_t value_size)
+{
+    char buf[48];
+    const int n = std::snprintf(buf, sizeof(buf), "s%016llx-t%03u",
+                                static_cast<unsigned long long>(seq),
+                                thread);
+    std::string v(buf, static_cast<std::size_t>(n));
+    if (v.size() < value_size)
+        v.append(value_size - v.size(), 'y');
+    return v;
+}
+
+/** Parse the sequence stamp back out; ~0 on a foreign value. */
+std::uint64_t
+clusterValueSeq(const std::string &v)
+{
+    if (v.empty() || v[0] != 's')
+        return ~0ull;
+    return std::strtoull(v.c_str() + 1, nullptr, 16);
+}
+
+/** No acknowledged write yet for this key. */
+constexpr std::uint64_t kNoAck = ~0ull;
+
 } // namespace
+
+MemslapResult
+runMemslapCluster(const MemslapCfg &cfg)
+{
+    const std::uint32_t threads = cfg.concurrency == 0 ? 1
+                                                       : cfg.concurrency;
+    net::ClusterCfg ccfg;
+    for (const std::string &ep : cfg.clusterNodes) {
+        const std::size_t colon = ep.rfind(':');
+        net::ClusterNode node;
+        node.host = colon == std::string::npos ? ep : ep.substr(0, colon);
+        node.port = colon == std::string::npos
+                        ? 0
+                        : static_cast<std::uint16_t>(std::strtoul(
+                              ep.c_str() + colon + 1, nullptr, 10));
+        ccfg.nodes.push_back(std::move(node));
+    }
+    ccfg.replicas = cfg.clusterReplicas;
+    ccfg.nodeTimeoutMs = cfg.nodeTimeoutMs;
+    // Whole-op budget: generous relative to the per-attempt bound so
+    // a slow primary cannot starve the replica leg of a write fan-out
+    // (a starved replica leg turns into single-copy acks, which the
+    // kill-a-node gate then depends on surviving).
+    ccfg.requestDeadlineMs =
+        std::max<std::uint32_t>(cfg.recvTimeoutMs, 8 * cfg.nodeTimeoutMs);
+    net::Cluster cluster(ccfg);
+
+    const std::uint64_t before_lag = cluster.stats().replica_lag;
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> lost{0};
+    std::atomic<std::uint64_t> lost_acked{0};
+
+    // ------------------------------------------------------------------
+    // Warm phase (unmeasured) — but acks recorded here already count:
+    // a warm write the cluster acknowledged must survive the run too.
+    // ------------------------------------------------------------------
+    std::vector<std::vector<std::uint64_t>> acked(
+        threads,
+        std::vector<std::uint64_t>(cfg.windowSize, kNoAck));
+    {
+        std::vector<std::thread> warmers;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            warmers.emplace_back([&, t] {
+                std::vector<char> key(cfg.keySize + 1);
+                for (std::uint64_t i = 0; i < cfg.windowSize; ++i) {
+                    formatKey(key.data(), cfg.keySize, t, i);
+                    const auto res = cluster.set(
+                        std::string(key.data(), cfg.keySize),
+                        clusterValue(t, i, cfg.valueSize));
+                    if (res.status == net::ClusterStatus::Ok)
+                        acked[t][i] = i;
+                    else
+                        lost.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (auto &w : warmers)
+            w.join();
+    }
+
+    // ------------------------------------------------------------------
+    // Measured phase: set/get only (see MemslapCfg::clusterNodes).
+    // ------------------------------------------------------------------
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            XorShift128 rng(cfg.seed * 1315423911u + t);
+            ZipfSampler *zipf = nullptr;
+            ZipfSampler zipf_storage(
+                cfg.zipfTheta > 0 ? cfg.windowSize : 1,
+                cfg.zipfTheta > 0 ? cfg.zipfTheta : 1.0);
+            if (cfg.zipfTheta > 0)
+                zipf = &zipf_storage;
+
+            std::vector<char> key(cfg.keySize + 1);
+            NetCounters ctr;
+            std::uint64_t local_lost_acked = 0;
+            for (std::uint64_t i = 0; i < cfg.executeNumber; ++i) {
+                const std::uint64_t idx =
+                    zipf ? zipf->sample(rng)
+                         : rng.nextBounded(cfg.windowSize);
+                formatKey(key.data(), cfg.keySize, t, idx);
+                const std::string k(key.data(), cfg.keySize);
+                if (rng.nextDouble() < cfg.setFraction) {
+                    const std::uint64_t seq = cfg.windowSize + i;
+                    const auto res = cluster.set(
+                        k, clusterValue(t, seq, cfg.valueSize));
+                    if (res.status == net::ClusterStatus::Ok)
+                        acked[t][idx] = seq;  // Monotonic: same thread.
+                    else
+                        ++ctr.lost;  // Indeterminate, not counted acked.
+                } else {
+                    const auto res = cluster.get(k);
+                    if (res.status == net::ClusterStatus::Ok) {
+                        ++ctr.hits;
+                        // Single-writer key + sequential thread: the
+                        // value read now must be at least as new as
+                        // the newest ack this thread recorded.
+                        const std::uint64_t seen =
+                            clusterValueSeq(res.value);
+                        if (acked[t][idx] != kNoAck &&
+                            seen != ~0ull && seen < acked[t][idx])
+                            ++local_lost_acked;
+                    } else if (res.status == net::ClusterStatus::Miss) {
+                        ++ctr.misses;
+                        if (acked[t][idx] != kNoAck)
+                            ++local_lost_acked;
+                    } else {
+                        ++ctr.lost;
+                    }
+                }
+            }
+            hits.fetch_add(ctr.hits, std::memory_order_relaxed);
+            misses.fetch_add(ctr.misses, std::memory_order_relaxed);
+            failures.fetch_add(ctr.failures, std::memory_order_relaxed);
+            lost.fetch_add(ctr.lost, std::memory_order_relaxed);
+            lost_acked.fetch_add(local_lost_acked,
+                                 std::memory_order_relaxed);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const double measured = timer.elapsedSeconds();
+
+    // ------------------------------------------------------------------
+    // Read-back pass (unmeasured): every key with an acked write must
+    // still be readable at that sequence or newer.
+    // ------------------------------------------------------------------
+    {
+        std::vector<std::thread> readers;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            readers.emplace_back([&, t] {
+                std::vector<char> key(cfg.keySize + 1);
+                std::uint64_t local_lost_acked = 0;
+                for (std::uint64_t i = 0; i < cfg.windowSize; ++i) {
+                    if (acked[t][i] == kNoAck)
+                        continue;
+                    formatKey(key.data(), cfg.keySize, t, i);
+                    const auto res = cluster.get(
+                        std::string(key.data(), cfg.keySize));
+                    if (res.status == net::ClusterStatus::Ok) {
+                        const std::uint64_t seen =
+                            clusterValueSeq(res.value);
+                        if (seen != ~0ull && seen < acked[t][i])
+                            ++local_lost_acked;
+                    } else if (res.status ==
+                               net::ClusterStatus::Miss) {
+                        ++local_lost_acked;
+                    }
+                    // NetFail read-backs are inconclusive, not lost.
+                }
+                lost_acked.fetch_add(local_lost_acked,
+                                     std::memory_order_relaxed);
+            });
+        }
+        for (auto &r : readers)
+            r.join();
+    }
+
+    MemslapResult res;
+    res.seconds = measured;
+    res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
+    res.hits = hits.load();
+    res.misses = misses.load();
+    res.failures = failures.load();
+    res.lostResponses = lost.load();
+    res.lostAckedUpdates = lost_acked.load();
+    res.clusterStats = cluster.stats();
+    res.degradedWrites = res.clusterStats.replica_lag - before_lag;
+    return res;
+}
 
 MemslapResult
 runMemslapNet(const MemslapCfg &cfg)
@@ -230,6 +436,8 @@ runMemslapNet(const MemslapCfg &cfg)
 MemslapResult
 runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg)
 {
+    if (!cfg.clusterNodes.empty())
+        return runMemslapCluster(cfg);
     if (cfg.serverPort != 0)
         return runMemslapNet(cfg);
     const std::uint32_t threads = cfg.concurrency == 0 ? 1

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mc/cache_iface.h"
+#include "net/cluster.h"
 
 namespace tmemc::workload
 {
@@ -68,6 +69,24 @@ struct MemslapCfg
      */
     std::uint32_t connectTimeoutMs = 5000;
     std::uint32_t recvTimeoutMs = 10000;
+    /**
+     * Cluster mode: when non-empty, every thread drives one shared
+     * net::Cluster over these "host:port" endpoints instead of a
+     * single server (ASCII only; binaryProtocol is ignored). Values
+     * carry a per-key sequence number and each thread remembers the
+     * newest *acknowledged* sequence per key, so a read observing an
+     * older value — or a miss where an acked value must exist — is
+     * counted as a lost acknowledged update, both inline and in a
+     * final read-back pass. Keys are thread-partitioned (formatKey
+     * embeds the thread id), which makes that check sound: each key
+     * has exactly one writer issuing sets sequentially. delete/arith
+     * fractions are ignored in this mode — read-repair uses add, and
+     * deletes would reopen the resurrection window documented in
+     * net/cluster.h.
+     */
+    std::vector<std::string> clusterNodes;
+    unsigned clusterReplicas = 2;          //!< --replicas
+    std::uint32_t nodeTimeoutMs = 250;     //!< --node-timeout-ms
 };
 
 /** Result of one driver run. */
@@ -81,6 +100,17 @@ struct MemslapResult
     /** Network mode only: requests whose response never arrived
      *  (connection error mid-run). Zero on a healthy run. */
     std::uint64_t lostResponses = 0;
+    /** Cluster mode only: acknowledged updates later observed lost
+     *  (stale or missing on read). Any nonzero value is a replication
+     *  bug — the chaos gate fails on it. */
+    std::uint64_t lostAckedUpdates = 0;
+    /** Cluster mode only: writes acknowledged with fewer than R
+     *  copies (the cluster's replica_lag, scoped to this run). */
+    std::uint64_t degradedWrites = 0;
+    /** Cluster mode only: the client's counters at the end of the run
+     *  (the Cluster itself does not outlive runMemslapCluster, so its
+     *  metrics source is gone by the time the caller looks). */
+    net::ClusterStats clusterStats;
 
     double
     opsPerSecond() const
@@ -104,6 +134,12 @@ MemslapResult runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg);
  * of runMemslap. Requires cfg.serverPort != 0.
  */
 MemslapResult runMemslapNet(const MemslapCfg &cfg);
+
+/**
+ * Cluster-mode run over net::Cluster with acked-update tracking (see
+ * MemslapCfg::clusterNodes). Requires clusterNodes non-empty.
+ */
+MemslapResult runMemslapCluster(const MemslapCfg &cfg);
 
 /** Generate the deterministic key for (thread, index). */
 void formatKey(char *out, std::size_t key_size, std::uint32_t thread,

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <vector>
 
 #include "common/fault.h"
@@ -149,6 +150,66 @@ TEST_F(FaultTest, ActionCarriesErrnoAndByteCap)
     EXPECT_TRUE(a.fire);
     EXPECT_EQ(a.errnoValue, EMFILE);
     EXPECT_EQ(a.byteCap, 7u);
+}
+
+TEST_F(FaultTest, ActionCarriesDelayPayload)
+{
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    p.delayUs = 1234;
+    fault::arm("site.delay", p);
+    const fault::Action a = fault::consult("site.delay");
+    EXPECT_TRUE(a.fire);
+    EXPECT_EQ(a.delayUs, 1234u);
+    EXPECT_EQ(a.errnoValue, 0);  // Delay-only schedules carry no errno.
+}
+
+TEST_F(FaultTest, MaybeDelayStallsOnlyFiredActionsWithDelay)
+{
+    // A fired action with a delay must actually stall the caller.
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    p.delayUs = 20000;  // 20ms: far above scheduler noise.
+    fault::arm("site.stall", p);
+    const auto t0 = std::chrono::steady_clock::now();
+    fault::maybeDelay(fault::consult("site.stall"));
+    const auto stalled =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(stalled, 20000);
+
+    // Quiet actions and zero-delay fires return immediately (bounded
+    // generously — this only guards against sleeping).
+    fault::Action quiet{};
+    quiet.delayUs = 1000000;
+    const auto t1 = std::chrono::steady_clock::now();
+    fault::maybeDelay(quiet);  // fire == false: no stall.
+    fault::maybeDelay(fault::Action{true, 0, 0, 0});
+    const auto fast =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t1)
+            .count();
+    EXPECT_LT(fast, 500);
+}
+
+TEST_F(FaultTest, ConnectSiteFailsTheClientDial)
+{
+    // net.sys.connect makes a dial fail with the policy errno before
+    // the kernel is asked — the hook the cluster's partition
+    // schedules use. Dial a plainly invalid endpoint so a bug that
+    // skips the site still fails fast rather than passing falsely.
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    p.errnoValue = EHOSTUNREACH;
+    fault::arm("net.sys.connect", p);
+    const fault::Action a = fault::consult("net.sys.connect");
+    EXPECT_TRUE(a.fire);
+    EXPECT_EQ(a.errnoValue, EHOSTUNREACH);
+    EXPECT_EQ(fault::fires("net.sys.connect"), 1u);
 }
 
 TEST_F(FaultTest, RearmResetsCounters)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Shared Wing & Gong linearizability checker for recorded cache and
+ * cluster histories (used by tests/mc/test_linearizability.cc and
+ * tests/net/test_cluster.cc).
+ *
+ * A history is a set of completed operations, each stamped with invoke
+ * and response timestamps from one global atomic counter. The checker
+ * searches for a linearization: a total order that (a) respects real
+ * time — an operation that returned before another was invoked must
+ * come first — and (b) replays correctly against a trivially-correct
+ * sequential model of a single key. Linearizability is a local
+ * (per-object) property [Herlihy & Wing 1990, Thm. 1] and every
+ * operation here touches exactly one key, so the search decomposes by
+ * key and stays small enough for an exhaustive DFS with memoization on
+ * (done-set, model state).
+ *
+ * Cluster histories add one wrinkle: an operation whose reply was lost
+ * (connection cut mid-request, node killed) may or may not have taken
+ * effect. Such ops are recorded with `indeterminate = true` and
+ * `ret = kNeverReturned`; the checker may linearize them at any point
+ * after their invoke, or never — exactly the two possibilities the
+ * real system allows. Only set/del may be indeterminate (a lost get
+ * has no effect and should simply not be recorded).
+ */
+
+#ifndef TMEMC_TESTS_MC_LIN_CHECKER_H
+#define TMEMC_TESTS_MC_LIN_CHECKER_H
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/cache.h"
+
+namespace tmemc::lintest
+{
+
+enum class OpKind : std::uint8_t
+{
+    Get,
+    Set,
+    Del,
+    Incr,
+};
+
+/** Response stamp for operations that never returned. */
+constexpr std::uint64_t kNeverReturned = ~0ull;
+
+/** One completed (or lost) operation in the recorded history. */
+struct Op
+{
+    OpKind kind = OpKind::Get;
+    std::string key;
+    std::uint64_t arg = 0;       //!< Set value / incr delta.
+    std::uint64_t invoke = 0;    //!< Timestamp before the call.
+    std::uint64_t ret = 0;       //!< Timestamp after the call.
+    mc::OpStatus status = mc::OpStatus::Miss;  //!< Observed status.
+    std::string out;             //!< Observed value (get hit).
+    std::uint64_t outNum = 0;    //!< Observed counter (incr hit).
+    /** Reply lost: the op may have applied or not (set/del only).
+     *  Must be recorded with ret == kNeverReturned. */
+    bool indeterminate = false;
+};
+
+/**
+ * Stamps operations with a globally ordered invoke/response pair.
+ * fetch_add on one counter is enough: if op A returned before op B
+ * was invoked in real time, A's response stamp is smaller than B's
+ * invoke stamp, which is exactly the precedence the checker enforces.
+ */
+class HistoryRecorder
+{
+  public:
+    std::uint64_t
+    stamp()
+    {
+        return clock_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> clock_{0};
+};
+
+/** Sequential single-key model: absent, or holding a counter value.
+ *  (Workers only ever store decimal values, matching incr's domain.) */
+using KeyState = std::optional<std::uint64_t>;
+
+/**
+ * Replay @p op against @p st. @return false if the observed result is
+ * impossible from this state (the candidate linearization dies).
+ */
+inline bool
+applyOp(const Op &op, KeyState &st)
+{
+    if (op.indeterminate) {
+        // No observed result to validate — the op either applied its
+        // effect or (handled by the caller skipping it) never ran.
+        switch (op.kind) {
+          case OpKind::Set:
+            st = op.arg;
+            return true;
+          case OpKind::Del:
+            st.reset();
+            return true;
+          default:
+            return false;  // Lost gets/incrs must not be recorded.
+        }
+    }
+    switch (op.kind) {
+      case OpKind::Get:
+        if (!st.has_value())
+            return op.status == mc::OpStatus::Miss;
+        return op.status == mc::OpStatus::Ok &&
+               op.out == std::to_string(*st);
+      case OpKind::Set:
+        if (op.status != mc::OpStatus::Ok)
+            return false;  // Plain set must succeed.
+        st = op.arg;
+        return true;
+      case OpKind::Del:
+        if (!st.has_value())
+            return op.status == mc::OpStatus::Miss;
+        if (op.status != mc::OpStatus::Ok)
+            return false;
+        st.reset();
+        return true;
+      case OpKind::Incr:
+        if (!st.has_value())
+            return op.status == mc::OpStatus::Miss;
+        if (op.status != mc::OpStatus::Ok ||
+            op.outNum != *st + op.arg)
+            return false;
+        st = *st + op.arg;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Wing & Gong search over one key's subhistory: repeatedly pick a
+ * *minimal* pending operation (one invoked before every pending
+ * response, so no real-time edge forces anything ahead of it), replay
+ * it, recurse. Memoizes (done-set, state) — reaching the same set of
+ * completed operations with the same model value again can never
+ * succeed where it previously failed. Indeterminate ops never bound
+ * min_ret (ret == kNeverReturned) and are optional: the search
+ * succeeds once every determinate op is linearized.
+ */
+inline bool
+linearizableKey(const std::vector<const Op *> &ops)
+{
+    const std::size_t n = ops.size();
+    if (n == 0)
+        return true;
+    if (n > 64) {
+        ADD_FAILURE() << "per-key history too large for the checker ("
+                      << n << " ops); lower the op count";
+        return false;
+    }
+    std::uint64_t det_mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!ops[i]->indeterminate)
+            det_mask |= 1ull << i;
+    }
+    std::unordered_set<std::string> visited;
+
+    struct DfsFn
+    {
+        const std::vector<const Op *> &ops;
+        std::unordered_set<std::string> &visited;
+        std::uint64_t detMask;
+
+        bool
+        operator()(std::uint64_t done, const KeyState &st) const
+        {
+            const std::size_t n = ops.size();
+            if ((done & detMask) == detMask)
+                return true;
+            std::string memo = std::to_string(done) + "|" +
+                               (st ? std::to_string(*st) : "~");
+            if (!visited.insert(std::move(memo)).second)
+                return false;
+            // An op may linearize next only if it was invoked before
+            // every pending op's response.
+            std::uint64_t min_ret = ~0ull;
+            for (std::size_t i = 0; i < n; ++i) {
+                if ((done & (1ull << i)) == 0)
+                    min_ret = std::min(min_ret, ops[i]->ret);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if ((done & (1ull << i)) != 0)
+                    continue;
+                if (ops[i]->invoke > min_ret)
+                    continue;
+                KeyState next = st;
+                if (!applyOp(*ops[i], next))
+                    continue;
+                if ((*this)(done | (1ull << i), next))
+                    return true;
+            }
+            return false;
+        }
+    };
+    return DfsFn{ops, visited, det_mask}(0, std::nullopt);
+}
+
+/** Split by key and check every subhistory; empty-cache initial state.
+ *  On failure, dumps the offending subhistory to stderr so a CI
+ *  failure is actionable (the workflow uploads it as an artifact). */
+inline bool
+linearizable(const std::vector<Op> &history)
+{
+    std::vector<std::string> keys;
+    for (const Op &op : history) {
+        if (std::find(keys.begin(), keys.end(), op.key) == keys.end())
+            keys.push_back(op.key);
+    }
+    for (const std::string &k : keys) {
+        std::vector<const Op *> sub;
+        for (const Op &op : history) {
+            if (op.key == k)
+                sub.push_back(&op);
+        }
+        if (!linearizableKey(sub)) {
+            std::fprintf(stderr,
+                         "non-linearizable subhistory for key '%s':\n",
+                         k.c_str());
+            for (const Op *op : sub) {
+                const char *kind =
+                    op->kind == OpKind::Get   ? "get"
+                    : op->kind == OpKind::Set ? "set"
+                    : op->kind == OpKind::Del ? "del"
+                                              : "incr";
+                std::fprintf(
+                    stderr,
+                    "  [%llu,%llu] %s %s arg=%llu -> status=%d out=%s "
+                    "outNum=%llu%s\n",
+                    static_cast<unsigned long long>(op->invoke),
+                    static_cast<unsigned long long>(op->ret), kind,
+                    op->key.c_str(),
+                    static_cast<unsigned long long>(op->arg),
+                    static_cast<int>(op->status), op->out.c_str(),
+                    static_cast<unsigned long long>(op->outNum),
+                    op->indeterminate ? " (indeterminate)" : "");
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tmemc::lintest
+
+#endif // TMEMC_TESTS_MC_LIN_CHECKER_H

@@ -44,200 +44,19 @@
 #include "mc/cache_iface.h"
 #include "tm/api.h"
 
+#include "lin_checker.h"
+
 namespace
 {
 
 using namespace tmemc;
 using namespace tmemc::mc;
 
-// ---------------------------------------------------------------- history
-
-enum class OpKind : std::uint8_t
-{
-    Get,
-    Set,
-    Del,
-    Incr,
-};
-
-/** One completed operation in the recorded history. */
-struct Op
-{
-    OpKind kind = OpKind::Get;
-    std::string key;
-    std::uint64_t arg = 0;       //!< Set value / incr delta.
-    std::uint64_t invoke = 0;    //!< Timestamp before the call.
-    std::uint64_t ret = 0;       //!< Timestamp after the call.
-    OpStatus status = OpStatus::Miss;  //!< Observed status.
-    std::string out;             //!< Observed value (get hit).
-    std::uint64_t outNum = 0;    //!< Observed counter (incr hit).
-};
-
-/**
- * Stamps operations with a globally ordered invoke/response pair.
- * fetch_add on one counter is enough: if op A returned before op B
- * was invoked in real time, A's response stamp is smaller than B's
- * invoke stamp, which is exactly the precedence the checker enforces.
- */
-class HistoryRecorder
-{
-  public:
-    std::uint64_t
-    stamp()
-    {
-        return clock_.fetch_add(1, std::memory_order_relaxed);
-    }
-
-  private:
-    std::atomic<std::uint64_t> clock_{0};
-};
-
-// ---------------------------------------------------------------- checker
-
-/** Sequential single-key model: absent, or holding a counter value.
- *  (Workers only ever store decimal values, matching incr's domain.) */
-using KeyState = std::optional<std::uint64_t>;
-
-/**
- * Replay @p op against @p st. @return false if the observed result is
- * impossible from this state (the candidate linearization dies).
- */
-bool
-applyOp(const Op &op, KeyState &st)
-{
-    switch (op.kind) {
-      case OpKind::Get:
-        if (!st.has_value())
-            return op.status == OpStatus::Miss;
-        return op.status == OpStatus::Ok &&
-               op.out == std::to_string(*st);
-      case OpKind::Set:
-        if (op.status != OpStatus::Ok)
-            return false;  // Plain set must succeed.
-        st = op.arg;
-        return true;
-      case OpKind::Del:
-        if (!st.has_value())
-            return op.status == OpStatus::Miss;
-        if (op.status != OpStatus::Ok)
-            return false;
-        st.reset();
-        return true;
-      case OpKind::Incr:
-        if (!st.has_value())
-            return op.status == OpStatus::Miss;
-        if (op.status != OpStatus::Ok ||
-            op.outNum != *st + op.arg)
-            return false;
-        st = *st + op.arg;
-        return true;
-    }
-    return false;
-}
-
-/**
- * Wing & Gong search over one key's subhistory: repeatedly pick a
- * *minimal* pending operation (one invoked before every pending
- * response, so no real-time edge forces anything ahead of it), replay
- * it, recurse. Memoizes (done-set, state) — reaching the same set of
- * completed operations with the same model value again can never
- * succeed where it previously failed.
- */
-bool
-linearizableKey(const std::vector<const Op *> &ops)
-{
-    const std::size_t n = ops.size();
-    if (n == 0)
-        return true;
-    if (n > 64) {
-        ADD_FAILURE() << "per-key history too large for the checker ("
-                      << n << " ops); lower the op count";
-        return false;
-    }
-    std::unordered_set<std::string> visited;
-
-    struct DfsFn
-    {
-        const std::vector<const Op *> &ops;
-        std::unordered_set<std::string> &visited;
-
-        bool
-        operator()(std::uint64_t done, const KeyState &st) const
-        {
-            const std::size_t n = ops.size();
-            if (done == (n == 64 ? ~0ull : (1ull << n) - 1))
-                return true;
-            std::string memo = std::to_string(done) + "|" +
-                               (st ? std::to_string(*st) : "~");
-            if (!visited.insert(std::move(memo)).second)
-                return false;
-            // An op may linearize next only if it was invoked before
-            // every pending op's response.
-            std::uint64_t min_ret = ~0ull;
-            for (std::size_t i = 0; i < n; ++i) {
-                if ((done & (1ull << i)) == 0)
-                    min_ret = std::min(min_ret, ops[i]->ret);
-            }
-            for (std::size_t i = 0; i < n; ++i) {
-                if ((done & (1ull << i)) != 0)
-                    continue;
-                if (ops[i]->invoke > min_ret)
-                    continue;
-                KeyState next = st;
-                if (!applyOp(*ops[i], next))
-                    continue;
-                if ((*this)(done | (1ull << i), next))
-                    return true;
-            }
-            return false;
-        }
-    };
-    return DfsFn{ops, visited}(0, std::nullopt);
-}
-
-/** Split by key and check every subhistory; empty-cache initial state. */
-bool
-linearizable(const std::vector<Op> &history)
-{
-    std::vector<std::string> keys;
-    for (const Op &op : history) {
-        if (std::find(keys.begin(), keys.end(), op.key) == keys.end())
-            keys.push_back(op.key);
-    }
-    for (const std::string &k : keys) {
-        std::vector<const Op *> sub;
-        for (const Op &op : history) {
-            if (op.key == k)
-                sub.push_back(&op);
-        }
-        if (!linearizableKey(sub)) {
-            // Dump the offending subhistory so a CI failure is
-            // actionable (the workflow uploads this as an artifact).
-            std::fprintf(stderr,
-                         "non-linearizable subhistory for key '%s':\n",
-                         k.c_str());
-            for (const Op *op : sub) {
-                const char *kind =
-                    op->kind == OpKind::Get   ? "get"
-                    : op->kind == OpKind::Set ? "set"
-                    : op->kind == OpKind::Del ? "del"
-                                              : "incr";
-                std::fprintf(
-                    stderr,
-                    "  [%llu,%llu] %s %s arg=%llu -> status=%d out=%s "
-                    "outNum=%llu\n",
-                    static_cast<unsigned long long>(op->invoke),
-                    static_cast<unsigned long long>(op->ret), kind,
-                    op->key.c_str(),
-                    static_cast<unsigned long long>(op->arg),
-                    static_cast<int>(op->status), op->out.c_str(),
-                    static_cast<unsigned long long>(op->outNum));
-            }
-            return false;
-        }
-    }
-    return true;
-}
+// The history recorder and Wing & Gong checker live in lin_checker.h,
+// shared with the cluster suite (tests/net/test_cluster.cc), which
+// runs the same checker over histories recorded against a replicated
+// node fleet instead of one in-process cache.
+using namespace tmemc::lintest;
 
 // ------------------------------------------------------------ self-tests
 
@@ -306,6 +125,55 @@ TEST(LinearizabilityChecker, RejectsLostUpdate)
     h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 0));
     h.push_back(mkOp(OpKind::Incr, 2, 6, OpStatus::Ok, 5, "", 5));
     h.push_back(mkOp(OpKind::Incr, 3, 7, OpStatus::Ok, 5, "", 5));
+    EXPECT_FALSE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, IndeterminateSetExplainsEitherOutcome)
+{
+    // A set whose reply was lost (node killed mid-request) may have
+    // applied or not: a later get observing its value is legal, and
+    // so is a later get observing the prior value.
+    Op lost = mkOp(OpKind::Set, 2, lintest::kNeverReturned,
+                   OpStatus::Miss, 9);
+    lost.indeterminate = true;
+
+    std::vector<Op> saw;
+    saw.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    saw.push_back(lost);
+    saw.push_back(mkOp(OpKind::Get, 3, 4, OpStatus::Ok, 0, "9"));
+    EXPECT_TRUE(linearizable(saw));
+
+    std::vector<Op> missed;
+    missed.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    missed.push_back(lost);
+    missed.push_back(mkOp(OpKind::Get, 3, 4, OpStatus::Ok, 0, "7"));
+    EXPECT_TRUE(linearizable(missed));
+}
+
+TEST(LinearizabilityChecker, IndeterminateSetDoesNotExcusePhantoms)
+{
+    // The lost set wrote 9; a get observing 8 is still impossible.
+    Op lost = mkOp(OpKind::Set, 2, lintest::kNeverReturned,
+                   OpStatus::Miss, 9);
+    lost.indeterminate = true;
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    h.push_back(lost);
+    h.push_back(mkOp(OpKind::Get, 3, 4, OpStatus::Ok, 0, "8"));
+    EXPECT_FALSE(linearizable(h));
+}
+
+TEST(LinearizabilityChecker, IndeterminateSetCannotApplyBeforeInvoke)
+{
+    // The lost set was invoked after the get returned; real time
+    // forbids explaining the get with it.
+    Op lost = mkOp(OpKind::Set, 5, lintest::kNeverReturned,
+                   OpStatus::Miss, 9);
+    lost.indeterminate = true;
+    std::vector<Op> h;
+    h.push_back(mkOp(OpKind::Set, 0, 1, OpStatus::Ok, 7));
+    h.push_back(mkOp(OpKind::Get, 2, 3, OpStatus::Ok, 0, "9"));
+    h.push_back(lost);
     EXPECT_FALSE(linearizable(h));
 }
 

@@ -266,6 +266,246 @@ TEST_P(IoBackendTest, SlowReaderHitsBackpressureOnPinnedBytes)
 }
 
 // ----------------------------------------------------------------------
+// drain() vs. in-flight pinned segments
+// ----------------------------------------------------------------------
+
+/**
+ * Forwarding cache that counts pin acquire/release pairs. getPinned
+ * rewrites PinnedValue::owner to this wrapper, so every release the
+ * server performs — normal send completion, backpressure shed, or
+ * connection teardown during drain()/stop() — routes through
+ * releasePinned() here before reaching the real cache.
+ */
+class PinCountingCache : public mc::CacheIface
+{
+  public:
+    explicit PinCountingCache(mc::CacheIface &inner) : inner_(inner) {}
+
+    std::uint64_t acquired() const { return acquired_.load(); }
+    std::uint64_t released() const { return released_.load(); }
+
+    const char *branchName() const override
+    {
+        return inner_.branchName();
+    }
+    const mc::BranchCfg &branchCfg() const override
+    {
+        return inner_.branchCfg();
+    }
+    GetResult
+    get(std::uint32_t tid, const char *key, std::size_t nkey, char *out,
+        std::size_t out_cap) override
+    {
+        return inner_.get(tid, key, nkey, out, out_cap);
+    }
+    bool pinnedGetSupported() const override
+    {
+        return inner_.pinnedGetSupported();
+    }
+    PinnedValue
+    getPinned(std::uint32_t tid, const char *key,
+              std::size_t nkey) override
+    {
+        PinnedValue v = inner_.getPinned(tid, key, nkey);
+        if (v.handle != nullptr) {
+            acquired_.fetch_add(1);
+            v.owner = this;
+        }
+        return v;
+    }
+    void
+    releasePinned(std::uint32_t tid, void *handle) override
+    {
+        released_.fetch_add(1);
+        inner_.releasePinned(tid, handle);
+    }
+    mc::OpStatus
+    store(std::uint32_t tid, const char *key, std::size_t nkey,
+          const char *val, std::size_t nbytes, mc::StoreMode mode,
+          std::uint64_t cas_expected) override
+    {
+        return inner_.store(tid, key, nkey, val, nbytes, mode,
+                            cas_expected);
+    }
+    mc::OpStatus
+    del(std::uint32_t tid, const char *key, std::size_t nkey) override
+    {
+        return inner_.del(tid, key, nkey);
+    }
+    mc::OpStatus
+    arith(std::uint32_t tid, const char *key, std::size_t nkey,
+          std::uint64_t delta, bool incr,
+          std::uint64_t &out_value) override
+    {
+        return inner_.arith(tid, key, nkey, delta, incr, out_value);
+    }
+    mc::OpStatus
+    touch(std::uint32_t tid, const char *key, std::size_t nkey,
+          std::int64_t exptime) override
+    {
+        return inner_.touch(tid, key, nkey, exptime);
+    }
+    mc::OpStatus
+    concat(std::uint32_t tid, const char *key, std::size_t nkey,
+           const char *extra, std::size_t nextra, bool append) override
+    {
+        return inner_.concat(tid, key, nkey, extra, nextra, append);
+    }
+    std::size_t
+    statsText(std::uint32_t tid, char *out, std::size_t cap) override
+    {
+        return inner_.statsText(tid, out, cap);
+    }
+    void flushAll(std::uint32_t tid) override { inner_.flushAll(tid); }
+    mc::GlobalStats globalStats() override
+    {
+        return inner_.globalStats();
+    }
+    mc::ThreadStatsBlock threadStats() override
+    {
+        return inner_.threadStats();
+    }
+    std::vector<mc::LockProfileRow> lockProfile() const override
+    {
+        return inner_.lockProfile();
+    }
+    std::uint64_t linkedItemCount() override
+    {
+        return inner_.linkedItemCount();
+    }
+    std::uint32_t hashPowerNow() override
+    {
+        return inner_.hashPowerNow();
+    }
+    void quiesceMaintenance() override { inner_.quiesceMaintenance(); }
+    void
+    requestRebalance(std::uint32_t src_cls,
+                     std::uint32_t dst_cls) override
+    {
+        inner_.requestRebalance(src_cls, dst_cls);
+    }
+    std::uint32_t shardCount() const override
+    {
+        return inner_.shardCount();
+    }
+    std::uint32_t
+    shardOf(const char *key, std::size_t nkey) const override
+    {
+        return inner_.shardOf(key, nkey);
+    }
+
+  private:
+    mc::CacheIface &inner_;
+    std::atomic<std::uint64_t> acquired_{0};
+    std::atomic<std::uint64_t> released_{0};
+};
+
+class DrainPinsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::disarmAll();
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        mc::Settings settings;
+        settings.maxBytes = 16 * 1024 * 1024;
+        inner_ = mc::makeCache("IP-onCommit", settings, 2);
+        ASSERT_NE(inner_, nullptr);
+        counting_ = std::make_unique<PinCountingCache>(*inner_);
+        net::ServerCfg cfg;
+        cfg.port = 0;
+        cfg.workers = 2;
+        cfg.ioBackend = net::IoBackend::Writev;
+        server_ = std::make_unique<net::Server>(*counting_, cfg);
+        ASSERT_TRUE(server_->start());
+    }
+
+    void
+    TearDown() override
+    {
+        fault::disarmAll();
+        if (server_ != nullptr)
+            server_->stop();
+    }
+
+    /** Queue kGets pinned replies server-side by stalling the write
+     *  syscalls, then wait until every pin is held. */
+    void
+    queuePinnedBacklog(net::Client &c)
+    {
+        const std::string v(2048, 'd');
+        ASSERT_EQ(c.roundTripAscii("set dk 0 0 " +
+                                   std::to_string(v.size()) + "\r\n" +
+                                   v + "\r\n"),
+                  "STORED\r\n");
+        fault::Policy p;
+        p.trigger = fault::Trigger::EveryNth;
+        p.n = 1;
+        p.errnoValue = EAGAIN;
+        fault::arm("net.sys.writev", p);
+        fault::arm("net.write", p);
+        std::string burst;
+        for (int i = 0; i < kGets; ++i)
+            burst += "get dk\r\n";
+        ASSERT_TRUE(c.sendAll(burst));
+        for (int i = 0; i < 1000; ++i) {
+            if (counting_->acquired() >= kGets &&
+                counting_->released() < counting_->acquired())
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        ASSERT_GE(counting_->acquired(), std::uint64_t{kGets});
+        ASSERT_LT(counting_->released(), counting_->acquired());
+    }
+
+    static constexpr int kGets = 4;
+    std::unique_ptr<mc::CacheIface> inner_;
+    std::unique_ptr<PinCountingCache> counting_;
+    std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(DrainPinsTest, GracefulDrainFlushesAndReleasesEveryPin)
+{
+    net::Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server_->port(), 5000));
+    c.setRecvTimeout(10000);
+    queuePinnedBacklog(c);
+
+    // Lift the stall: drain() must flush the queued pinned segments
+    // (8 KiB fits loopback socket buffers without a reader) and drop
+    // every reference before returning.
+    fault::disarmAll();
+    EXPECT_TRUE(server_->drain(5000));
+    EXPECT_EQ(counting_->released(), counting_->acquired());
+
+    // The flushed bytes are intact in the client's receive buffer.
+    const std::string want =
+        "VALUE dk 0 2048\r\n" + std::string(2048, 'd') + "\r\nEND\r\n";
+    for (int i = 0; i < kGets; ++i) {
+        std::string reply;
+        ASSERT_TRUE(c.recvAscii(reply)) << "reply " << i;
+        EXPECT_EQ(reply, want) << "reply " << i;
+    }
+}
+
+TEST_F(DrainPinsTest, DeadlineForcedDrainStillReleasesEveryPin)
+{
+    net::Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server_->port(), 5000));
+    c.setRecvTimeout(10000);
+    queuePinnedBacklog(c);
+
+    // Keep the write path stalled so the backlog can never flush: the
+    // deadline forces the remaining connections closed, and teardown
+    // must still release every pinned segment it rips out of the
+    // queues — a leaked reference here would pin slab memory forever.
+    (void)server_->drain(300);
+    EXPECT_EQ(counting_->released(), counting_->acquired());
+    EXPECT_GE(counting_->acquired(), std::uint64_t{kGets});
+}
+
+// ----------------------------------------------------------------------
 // Fault schedules on the gather-write syscall (chaos suite members)
 // ----------------------------------------------------------------------
 

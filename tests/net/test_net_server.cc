@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
 
+#include "common/fault.h"
 #include "mc/binary_protocol.h"
 #include "mc/cache_iface.h"
 #include "net/client.h"
@@ -288,6 +290,79 @@ TEST_P(NetServerTest, QuitClosesConnection)
     ASSERT_TRUE(c.recvAscii(reply));
     EXPECT_EQ(reply, "STORED\r\n");
     EXPECT_FALSE(c.recvAscii(reply));  // EOF after quit.
+}
+
+// ----------------------------------------------------------------------
+// Reconnect after server restart
+// ----------------------------------------------------------------------
+
+TEST_P(NetServerTest, ClientReconnectsAfterServerRestart)
+{
+    // Regression: a server restart used to leave the client erroring
+    // forever — fill()/sendAll() kept the defunct fd, so every later
+    // call failed on it and there was no way back short of a fresh
+    // Client. Now EOF/hard errors drop the socket and
+    // ensureConnected() re-dials the remembered endpoint.
+    net::Client c = makeClient();
+    EXPECT_EQ(c.roundTripAscii("set alpha 0 0 5\r\nhello\r\n"),
+              "STORED\r\n");
+    const std::uint16_t port = server_->port();
+    server_->stop();
+
+    // The dead socket surfaces as a failed round trip AND a closed
+    // client (previously: failed round trip, fd still held).
+    EXPECT_EQ(c.roundTripAscii("get alpha\r\n"), "");
+    EXPECT_FALSE(c.isConnected());
+
+    // Nothing is listening yet, so re-dialing fails — but cleanly,
+    // leaving the client able to try again.
+    EXPECT_FALSE(c.ensureConnected(500));
+
+    // Restart on the same port (the cache survives in this process);
+    // one ensureConnected later the same client works again.
+    net::ServerCfg cfg;
+    cfg.port = port;
+    cfg.workers = kWorkers;
+    server_ = std::make_unique<net::Server>(*cache_, cfg);
+    ASSERT_TRUE(server_->start());
+    ASSERT_TRUE(c.ensureConnected(2000));
+    EXPECT_TRUE(c.isConnected());
+    EXPECT_EQ(c.roundTripAscii("get alpha\r\n"),
+              "VALUE alpha 0 5\r\nhello\r\nEND\r\n");
+}
+
+TEST_P(NetServerTest, EnsureConnectedIsIdempotentOnLiveSocket)
+{
+    net::Client c = makeClient();
+    EXPECT_EQ(c.roundTripAscii("set idem 0 0 2\r\nok\r\n"),
+              "STORED\r\n");
+    // A live socket is left alone — no spurious re-dial.
+    const std::uint64_t before = server_->accepted();
+    EXPECT_TRUE(c.ensureConnected(1000));
+    EXPECT_EQ(server_->accepted(), before);
+    EXPECT_EQ(c.roundTripAscii("get idem\r\n"),
+              "VALUE idem 0 2\r\nok\r\nEND\r\n");
+}
+
+TEST_P(NetServerTest, ConnectFaultSiteFailsTheDial)
+{
+    // The net.sys.connect site fails the dial before the kernel sees
+    // it — the hook cluster partition schedules are built on.
+    fault::Policy p;
+    p.trigger = fault::Trigger::EveryNth;
+    p.n = 1;
+    p.errnoValue = EHOSTUNREACH;
+    {
+        fault::ScopedFault sf("net.sys.connect", p);
+        net::Client c;
+        EXPECT_FALSE(c.connect("127.0.0.1", server_->port()));
+        EXPECT_FALSE(c.connect("127.0.0.1", server_->port(), 1000));
+        EXPECT_EQ(sf.firedCount(), 2u);
+    }
+    // Disarmed: the same dial succeeds.
+    net::Client c = makeClient();
+    EXPECT_EQ(c.roundTripAscii("version\r\n").compare(0, 8, "VERSION "),
+              0);
 }
 
 // ----------------------------------------------------------------------

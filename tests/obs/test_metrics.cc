@@ -182,6 +182,38 @@ TEST_F(MetricsTest, AsciiTmRowsCarryRuntimeCounters)
     EXPECT_FALSE(contains(rows, "lat_cmd_")) << rows;
 }
 
+TEST_F(MetricsTest, ClusterRowsRenderOnlyClusterCounters)
+{
+    // net::Cluster registers a "cluster" source; `stats cluster` is
+    // rendered from the prefixed counters by asciiClusterRows(). The
+    // render must pick up every cluster_ counter, survive the JSON
+    // round trip, and vanish when the source unregisters (cluster
+    // torn down).
+    auto &reg = MetricsRegistry::get();
+    const std::uint64_t token = reg.registerSource("cluster", [] {
+        return std::vector<Counter>{{"requests", 100},
+                                    {"ejections", 3},
+                                    {"read_repairs", 7}};
+    });
+
+    const MetricsSnapshot snap = reg.snapshot();
+    const std::string rows = snap.asciiClusterRows();
+    EXPECT_TRUE(contains(rows, "STAT cluster_requests 100\r\n")) << rows;
+    EXPECT_TRUE(contains(rows, "STAT cluster_ejections 3\r\n")) << rows;
+    EXPECT_TRUE(contains(rows, "STAT cluster_read_repairs 7\r\n"))
+        << rows;
+    // Non-cluster counters (tm_, net_, unit_...) stay out.
+    for (const Counter &c : snap.counters) {
+        if (c.name.rfind("cluster_", 0) != 0)
+            EXPECT_FALSE(contains(rows, "STAT " + c.name + " "))
+                << c.name << " leaked into: " << rows;
+    }
+    EXPECT_TRUE(contains(snap.toJson(), "\"cluster_ejections\":3"));
+
+    reg.unregisterSource(token);
+    EXPECT_EQ(reg.snapshot().asciiClusterRows(), "");
+}
+
 TEST_F(MetricsTest, TxHistogramRecordsCommits)
 {
     commitOneTxn(kHistAttr);
