@@ -25,6 +25,9 @@ main(int argc, char **argv)
                   branchSeries("IT"),
                   branchSeries("IP-Callable"),
                   branchSeries("IT-Callable"),
+                  // Release-acquire TM (branch #14): the fence-free
+                  // algorithm must hold the line against gcc-eager IT.
+                  branchSeries("IT-RA"),
               },
               opts);
     return 0;

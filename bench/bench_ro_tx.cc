@@ -1,8 +1,8 @@
 /**
  * @file
  * bench_ro_tx: the invisible-reader ablation — read-only transaction
- * throughput with the fast path on vs off, across the three
- * speculative algorithms.
+ * throughput with the fast path on vs off, across the four
+ * speculative algorithms (including the fence-free RA variant).
  *
  * Each worker thread runs a fixed count of read-only transactions;
  * every transaction sums a window of words from a shared array through
@@ -22,8 +22,8 @@
  *                    [--trials K] [--json OUT]
  *
  * --json writes tmemc-bench-v1 rows with bench "bench_ro_tx" and
- * branch "<algo>-fast" / "<algo>-full" (algo in gcc, lazy, norec) so
- * the perf gate can hold the fast path's win.
+ * branch "<algo>-fast" / "<algo>-full" (algo in gcc, lazy, norec, ra)
+ * so the perf gate can hold the fast path's win.
  */
 
 #include <atomic>
@@ -125,6 +125,8 @@ main(int argc, char **argv)
         {"lazy-full", tm::AlgoKind::Lazy, false},
         {"norec-fast", tm::AlgoKind::NOrec, true},
         {"norec-full", tm::AlgoKind::NOrec, false},
+        {"ra-fast", tm::AlgoKind::RA, true},
+        {"ra-full", tm::AlgoKind::RA, false},
     };
 
     std::printf("bench_ro_tx: ops/thread=%llu reads/tx=%u words=%zu\n",

@@ -143,7 +143,9 @@ noLockRuntime()
 SeriesSpec
 branchSeries(const std::string &branch)
 {
-    return SeriesSpec{branch, branch, gccDefaultRuntime()};
+    // IT-RA carries its own runtime (the RA algorithm); every other
+    // branch runs the GCC-default configuration.
+    return SeriesSpec{branch, branch, mc::runtimeCfgFor(branch)};
 }
 
 Cell

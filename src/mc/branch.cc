@@ -29,6 +29,8 @@ branchName(const BranchCfg &cfg)
     if (!cfg.useTm)
         return cfg.semaphores ? "Semaphore" : "Baseline";
     const bool ip = cfg.items == ItemStrategy::TmBool;
+    if (cfg.raTm)
+        return "IT-RA";
     if (cfg.fusedGet)
         return "IT-Fused";
     if (cfg.onCommitIo)
@@ -48,7 +50,16 @@ allBranchNames()
     return {"Baseline",    "Semaphore",   "IP",          "IT",
             "IP-Callable", "IT-Callable", "IP-Max",      "IT-Max",
             "IP-Lib",      "IT-Lib",      "IP-onCommit", "IT-onCommit",
-            "IT-Fused"};
+            "IT-Fused",    "IT-RA"};
+}
+
+tm::RuntimeCfg
+runtimeCfgFor(const std::string &branch)
+{
+    tm::RuntimeCfg cfg;
+    if (branch == "IT-RA")
+        cfg.algo = tm::AlgoKind::RA;
+    return cfg;
 }
 
 namespace
@@ -259,6 +270,10 @@ makeCache(const std::string &branch, const Settings &settings,
     }
     if (branch == "IT-Fused") {
         return std::make_unique<CacheAdapter<TmPolicy<kITFused>>>(
+            settings, t);
+    }
+    if (branch == "IT-RA") {
+        return std::make_unique<CacheAdapter<TmPolicy<kITRA>>>(
             settings, t);
     }
     if (branch == "IP-Lib-Bare") {

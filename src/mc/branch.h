@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "tm/attr.h"
+
 namespace tmemc::mc
 {
 
@@ -72,6 +74,12 @@ struct BranchCfg
      * count. Implemented as an extension branch ("IT-Fused").
      */
     bool fusedGet = false;
+    /**
+     * Run on the release-acquire STM (tm::AlgoKind::RA) instead of the
+     * GCC-default eager algorithm: acquire loads, release commits, no
+     * fences outside the serial fallback (the "IT-RA" branch).
+     */
+    bool raTm = false;
 
     /** Is a category still unsafe for this branch? */
     constexpr bool
@@ -162,6 +170,17 @@ inline constexpr BranchCfg kITFused = [] {
 }();
 
 /**
+ * Branch #14: the fully transactionalized cache (IT-Fused shape) on
+ * the release-acquire STM. Same code paths, weaker memory ordering —
+ * the opacity checker and litmus suite are what certify it.
+ */
+inline constexpr BranchCfg kITRA = [] {
+    BranchCfg c = kITFused;
+    c.raTm = true;
+    return c;
+}();
+
+/**
  * Ablation-only branch: the Lib stage with the callable annotations
  * stripped. Under GCC's safety inference it behaves exactly like
  * IP-Lib; under a conservative compiler
@@ -180,6 +199,14 @@ const char *branchName(const BranchCfg &cfg);
 
 /** All branch names, in paper order. */
 std::vector<std::string> allBranchNames();
+
+/**
+ * TM runtime configuration a branch expects: IT-RA selects the RA
+ * algorithm; every other branch runs the GCC-default configuration.
+ * Callers (server, harness, tests) must configure() this before
+ * creating the branch's cache.
+ */
+tm::RuntimeCfg runtimeCfgFor(const std::string &branch);
 
 } // namespace tmemc::mc
 

@@ -116,7 +116,9 @@ main(int argc, char **argv)
         }
     }
 
-    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    // IT-RA expects the release-acquire STM; every other branch gets
+    // the GCC-default configuration. Must precede cache creation.
+    tm::Runtime::get().configure(mc::runtimeCfgFor(branch));
     if (trace)
         obs::armTrace();
 

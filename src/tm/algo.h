@@ -100,6 +100,7 @@ Algo &gccEagerAlgo();
 Algo &lazyAlgo();
 Algo &norecAlgo();
 Algo &serialAlgo();
+Algo &raAlgo();
 
 /** Resolve an AlgoKind to its singleton. */
 Algo &algoFor(AlgoKind kind);

@@ -77,6 +77,8 @@ algoFor(AlgoKind kind)
         return norecAlgo();
       case AlgoKind::Serial:
         return serialAlgo();
+      case AlgoKind::RA:
+        return raAlgo();
     }
     return gccEagerAlgo();
 }

@@ -50,15 +50,23 @@ TM_PURE bool inTransaction();
 namespace detail
 {
 
-/** Dispatch a word load through the algorithm or serial fast path. */
+/** Dispatch a word load through the algorithm or serial fast path.
+ *  All transactional loads funnel through here — including the serial
+ *  raw path and the invisible-reader fast path — which is what lets
+ *  the opacity recorder capture every attempt whole. */
 TMEMC_ALWAYS_INLINE std::uint64_t
 loadWordDispatch(Runtime &rt, TxDesc &d, std::uintptr_t word_addr)
 {
+    std::uint64_t w;
     if (d.state == RunState::SerialIrrevocable)
-        return rawLoad(reinterpret_cast<void *>(word_addr));
-    if (d.roFast)
-        return rt.algo().loadWordRO(rt, d, word_addr);
-    return rt.algo().loadWord(rt, d, word_addr);
+        w = rawLoad(reinterpret_cast<void *>(word_addr));
+    else if (d.roFast)
+        w = rt.algo().loadWordRO(rt, d, word_addr);
+    else
+        w = rt.algo().loadWord(rt, d, word_addr);
+    if (d.opRecording)
+        opacity::noteAccess(d, false, word_addr, w, ~std::uint64_t{0});
+    return w;
 }
 
 /** Dispatch a word store through the algorithm or serial fast path. */
@@ -69,11 +77,15 @@ storeWordDispatch(Runtime &rt, TxDesc &d, std::uintptr_t word_addr,
     if (d.state == RunState::SerialIrrevocable) {
         void *p = reinterpret_cast<void *>(word_addr);
         rawStore(p, maskMerge(rawLoad(p), val, mask));
+        if (d.opRecording)
+            opacity::noteAccess(d, true, word_addr, val, mask);
         return;
     }
     if (d.roFast)
         promoteRoFast(d, "store");  // Throws; retry takes the full path.
     rt.algo().storeWord(rt, d, word_addr, val, mask);
+    if (d.opRecording)
+        opacity::noteAccess(d, true, word_addr, val, mask);
 }
 
 } // namespace detail

@@ -96,6 +96,14 @@ enum class AlgoKind : std::uint8_t
     Lazy,      //!< Same orec table, buffered update, commit-time locks.
     NOrec,     //!< Value-based validation on a global seqlock.
     Serial,    //!< Always serial-irrevocable (debugging / reference).
+    /**
+     * Release-acquire variant of Lazy (Dalvandi & Dongol): acquire
+     * loads against orecs and the domain clock, release stores on
+     * commit, and no memory fences anywhere outside the serial-mode
+     * fallback. Load validation uses a double acquire-load of the orec
+     * instead of the fence + relaxed re-read idiom.
+     */
+    RA,
 };
 
 /** Selectable contention managers (paper Figure 11). */

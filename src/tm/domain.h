@@ -44,7 +44,13 @@ class TxDomain
     TxDomain(const TxDomain &) = delete;
     TxDomain &operator=(const TxDomain &) = delete;
 
-    /** Commit-timestamp clock (GccEager / Lazy). */
+    /**
+     * Commit-timestamp clock (GccEager / Lazy / RA). Ordering
+     * contract: begin snapshots load it with acquire; GccEager/Lazy
+     * advance it with an acq_rel fetch_add, RA with a release-only
+     * fetch_add (the clock only orders snapshots there — data
+     * visibility rides on the orec release/acquire pairs).
+     */
     std::atomic<std::uint64_t> clock{0};
     /** Sequence lock (NOrec). */
     std::atomic<std::uint64_t> norecSeq{0};

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Opacity history recorder implementation (see opacity.h).
+ */
+
+#include "tm/opacity.h"
+
+#include <mutex>
+#include <utility>
+
+#include "tm/txdesc.h"
+
+namespace tmemc::tm::opacity
+{
+
+std::atomic<bool> gArmed{false};
+
+namespace
+{
+
+std::atomic<std::uint64_t> gStamp{0};
+std::atomic<bool> gOverflow{false};
+
+std::mutex gRecordsLock;
+std::vector<TxRecord> gRecords;
+
+} // namespace
+
+void
+arm()
+{
+    std::lock_guard<std::mutex> guard(gRecordsLock);
+    gRecords.clear();
+    gOverflow.store(false, std::memory_order_relaxed);
+    gArmed.store(true, std::memory_order_relaxed);
+}
+
+std::vector<TxRecord>
+collect()
+{
+    gArmed.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(gRecordsLock);
+    return std::exchange(gRecords, {});
+}
+
+bool
+overflowed()
+{
+    return gOverflow.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+nextStamp()
+{
+    // Single-location RMW: modification order == real-time order of
+    // the stamping operations, which is all the checker relies on.
+    return gStamp.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+noteAccess(TxDesc &d, bool is_write, std::uintptr_t addr,
+           std::uint64_t value, std::uint64_t mask)
+{
+    if (d.opAccesses.size() >= kMaxAccessesPerTx) {
+        // Drop the whole attempt: a truncated access log would make
+        // the record lie about the attempt's footprint.
+        gOverflow.store(true, std::memory_order_relaxed);
+        d.opRecording = false;
+        d.opAccesses.clear();
+        return;
+    }
+    d.opAccesses.push_back({is_write, addr, value, mask});
+}
+
+void
+beginRecord(TxDesc &d)
+{
+    d.opRecording = armed();
+    if (!d.opRecording)
+        return;
+    d.opAccesses.clear();
+    d.opBegin = nextStamp();
+}
+
+void
+finishRecord(TxDesc &d, bool committed, bool serial, bool ro_fast)
+{
+    if (!d.opRecording)
+        return;
+    d.opRecording = false;
+    TxRecord rec;
+    rec.begin = d.opBegin;
+    rec.end = nextStamp();
+    rec.committed = committed;
+    rec.serial = serial;
+    rec.roFast = ro_fast;
+    rec.threadId = d.threadId;
+    rec.site = d.attr != nullptr ? d.attr->name : "?";
+    rec.domainTag = &d.dom();
+    rec.accesses = std::move(d.opAccesses);
+    d.opAccesses = {};
+    std::lock_guard<std::mutex> guard(gRecordsLock);
+    if (gRecords.size() >= kMaxRecords) {
+        gOverflow.store(true, std::memory_order_relaxed);
+        return;
+    }
+    gRecords.push_back(std::move(rec));
+}
+
+} // namespace tmemc::tm::opacity

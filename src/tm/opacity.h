@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Opacity history recorder: capture every transaction attempt's
+ * program-order read/write accesses plus global begin/end stamps, so
+ * a checker (tests/tm/opacity_checker.h) can verify each executed
+ * history against opacity — equivalence to some serial order that
+ * respects real-time precedence in which even aborted attempts
+ * observed consistent snapshots.
+ *
+ * Recording is armed process-wide. Disarmed cost is one branch on a
+ * per-descriptor bool in the word-dispatch fast path; the descriptor
+ * flag is latched from the global switch once per attempt, so an
+ * attempt is either recorded whole or not at all.
+ *
+ * Stamp discipline: stamps come from one global counter, so their
+ * numeric order is the real-time order of the stamping operations.
+ * The begin stamp is taken before the attempt's first access and the
+ * end stamp after its commit/rollback completes — both choices only
+ * WIDEN the attempt's real-time window, which can only weaken the
+ * precedence constraints the checker enforces, never fabricate a
+ * violation.
+ */
+
+#ifndef TMEMC_TM_OPACITY_H
+#define TMEMC_TM_OPACITY_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tmemc::tm
+{
+
+class TxDesc;
+
+namespace opacity
+{
+
+/** One transactional word access, in program order. */
+struct Access
+{
+    bool isWrite;
+    std::uintptr_t addr;
+    /** Value observed (loads: post redo-merge) or stored. */
+    std::uint64_t value;
+    /** Byte mask for writes; loads always read the full word. */
+    std::uint64_t mask;
+};
+
+/** One completed transaction attempt. */
+struct TxRecord
+{
+    std::uint64_t begin = 0;  //!< Global stamp before the first access.
+    std::uint64_t end = 0;    //!< Global stamp after completion.
+    bool committed = false;
+    bool serial = false;      //!< Ran serial-irrevocably.
+    bool roFast = false;      //!< Ran on the invisible-reader fast path.
+    std::uint64_t threadId = 0;
+    const char *site = "?";
+    /** Domain the attempt ran in; histories are checked per domain. */
+    const void *domainTag = nullptr;
+    std::vector<Access> accesses;
+};
+
+/** Accesses kept per attempt before the record is dropped whole. */
+constexpr std::size_t kMaxAccessesPerTx = 1u << 14;
+/** Attempt records kept per armed window before dropping. */
+constexpr std::size_t kMaxRecords = 1u << 16;
+
+/** Global arm switch (definition in opacity.cc). */
+extern std::atomic<bool> gArmed;
+
+/** True while recording is armed (relaxed: per-attempt latch). */
+inline bool
+armed()
+{
+    return gArmed.load(std::memory_order_relaxed);
+}
+
+/** Arm recording; clears previously collected records and overflow. */
+void arm();
+
+/** Disarm and return (move out) everything recorded since arm(). */
+std::vector<TxRecord> collect();
+
+/** True when any attempt or the record list overflowed its cap while
+ *  armed (dropped records make a pass vacuous; tests must assert
+ *  this stays false and size their workloads under the caps). */
+bool overflowed();
+
+/** Next stamp from the global real-time counter. */
+std::uint64_t nextStamp();
+
+/** Append an access to the armed attempt's log (cap-checked). */
+void noteAccess(TxDesc &d, bool is_write, std::uintptr_t addr,
+                std::uint64_t value, std::uint64_t mask);
+
+/** Latch the arm switch into @p d and stamp the attempt's begin. */
+void beginRecord(TxDesc &d);
+
+/** Stamp the attempt's end and emit its record. */
+void finishRecord(TxDesc &d, bool committed, bool serial, bool ro_fast);
+
+} // namespace opacity
+
+} // namespace tmemc::tm
+
+#endif // TMEMC_TM_OPACITY_H

@@ -302,6 +302,9 @@ beginAttempt(Runtime &rt, TxDesc &d)
     d.clearSets();
     d.nesting = 1;
     d.obsAttempts++;
+    // Latch the opacity recorder before any lock wait or access: the
+    // begin stamp may only predate the attempt's first access.
+    opacity::beginRecord(d);
     obs::traceRecord(obs::TraceEvent::TxBegin, d.attr->name);
     if (serial) {
         // Serial-mode time includes the wait for the write lock: that
@@ -363,6 +366,11 @@ commitAttempt(Runtime &rt, TxDesc &d)
 void
 finishCommit(Runtime &rt, TxDesc &d)
 {
+    // Commit already took effect in commitAttempt, so the end stamp
+    // lands after the attempt completed (a wider window is sound).
+    opacity::finishRecord(d, /*committed=*/true,
+                          d.state == RunState::SerialIrrevocable,
+                          d.roFast);
     StatBlock &site = d.stats.site(d.attr);
     d.stats.total.commits++;
     site.commits++;
@@ -435,6 +443,10 @@ handleAbort(Runtime &rt, TxDesc &d)
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
         d.dom().serialLock.readUnlock();
+    // Stamp after rollback: the aborted attempt's window closes once
+    // its speculative effects are fully undone.
+    opacity::finishRecord(d, /*committed=*/false, /*serial=*/false,
+                          was_ro_fast);
     d.state = RunState::Inactive;
     d.nesting = 0;
 
@@ -504,11 +516,14 @@ handleRetry(Runtime &rt, TxDesc &d)
     const std::uint64_t seq_then =
         dom.norecSeq.load(std::memory_order_acquire);
 
+    const bool was_ro_fast = d.roFast;
     d.roFast = false;
     rt.algo().rollback(rt, d);
     d.unpublishStart();
     if (rt.cfg().useSerialLock)
         dom.serialLock.readUnlock();
+    opacity::finishRecord(d, /*committed=*/false, /*serial=*/false,
+                          was_ro_fast);
     d.state = RunState::Inactive;
     d.nesting = 0;
     for (void *p : d.abortFrees)

@@ -23,6 +23,7 @@
 #include "common/compiler.h"
 #include "tm/attr.h"
 #include "tm/handlers.h"
+#include "tm/opacity.h"
 #include "tm/orec.h"
 #include "tm/redo_log.h"
 #include "tm/stats.h"
@@ -167,6 +168,16 @@ class alignas(cachelineBytes) TxDesc
     // ------------------------------------------------------------------
     ExpBackoff cmBackoff;
     ThreadStats stats;
+
+    // ------------------------------------------------------------------
+    // Opacity recorder (opacity.h; latched per attempt by beginAttempt)
+    // ------------------------------------------------------------------
+    /** This attempt is being recorded for the opacity checker. */
+    bool opRecording = false;
+    /** Global stamp taken before the attempt's first access. */
+    std::uint64_t opBegin = 0;
+    /** Program-order access log of the recorded attempt. */
+    std::vector<opacity::Access> opAccesses;
 
     // ------------------------------------------------------------------
     // Observability (obs/metrics.h histograms, stamped by runtime.cc)

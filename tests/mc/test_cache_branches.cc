@@ -25,7 +25,7 @@ class BranchTest : public ::testing::TestWithParam<std::string>
     void
     SetUp() override
     {
-        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
         tm::Runtime::get().resetStats();
         Settings s;
         s.maxBytes = 8 * 1024 * 1024;
@@ -290,7 +290,7 @@ TEST_P(BranchTest, ManyKeysSurviveHashExpansion)
 TEST_P(BranchTest, EvictionKeepsCacheWithinBudget)
 {
     // Tiny cache: force the eviction path hard.
-    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
     Settings s;
     s.maxBytes = 64 * 1024;
     s.slabPageSize = 16 * 1024;

@@ -30,7 +30,7 @@ class ConcurrentBranchTest : public ::testing::TestWithParam<std::string>
     void
     SetUp() override
     {
-        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
         tm::Runtime::get().resetStats();
     }
 };

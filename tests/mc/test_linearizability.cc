@@ -185,7 +185,9 @@ class LinearizabilityTest : public ::testing::TestWithParam<std::string>
     void
     SetUp() override
     {
-        tm::Runtime::get().configure(tm::RuntimeCfg{});
+        // Each branch runs on the runtime configuration it selects
+        // (IT-RA: the fence-free RA algorithm).
+        tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
         tm::Runtime::get().resetStats();
     }
 };
@@ -315,7 +317,7 @@ TEST_P(LinearizabilityTest, InvisibleReaderFastPathPreservesLinearizability)
         branch.find("onCommit") != std::string::npos;
     for (const bool fast : {true, false}) {
         for (const std::uint32_t shards : {1u, 4u}) {
-            tm::RuntimeCfg cfg;
+            tm::RuntimeCfg cfg = runtimeCfgFor(branch);
             cfg.roFastPath = fast;
             tm::Runtime::get().configure(cfg);
             tm::Runtime::get().resetStats();

@@ -117,7 +117,7 @@ class OracleTest : public ::testing::TestWithParam<std::string>
 
 TEST_P(OracleTest, RandomOpSequenceMatchesModel)
 {
-    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
     Settings s;
     s.maxBytes = 64 * 1024 * 1024;  // No evictions: model has none.
     s.hashPowerInit = 6;            // Force expansions mid-sequence.

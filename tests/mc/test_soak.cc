@@ -32,7 +32,7 @@ class SoakTest : public ::testing::TestWithParam<std::string>
 
 TEST_P(SoakTest, EverythingAtOnce)
 {
-    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
     tm::Runtime::get().resetStats();
 
     Settings s;
@@ -109,7 +109,7 @@ TEST_P(SoakTest, CrossShardEverythingAtOnce)
     // allocation failures on the PR-2 fault sites. More distinct keys
     // than the unsharded soak so each shard's private budget still
     // overflows into eviction.
-    tm::Runtime::get().configure(tm::RuntimeCfg{});
+    tm::Runtime::get().configure(runtimeCfgFor(GetParam()));
     tm::Runtime::get().resetStats();
 
     Settings s;

@@ -152,7 +152,8 @@ TEST_P(AlgoTest, ReadOnlyCommitCounted)
 INSTANTIATE_TEST_SUITE_P(
     Algos, AlgoTest,
     ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
-                      tm::AlgoKind::NOrec, tm::AlgoKind::Serial),
+                      tm::AlgoKind::NOrec, tm::AlgoKind::RA,
+                      tm::AlgoKind::Serial),
     [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
         return tmemc::tests::algoName(info.param);
     });

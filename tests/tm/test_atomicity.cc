@@ -200,7 +200,8 @@ allConfigs()
 {
     std::vector<Cfg> out;
     for (auto algo : {tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
-                      tm::AlgoKind::NOrec, tm::AlgoKind::Serial}) {
+                      tm::AlgoKind::NOrec, tm::AlgoKind::RA,
+                      tm::AlgoKind::Serial}) {
         for (auto cm : {tm::CmKind::SerialAfterN, tm::CmKind::NoCM,
                         tm::CmKind::Backoff, tm::CmKind::Hourglass}) {
             out.push_back({algo, cm, true});
@@ -208,7 +209,8 @@ allConfigs()
     }
     // NoLock mode: no SerialAfterN (needs the lock), no Serial algo.
     for (auto algo :
-         {tm::AlgoKind::GccEager, tm::AlgoKind::Lazy, tm::AlgoKind::NOrec}) {
+         {tm::AlgoKind::GccEager, tm::AlgoKind::Lazy, tm::AlgoKind::NOrec,
+          tm::AlgoKind::RA}) {
         for (auto cm :
              {tm::CmKind::NoCM, tm::CmKind::Backoff, tm::CmKind::Hourglass})
             out.push_back({algo, cm, false});

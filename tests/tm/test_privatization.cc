@@ -177,7 +177,7 @@ TEST_P(PrivatizationTest, UnlinkThenReclaimIsSafe)
 INSTANTIATE_TEST_SUITE_P(
     Algos, PrivatizationTest,
     ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
-                      tm::AlgoKind::NOrec),
+                      tm::AlgoKind::NOrec, tm::AlgoKind::RA),
     [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
         return tmemc::tests::algoName(info.param);
     });

@@ -155,7 +155,7 @@ TEST_P(RetryTest, RetryInSerialModeIsFatal)
 INSTANTIATE_TEST_SUITE_P(
     Algos, RetryTest,
     ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
-                      tm::AlgoKind::NOrec),
+                      tm::AlgoKind::NOrec, tm::AlgoKind::RA),
     [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
         return tmemc::tests::algoName(info.param);
     });

@@ -197,7 +197,8 @@ TEST_P(RoFastPathTest, OpaqueUnderConcurrentWriters)
 INSTANTIATE_TEST_SUITE_P(Algos, RoFastPathTest,
                          ::testing::Values(tm::AlgoKind::GccEager,
                                            tm::AlgoKind::Lazy,
-                                           tm::AlgoKind::NOrec),
+                                           tm::AlgoKind::NOrec,
+                                           tm::AlgoKind::RA),
                          [](const auto &info) {
                              switch (info.param) {
                              case tm::AlgoKind::GccEager:
@@ -206,9 +207,91 @@ INSTANTIATE_TEST_SUITE_P(Algos, RoFastPathTest,
                                  return "Lazy";
                              case tm::AlgoKind::NOrec:
                                  return "NOrec";
+                             case tm::AlgoKind::RA:
+                                 return "RA";
                              default:
                                  return "Other";
                              }
                          });
+
+// ---------------------------------------------------------------------
+// RA-specific invisible-reader cases: the fast path has no read set
+// and no fences, so every load must individually validate against the
+// RELEASE-ordered commit clock (orec version vs. the acquire-loaded
+// begin snapshot). These pin the two interactions the RA branch adds.
+// ---------------------------------------------------------------------
+
+class RaRoFastPathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tm::RuntimeCfg cfg;
+        cfg.algo = tm::AlgoKind::RA;
+        cfg.roFastPath = true;
+        tm::Runtime::get().configure(cfg);
+        tm::Runtime::get().resetStats();
+    }
+
+    void
+    TearDown() override
+    {
+        tm::Runtime::get().configure(tm::RuntimeCfg{});
+    }
+};
+
+TEST_F(RaRoFastPathTest, InvisibleReaderValidatesAgainstReleaseClock)
+{
+    // A fast-path reader that began before a writer's release
+    // fetch_add must refuse any word the writer republished: the orec
+    // version exceeds the reader's acquire-loaded snapshot, the fast
+    // path cannot extend, and the full-path retry sees a whole
+    // post-commit state. Either way x + y stays even.
+    tm::TmVar<std::uint64_t> x{2}, y{4};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> odd{0};
+
+    std::thread writer([&] {
+        while (!stop.load()) {
+            tm::run(kRw, [&](tm::TxDesc &tx) {
+                x.set(tx, x.get(tx) + 1);
+                y.set(tx, y.get(tx) + 1);
+            });
+        }
+    });
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t sum = tm::run(kRo, [&](tm::TxDesc &tx) {
+            return x.get(tx) + y.get(tx);
+        });
+        if (sum % 2 != 0)
+            odd.fetch_add(1);
+    }
+    stop.store(true);
+    writer.join();
+
+    EXPECT_EQ(odd.load(), 0u);
+    EXPECT_GT(tm::Runtime::get().snapshot().total.roFastCommits, 0u);
+}
+
+TEST_F(RaRoFastPathTest, PromotionLandsOnFullRaPath)
+{
+    // Promotion out of the RA fast path must re-execute on the RA
+    // full path (redo log + release commit), and the promoted commit
+    // must advance the release-ordered clock exactly once.
+    auto &dom = tm::Runtime::get().homeDomain();
+    tm::TmVar<std::uint64_t> x{7};
+    const std::uint64_t clock0 = dom.clock.load();
+    tm::run(kRo, [&](tm::TxDesc &tx) { x.set(tx, x.get(tx) * 2); });
+    EXPECT_EQ(dom.clock.load(), clock0 + 1);
+    const std::uint64_t v =
+        tm::run(kRo, [&](tm::TxDesc &tx) { return x.get(tx); });
+    EXPECT_EQ(v, 14u);
+    EXPECT_EQ(dom.clock.load(), clock0 + 1);
+
+    const auto snap = tm::Runtime::get().snapshot();
+    EXPECT_EQ(snap.total.roPromotions, 1u);
+    EXPECT_EQ(snap.total.roFastCommits, 1u);
+}
 
 } // namespace

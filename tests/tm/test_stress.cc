@@ -217,7 +217,8 @@ TEST_P(StressTest, ReadHeavyScanWhileWritersChurn)
 INSTANTIATE_TEST_SUITE_P(
     Algos, StressTest,
     ::testing::Values(tm::AlgoKind::GccEager, tm::AlgoKind::Lazy,
-                      tm::AlgoKind::NOrec, tm::AlgoKind::Serial),
+                      tm::AlgoKind::NOrec, tm::AlgoKind::RA,
+                      tm::AlgoKind::Serial),
     [](const ::testing::TestParamInfo<tm::AlgoKind> &info) {
         return tmemc::tests::algoName(info.param);
     });

@@ -41,6 +41,8 @@ algoName(tm::AlgoKind a)
         return "NOrec";
       case tm::AlgoKind::Serial:
         return "Serial";
+      case tm::AlgoKind::RA:
+        return "RA";
     }
     return "?";
 }
