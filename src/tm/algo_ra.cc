@@ -7,13 +7,21 @@
  *
  * What changes relative to Lazy:
  *
- *  - No std::atomic_thread_fence anywhere. Load validation re-reads
- *    the orec with ACQUIRE ordering (the paper's verified idiom)
- *    instead of fence(acquire) + relaxed re-read. If both orec loads
- *    return the same unlocked word, the second acquire load
- *    synchronizes with the release store of the commit that produced
- *    that version, so the data word read between them belongs to that
- *    (single, consistent) version.
+ *  - No std::atomic_thread_fence anywhere. Load validation makes the
+ *    DATA load itself an acquire load (rawLoadAcquire) and re-reads
+ *    the orec afterwards, instead of Lazy's raw load + fence(acquire)
+ *    + relaxed re-read. The ordering obligations are split across the
+ *    three loads: the first orec acquire load pairs with the
+ *    committing writer's release store (data written before that
+ *    version became visible is visible to us) and keeps the data load
+ *    from hoisting above it; the data load's own acquire keeps the
+ *    validating orec re-read from sinking above *it* (an acquire on
+ *    the orec re-read alone would not — acquire only orders LATER
+ *    accesses after itself, so a relaxed data load could be reordered
+ *    past it by the compiler or by ARM/POWER hardware and observe a
+ *    committer's store from after both orec reads). If both orec
+ *    loads then return the same unlocked word, the data word read
+ *    between them belongs to that (single, consistent) version.
  *  - The domain clock advances with a RELEASE fetch_add and is read
  *    with ACQUIRE loads — the release/acquire pair on the clock is
  *    only used for snapshot ordering (startTime monotonicity);
@@ -73,8 +81,10 @@ class RaAlgo : public Algo
             const OrecSnapshot s1{w1};
             if (s1.locked())
                 throw TxAbort{};
+            // Acquire data load: holds the validating orec re-read
+            // below after the data read (see file header).
             const std::uint64_t mem =
-                rawLoad(reinterpret_cast<void *>(word_addr));
+                rawLoadAcquire(reinterpret_cast<void *>(word_addr));
             if (o.load(std::memory_order_acquire) != w1)
                 continue;
             if (s1.version() > d.startTime)
@@ -98,10 +108,12 @@ class RaAlgo : public Algo
             const OrecSnapshot s1{w1};
             if (s1.locked())
                 throw TxAbort{};  // A committer owns the stripe.
+            // Acquire data load keeps the validating re-read below
+            // ordered after it; equal unlocked orec words then
+            // bracket the data read inside one stripe version, with
+            // no standalone fence (see file header).
             const std::uint64_t mem =
-                rawLoad(reinterpret_cast<void *>(word_addr));
-            // Double acquire-load validation: no fence. Equal unlocked
-            // words bracket the data read inside one stripe version.
+                rawLoadAcquire(reinterpret_cast<void *>(word_addr));
             const std::uint64_t w2 = o.load(std::memory_order_acquire);
             if (w1 != w2)
                 continue;

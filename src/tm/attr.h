@@ -100,8 +100,10 @@ enum class AlgoKind : std::uint8_t
      * Release-acquire variant of Lazy (Dalvandi & Dongol): acquire
      * loads against orecs and the domain clock, release stores on
      * commit, and no memory fences anywhere outside the serial-mode
-     * fallback. Load validation uses a double acquire-load of the orec
-     * instead of the fence + relaxed re-read idiom.
+     * fallback. Load validation reads the data word itself with
+     * acquire ordering and re-reads the orec, instead of the fence +
+     * relaxed re-read idiom (the data load's acquire is what orders
+     * the validating orec re-read after it).
      */
     RA,
 };

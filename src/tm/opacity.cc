@@ -13,7 +13,7 @@
 namespace tmemc::tm::opacity
 {
 
-std::atomic<bool> gArmed{false};
+std::atomic<std::uint64_t> gEpoch{0};
 
 namespace
 {
@@ -24,6 +24,13 @@ std::atomic<bool> gOverflow{false};
 std::mutex gRecordsLock;
 std::vector<TxRecord> gRecords;
 
+/** Current epoch, read under gRecordsLock (writers hold the lock). */
+std::uint64_t
+lockedEpoch()
+{
+    return gEpoch.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 void
@@ -32,14 +39,19 @@ arm()
     std::lock_guard<std::mutex> guard(gRecordsLock);
     gRecords.clear();
     gOverflow.store(false, std::memory_order_relaxed);
-    gArmed.store(true, std::memory_order_relaxed);
+    // Advance to the next ODD value: one step if disarmed, two if a
+    // caller re-arms without collecting (stays armed, new window).
+    const std::uint64_t e = lockedEpoch();
+    gEpoch.store(e + 1 + (e & 1), std::memory_order_relaxed);
 }
 
 std::vector<TxRecord>
 collect()
 {
-    gArmed.store(false, std::memory_order_relaxed);
     std::lock_guard<std::mutex> guard(gRecordsLock);
+    const std::uint64_t e = lockedEpoch();
+    if ((e & 1) != 0)
+        gEpoch.store(e + 1, std::memory_order_relaxed);  // Disarm.
     return std::exchange(gRecords, {});
 }
 
@@ -63,8 +75,14 @@ noteAccess(TxDesc &d, bool is_write, std::uintptr_t addr,
 {
     if (d.opAccesses.size() >= kMaxAccessesPerTx) {
         // Drop the whole attempt: a truncated access log would make
-        // the record lie about the attempt's footprint.
-        gOverflow.store(true, std::memory_order_relaxed);
+        // the record lie about the attempt's footprint. Only poison
+        // the window the attempt belongs to — a straggler from an
+        // already-collected window must not flag the current one.
+        {
+            std::lock_guard<std::mutex> guard(gRecordsLock);
+            if (d.opEpoch == lockedEpoch())
+                gOverflow.store(true, std::memory_order_relaxed);
+        }
         d.opRecording = false;
         d.opAccesses.clear();
         return;
@@ -75,9 +93,13 @@ noteAccess(TxDesc &d, bool is_write, std::uintptr_t addr,
 void
 beginRecord(TxDesc &d)
 {
-    d.opRecording = armed();
+    // One load gives a consistent (armed, window) pair: odd = armed,
+    // and the value doubles as the window tag finishRecord checks.
+    const std::uint64_t e = gEpoch.load(std::memory_order_relaxed);
+    d.opRecording = (e & 1) != 0;
     if (!d.opRecording)
         return;
+    d.opEpoch = e;
     d.opAccesses.clear();
     d.opBegin = nextStamp();
 }
@@ -100,6 +122,8 @@ finishRecord(TxDesc &d, bool committed, bool serial, bool ro_fast)
     rec.accesses = std::move(d.opAccesses);
     d.opAccesses = {};
     std::lock_guard<std::mutex> guard(gRecordsLock);
+    if (d.opEpoch != lockedEpoch())
+        return;  // Stale straggler from an already-closed window.
     if (gRecords.size() >= kMaxRecords) {
         gOverflow.store(true, std::memory_order_relaxed);
         return;

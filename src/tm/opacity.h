@@ -67,14 +67,21 @@ constexpr std::size_t kMaxAccessesPerTx = 1u << 14;
 /** Attempt records kept per armed window before dropping. */
 constexpr std::size_t kMaxRecords = 1u << 16;
 
-/** Global arm switch (definition in opacity.cc). */
-extern std::atomic<bool> gArmed;
+/**
+ * Global arm epoch (definition in opacity.cc): odd while armed, even
+ * while disarmed; arm() and collect() each advance it. Every recorded
+ * attempt latches the epoch it started under (TxDesc::opEpoch), and
+ * finishRecord drops the record if the epoch has moved on — so a
+ * straggler thread from a previous armed window that was never joined
+ * cannot leak its stale history into the next window's collect().
+ */
+extern std::atomic<std::uint64_t> gEpoch;
 
 /** True while recording is armed (relaxed: per-attempt latch). */
 inline bool
 armed()
 {
-    return gArmed.load(std::memory_order_relaxed);
+    return (gEpoch.load(std::memory_order_relaxed) & 1) != 0;
 }
 
 /** Arm recording; clears previously collected records and overflow. */

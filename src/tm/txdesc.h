@@ -174,6 +174,9 @@ class alignas(cachelineBytes) TxDesc
     // ------------------------------------------------------------------
     /** This attempt is being recorded for the opacity checker. */
     bool opRecording = false;
+    /** Arm epoch the attempt latched; finishRecord drops the record
+     *  if the armed window has moved on (opacity.h). */
+    std::uint64_t opEpoch = 0;
     /** Global stamp taken before the attempt's first access. */
     std::uint64_t opBegin = 0;
     /** Program-order access log of the recorded attempt. */

@@ -189,6 +189,52 @@ TEST(OpacitySelfTest, BindsUnknownInitialMemoryConsistently)
 }
 
 // ---------------------------------------------------------------------
+// Recorder window discipline
+// ---------------------------------------------------------------------
+
+TEST(OpacityRecorder, DropsStragglerFromPreviousWindow)
+{
+    // A thread that latched recording in window N but only finishes
+    // after window N+1 is armed must not leak its record — or its
+    // overflow — into the new window's history (a mixed-workload
+    // record would fail the checker spuriously).
+    tm::TxDomain dom(8);
+    tm::TxDesc straggler;
+    straggler.domain.store(&dom);
+
+    tm::opacity::arm();  // Window N.
+    tm::opacity::beginRecord(straggler);
+    ASSERT_TRUE(straggler.opRecording);
+    tm::opacity::noteAccess(straggler, true, kX, 1, kFull);
+    (void)tm::opacity::collect();  // Window N closes.
+
+    tm::opacity::arm();  // Window N+1.
+    tm::opacity::finishRecord(straggler, true, false, false);
+    const std::vector<TxRecord> leaked = tm::opacity::collect();
+    EXPECT_TRUE(leaked.empty());
+    EXPECT_FALSE(tm::opacity::overflowed());
+}
+
+TEST(OpacityRecorder, StragglerOverflowDoesNotPoisonNewWindow)
+{
+    tm::TxDomain dom(8);
+    tm::TxDesc straggler;
+    straggler.domain.store(&dom);
+
+    tm::opacity::arm();
+    tm::opacity::beginRecord(straggler);
+    ASSERT_TRUE(straggler.opRecording);
+    (void)tm::opacity::collect();
+
+    tm::opacity::arm();  // New window; straggler now blows its cap.
+    for (std::size_t i = 0; i <= tm::opacity::kMaxAccessesPerTx; ++i)
+        tm::opacity::noteAccess(straggler, false, kX, 0, kFull);
+    EXPECT_FALSE(straggler.opRecording);  // Attempt dropped whole...
+    EXPECT_FALSE(tm::opacity::overflowed());  // ...but window is clean.
+    (void)tm::opacity::collect();
+}
+
+// ---------------------------------------------------------------------
 // Live histories from the runtime's recorder
 // ---------------------------------------------------------------------
 

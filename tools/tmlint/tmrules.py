@@ -96,7 +96,8 @@ PURE_ALWAYS = {
 }
 
 # The tm/raw.h escape hatches: any use inside a checked region is TM1.
-RAW_ESCAPES = {"rawLoad", "rawStore", "rawGet", "rawSet"}
+RAW_ESCAPES = {"rawLoad", "rawLoadAcquire", "rawStore", "rawGet",
+               "rawSet"}
 
 ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
               "<<=", ">>="}
