@@ -20,6 +20,7 @@
  *                  [--threads a,b,c] [--shards N] [--ascii]
  *                  [--backend epoll|writev|io_uring]
  *                  [--timeout-ms N] [--trials K] [--json OUT]
+ *                  [--tail] [--tail-json OUT] [--connect PORT]
  *                  [--probe-io-uring]
  *
  * --json writes one tmemc-bench-v1 row per (topology, thread count):
@@ -38,6 +39,21 @@
  * create an io_uring and exits 0 (available) / 3 (unavailable) — the
  * CI capability gate.
  *
+ * --tail arms the per-request tail tracer (obs/tail.h) for every
+ * loopback leg, suffixes the loopback row's branch with "+tail" (an
+ * additive row: armed cost is tracked separately, never compared
+ * against the disarmed baseline), skips the inproc row (the
+ * in-process drive has no conn layer, so nothing is traced), and
+ * fails if any kept trace lacks its complete parse→exec→flush chain
+ * — the armed-path smoke gate CI runs. --tail-json dumps the last
+ * loopback leg's reservoir as tmemc-tail-v1 JSON.
+ *
+ * --connect drives an already-running server on 127.0.0.1:PORT
+ * instead of self-hosting (the nightly tail soak's client). The
+ * served/sent gate and the bench rows are skipped — the external
+ * server's counters are not visible here — but lost responses still
+ * fail the run.
+ *
  * --timeout-ms bounds every connect and recv (default 10000), so a
  * wedged server fails the gate in seconds instead of hanging CI.
  */
@@ -54,6 +70,7 @@
 #include "net/server.h"
 #include "obs/hist.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "tm/api.h"
 #include "workload/memslap.h"
 
@@ -92,6 +109,9 @@ main(int argc, char **argv)
     std::uint32_t shards = 1;
     std::uint32_t timeout_ms = 10000;
     std::string json_path;
+    std::string tail_json;
+    bool tail_mode = false;
+    std::uint16_t connect_port = 0;
     // Best-of-K: fixed work, so background load only adds time; the
     // minimum is the noise-robust estimate the perf gate wants.
     std::uint32_t trials = 1;
@@ -126,6 +146,14 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--json")
             json_path = next();
+        else if (a == "--tail")
+            tail_mode = true;
+        else if (a == "--tail-json") {
+            tail_json = next();
+            tail_mode = true;
+        } else if (a == "--connect")
+            connect_port =
+                static_cast<std::uint16_t>(std::atoi(next()));
         else if (a == "--trials")
             trials = static_cast<std::uint32_t>(std::atoi(next()));
         else if (a == "--backend") {
@@ -144,13 +172,51 @@ main(int argc, char **argv)
                          "[--ascii] "
                          "[--backend epoll|writev|io_uring] "
                          "[--timeout-ms N] [--trials K] "
-                         "[--json OUT] [--probe-io-uring]\n",
+                         "[--json OUT] [--tail] [--tail-json OUT] "
+                         "[--connect PORT] [--probe-io-uring]\n",
                          argv[0]);
             return 2;
         }
     }
     if (trials == 0)
         trials = 1;
+
+    if (connect_port != 0) {
+        // Client-only mode: the harness (scripts/tail_soak.sh) owns
+        // the server process, so there is nothing to self-host and no
+        // served-count to check — only lost responses can fail.
+        std::printf("bench_net: connect=127.0.0.1:%u protocol=%s "
+                    "ops/thread=%llu window=%llu\n",
+                    static_cast<unsigned>(connect_port),
+                    binary ? "binary" : "ascii",
+                    static_cast<unsigned long long>(ops),
+                    static_cast<unsigned long long>(window));
+        bool conn_ok = true;
+        for (const std::uint32_t n : threads) {
+            workload::MemslapCfg cfg;
+            cfg.concurrency = n;
+            cfg.executeNumber = ops;
+            cfg.windowSize = window;
+            cfg.binaryProtocol = binary;
+            cfg.connectTimeoutMs = timeout_ms;
+            cfg.recvTimeoutMs = timeout_ms;
+            cfg.serverPort = connect_port;
+            const workload::MemslapResult lb =
+                workload::runMemslapNet(cfg);
+            std::printf("%8u threads %16.0f ops/s %6llu lost\n", n,
+                        lb.opsPerSecond(),
+                        static_cast<unsigned long long>(
+                            lb.lostResponses));
+            conn_ok = conn_ok && lb.lostResponses == 0;
+        }
+        if (!conn_ok) {
+            std::fprintf(stderr, "bench_net: FAILED (lost "
+                                 "responses)\n");
+            return 1;
+        }
+        std::printf("bench_net: OK (zero lost responses)\n");
+        return 0;
+    }
 
     std::printf("bench_net: branch=%s protocol=%s ops/thread=%llu "
                 "window=%llu shards=%u backend=%s\n",
@@ -247,15 +313,63 @@ main(int argc, char **argv)
             }
             // Label the loopback row with what actually ran: a
             // requested io_uring may have degraded to writev, and the
-            // gate must not compare rows across write paths.
+            // gate must not compare rows across write paths. The
+            // armed-tracer row likewise gets its own name so the gate
+            // never compares armed cost against the disarmed baseline.
+            netRow.branch = branch;
             if (server.ioBackend() != net::IoBackend::Epoll)
-                netRow.branch =
-                    branch + "+" +
+                netRow.branch +=
+                    std::string("+") +
                     net::ioBackendName(server.ioBackend());
+            if (tail_mode)
+                netRow.branch += "+tail";
+            if (tail_mode) {
+                obs::tail::armTail();
+                obs::tail::setTailLabel(
+                    netRow.branch,
+                    tm::algoKindName(tm::Runtime::get().cfg().algo));
+            }
             cfg.serverPort = server.port();
             const workload::MemslapResult lb =
                 workload::runMemslapNet(cfg);
             server.stop();
+            if (tail_mode) {
+                // stop() destroyed every Conn, force-finishing any
+                // still-pending traces, so the reservoir is final.
+                obs::tail::disarmTail();
+                const auto traces = obs::tail::snapshotTail();
+                bool chains_ok = !traces.empty();
+                bool saw_tx = false;
+                for (const auto &t : traces) {
+                    bool has_exec = false;
+                    for (const auto &s : t->spans) {
+                        has_exec |=
+                            s.kind == obs::tail::SpanKind::Exec;
+                        saw_tx |= s.kind == obs::tail::SpanKind::Tx;
+                    }
+                    chains_ok =
+                        chains_ok && t->spans.size() >= 3 &&
+                        t->spans.front().kind ==
+                            obs::tail::SpanKind::Parse &&
+                        has_exec && t->totalNs() > 0 &&
+                        (t->overflow ||
+                         (t->spans.back().kind ==
+                              obs::tail::SpanKind::Flush &&
+                          t->spans.back().t1 >= t->spans.back().t0));
+                }
+                // A TM branch that committed transactions must show
+                // them as tx spans; Baseline (no transactions) is
+                // exempt.
+                if (tm::Runtime::get().snapshot().total.commits > 0 &&
+                    !saw_tx)
+                    chains_ok = false;
+                if (!chains_ok) {
+                    row_ok = false;
+                    std::fprintf(stderr,
+                                 "  trial %u: tail traces missing or "
+                                 "span chain incomplete\n", trial);
+                }
+            }
             if (trial == 0 || lb.seconds < net.seconds) {
                 net = lb;
                 // Over loopback the per-command histogram is live;
@@ -289,10 +403,11 @@ main(int argc, char **argv)
             }
         }
         if (!json_path.empty()) {
-            // The in-process drive never touches the I/O backend, so
-            // a non-epoll run would just duplicate the epoll run's
-            // inproc row; emit it once, from the epoll run.
-            if (backend == net::IoBackend::Epoll)
+            // The in-process drive never touches the I/O backend (or
+            // the conn layer the tail tracer lives in), so a
+            // non-epoll or --tail run would just duplicate the plain
+            // epoll run's inproc row; emit it once, from that run.
+            if (backend == net::IoBackend::Epoll && !tail_mode)
                 bench::addBenchRow(inprocRow);
             bench::addBenchRow(netRow);
         }
@@ -310,6 +425,14 @@ main(int argc, char **argv)
     if (!json_path.empty() && !bench::writeBenchJson(json_path)) {
         std::fprintf(stderr, "bench_net: cannot write %s\n",
                      json_path.c_str());
+        return 1;
+    }
+    // The reservoir survives disarmTail(), so this dumps the last
+    // loopback leg's K slowest requests.
+    if (!tail_json.empty() &&
+        !obs::tail::writeTailJsonFile(tail_json)) {
+        std::fprintf(stderr, "bench_net: cannot write %s\n",
+                     tail_json.c_str());
         return 1;
     }
     if (!ok) {

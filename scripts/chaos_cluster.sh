@@ -30,13 +30,26 @@ BENCH="$BUILD/bench/bench_cluster"
 
 LOG_DIR=$(mktemp -d)
 PIDS=()
+BENCH_PID=""
 cleanup() {
+    # Kill the client first so its node-timeout logic stops driving
+    # half-dead servers, then the nodes. Everything here is a child of
+    # this shell, so the final wait reaps them all — after it returns,
+    # no started pid can survive as a zombie or an orphan.
+    if [ -n "$BENCH_PID" ]; then
+        kill -9 "$BENCH_PID" 2>/dev/null || true
+    fi
     for pid in "${PIDS[@]:-}"; do
         kill -9 "$pid" 2>/dev/null || true
     done
     wait 2>/dev/null || true
 }
+# INT/TERM must run the same cleanup as EXIT: a harness dying
+# mid-kill-window used to orphan every tmemc_server it had started
+# (plus bench_cluster, which cleanup never killed at all).
 trap cleanup EXIT
+trap 'trap - EXIT; cleanup; exit 130' INT
+trap 'trap - EXIT; cleanup; exit 143' TERM
 
 start_node() { # $1 = node index (0-based); appends to PIDS
     local port=$((BASE_PORT + $1))
@@ -96,4 +109,15 @@ if [ -z "$READMISSIONS" ] || [ "$READMISSIONS" -eq 0 ]; then
     echo "chaos_cluster: FAILED (restarted node never re-admitted)" >&2
     exit 1
 fi
+
+# Tear down now and assert it actually worked: any started pid still
+# alive after cleanup is the orphan bug this gate exists to catch.
+trap - EXIT INT TERM
+cleanup
+for pid in "${PIDS[@]}" $BENCH_PID; do
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "chaos_cluster: FAILED (pid $pid survived cleanup)" >&2
+        exit 1
+    fi
+done
 echo "chaos_cluster: OK (ejections=$EJECTIONS readmissions=$READMISSIONS, zero lost acked updates)"

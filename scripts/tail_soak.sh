@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# tail_soak.sh — the nightly tail-blame gate.
+#
+# Boots one sharded tmemc_server with the tail tracer armed and a
+# deliberately slow shard (--slow-shard injects a stall into that
+# shard's mc.shard<N>.op fault site), drives it with bench_net
+# --connect over loopback, then terminates the server so it writes its
+# tmemc-tail-v1 dump. Fails if:
+#   - the client loses responses or the server exits nonzero,
+#   - `stats tail` does not report an armed tracer with kept requests,
+#   - parse_tail.py does not blame the injected shard for the tail
+#     (--assert-top-shard) — the end-to-end claim: the tracer finds
+#     the planted needle, attributed to the right shard.
+#
+# Usage: tail_soak.sh [BUILD_DIR] [OPS_PER_THREAD] [THREADS]
+# Env:   TMEMC_TAIL_JSON_OUT (dump path; default under mktemp -d)
+#        TMEMC_TAIL_PORT (default 11511)
+#        TMEMC_TAIL_SHARDS (default 8)
+#        TMEMC_TAIL_SLOW_SHARD (default 3)
+#        TMEMC_TAIL_DELAY_US (default 400)
+#        TMEMC_TAIL_EVERY_N (default 1)
+
+set -euo pipefail
+
+BUILD=${1:-build}
+OPS=${2:-20000}
+THREADS=${3:-4}
+PORT=${TMEMC_TAIL_PORT:-11511}
+SHARDS=${TMEMC_TAIL_SHARDS:-8}
+SLOW=${TMEMC_TAIL_SLOW_SHARD:-3}
+DELAY_US=${TMEMC_TAIL_DELAY_US:-400}
+EVERY_N=${TMEMC_TAIL_EVERY_N:-1}
+
+SERVER="$BUILD/src/net/tmemc_server"
+BENCH="$BUILD/bench/bench_net"
+PARSE="$(dirname "$0")/parse_tail.py"
+[ -x "$SERVER" ] || { echo "missing $SERVER (build first)" >&2; exit 2; }
+[ -x "$BENCH" ] || { echo "missing $BENCH (build first)" >&2; exit 2; }
+
+LOG_DIR=$(mktemp -d)
+# Overridable so CI can upload the dump as an artifact.
+TAIL_JSON="${TMEMC_TAIL_JSON_OUT:-$LOG_DIR/tail.json}"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+trap 'trap - EXIT; cleanup; exit 130' INT
+trap 'trap - EXIT; cleanup; exit 143' TERM
+
+"$SERVER" --port "$PORT" --branch IT-onCommit --shards "$SHARDS" \
+    --workers "$THREADS" --mem 64 --tail --tail-json "$TAIL_JSON" \
+    --slow-shard "$SLOW:$DELAY_US:$EVERY_N" \
+    >"$LOG_DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+        exec 3>&- 3<&- 2>/dev/null || true
+        break
+    fi
+    sleep 0.1
+done
+echo "server up: 127.0.0.1:$PORT shards=$SHARDS" \
+     "slow-shard=$SLOW (+${DELAY_US}us every $EVERY_N ops)"
+
+"$BENCH" --connect "$PORT" --ops "$OPS" --window 2000 \
+    --threads "$THREADS" | tee "$LOG_DIR/bench.log"
+
+# The live view must already show kept traces before shutdown.
+STATS=$(exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+        printf 'stats tail\r\nquit\r\n' >&3 && timeout 5 cat <&3)
+grep -q '^STAT tail_armed 1' <<<"$STATS" || {
+    echo "tail_soak: FAILED (stats tail reports tracer disarmed)" >&2
+    exit 1
+}
+KEPT=$(sed -n 's/^STAT tail_kept \([0-9]*\).*/\1/p' <<<"$STATS")
+if [ -z "$KEPT" ] || [ "$KEPT" -eq 0 ]; then
+    echo "tail_soak: FAILED (stats tail kept no requests)" >&2
+    exit 1
+fi
+echo "stats tail: kept=$KEPT"
+
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+if [ "$SERVER_RC" -ne 0 ]; then
+    cat "$LOG_DIR/server.log"
+    echo "tail_soak: FAILED (server exit $SERVER_RC)" >&2
+    exit 1
+fi
+[ -s "$TAIL_JSON" ] || {
+    echo "tail_soak: FAILED (server wrote no $TAIL_JSON)" >&2
+    exit 1
+}
+
+python3 "$PARSE" "$TAIL_JSON" --top 3 --assert-top-shard "$SLOW"
+echo "tail_soak: OK (shard $SLOW blamed for the injected stall)"

@@ -14,6 +14,7 @@
 
 #include "mc/ctx.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 
 namespace tmemc::mc
 {
@@ -293,6 +294,12 @@ protocolExecute(CacheIface &cache, std::uint32_t worker,
         if (tok.size() >= 2 && tok[1] == "tm") {
             return obs::MetricsRegistry::get().snapshot().asciiTmRows() +
                    "END\r\n";
+        }
+        if (tok.size() >= 2 && tok[1] == "tail") {
+            // The tail tracer's merged reservoir: the K slowest
+            // requests with their span chains (obs/tail.h). Arm with
+            // tmemc_server --tail; disarmed it reports tail_armed 0.
+            return obs::tail::tailAsciiRows() + "END\r\n";
         }
         if (tok.size() >= 2 && tok[1] == "cluster") {
             // Cluster-client counters (net/cluster.h): populated when

@@ -17,11 +17,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "mc/cache_iface.h"
 #include "mc/hash.h"
 #include "obs/hist.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 
 namespace tmemc::mc
 {
@@ -54,6 +56,12 @@ class ShardedCache final : public CacheIface
     ShardedCache(std::vector<std::unique_ptr<CacheIface>> shards)
         : shards_(std::move(shards))
     {
+        // Fault-site names are consulted per operation; build them
+        // once so the armed path does no allocation.
+        faultSites_.reserve(shards_.size());
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            faultSites_.push_back(
+                shardFaultSite(static_cast<std::uint32_t>(s)));
     }
 
     const char *branchName() const override
@@ -92,6 +100,7 @@ class ShardedCache final : public CacheIface
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             if (byShard[s].empty())
                 continue;
+            enterShard(static_cast<std::uint32_t>(s));
             batch.assign(byShard[s].size(), MultiGetReq{});
             for (std::size_t i = 0; i < byShard[s].size(); ++i)
                 batch[i] = *byShard[s][i];
@@ -302,7 +311,26 @@ class ShardedCache final : public CacheIface
     CacheIface &
     route(const char *key, std::size_t nkey)
     {
-        return *shards_[shardOf(key, nkey)];
+        const std::uint32_t s = shardOf(key, nkey);
+        enterShard(s);
+        return *shards_[s];
+    }
+
+    /**
+     * Per-shard entry point: stamps the shard into the active tail
+     * trace and consults the shard's fault site. Both are one relaxed
+     * load when nothing is armed. A delayUs policy stalls here —
+     * before the shard's transaction begins, the only place a traced
+     * request may block (fault::maybeDelay must never run inside a
+     * transaction).
+     */
+    void
+    enterShard(std::uint32_t s)
+    {
+        obs::tail::noteShard(s);
+        if (fault::enabled())
+            fault::maybeDelay(
+                fault::consultSlow(faultSites_[s].c_str()));
     }
 
     static void
@@ -320,6 +348,8 @@ class ShardedCache final : public CacheIface
     }
 
     std::vector<std::unique_ptr<CacheIface>> shards_;
+    /** faultSites_[s] == shardFaultSite(s), prebuilt. */
+    std::vector<std::string> faultSites_;
 };
 
 } // namespace

@@ -18,6 +18,7 @@
 #define TMEMC_MC_SHARDED_CACHE_H
 
 #include <cstdint>
+#include <string>
 
 namespace tmemc::mc
 {
@@ -37,6 +38,21 @@ shardOfHash(std::uint32_t hv, std::uint32_t shards)
 {
     return static_cast<std::uint32_t>(
         (static_cast<std::uint64_t>(hv) * shards) >> 32);
+}
+
+/**
+ * Fault-injection site name consulted before every operation enters
+ * shard @p shard ("mc.shard<N>.op"). Arming it with a delayUs policy
+ * makes that shard slow — the injected-slow-shard schedule the tail
+ * tracer's soak and round-trip tests blame. The consult happens in
+ * the sharded wrapper, outside any transaction, so the delay may
+ * block (see fault::maybeDelay); a single-shard cache (no wrapper)
+ * never consults it.
+ */
+inline std::string
+shardFaultSite(std::uint32_t shard)
+{
+    return "mc.shard" + std::to_string(shard) + ".op";
 }
 
 } // namespace tmemc::mc

@@ -27,6 +27,9 @@ Conn::Conn(int fd, std::uint64_t id, const ConnLimits &limits,
 
 Conn::~Conn()
 {
+    // A connection dying with replies queued still finalizes its
+    // traced requests: the flush span ends where the socket did.
+    finishTailPending(true);
     // Segment destructors release any still-queued pins before the
     // socket goes; order does not matter, but the release must happen
     // on whatever thread destroys the Conn (loop thread normally,
@@ -90,6 +93,7 @@ Conn::onWritable(std::uint32_t worker, const ExecFn &exec)
     lastActivity_ = std::chrono::steady_clock::now();
     if (!flush())
         return false;
+    finishTailPending();
     if (draining_)
         return true;
     if (!pump(worker, exec))
@@ -116,6 +120,7 @@ Conn::pump(std::uint32_t worker, const ExecFn &exec)
             closing_ = true;
         if (!flush())
             return false;
+        finishTailPending();
         if (pendingWrite() > limits_.wbufHardCap) {
             // The backlog outgrew what any client that stopped
             // reading deserves; cut it loose.
@@ -132,7 +137,22 @@ bool
 Conn::flushOnly()
 {
     lastActivity_ = std::chrono::steady_clock::now();
-    return flush();
+    const bool ok = flush();
+    finishTailPending();
+    return ok;
+}
+
+void
+Conn::finishTailPending(bool force)
+{
+    if (tailPending_.empty())
+        return;
+    if (!force && pending_ != 0)
+        return;  // Replies still queued: the flush wait continues.
+    const std::uint64_t now = obs::nowNanos();
+    for (obs::tail::PendingTrace &p : tailPending_)
+        obs::tail::finishRequest(std::move(p), now);
+    tailPending_.clear();
 }
 
 bool
@@ -210,23 +230,36 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
     // each touched shard once instead of once per key.
     std::string quietRun;
     std::uint64_t quietFrames = 0;
+    std::uint64_t quietT0 = 0;
     // Per-command latency: framed request handed to exec() until its
     // reply segments are queued. A batched quiet-get run counts as one
-    // command — that is the unit of work the executor sees.
-    auto timedExec = [&](bool binary, const std::string &frame) {
+    // command — that is the unit of work the executor sees. The same
+    // unit is one tail-tracer request: the trace opens with a parse
+    // span back-dated to @p parse_t0 (the stamp taken before framing)
+    // and stays pending until the reply's last byte leaves the
+    // out-queue (finishTailPending closes the flush span).
+    auto timedExec = [&](bool binary, const std::string &frame,
+                         std::uint64_t parse_t0) {
         const std::uint64_t t0 = obs::nowNanos();
+        const std::uint64_t rid = obs::tail::beginRequest(
+            worker, binary, parse_t0 != 0 ? parse_t0 : t0);
         mc::Reply reply;
         exec(worker, binary, frame, reply);
         enqueue(std::move(reply));
         obs::hist(obs::HistKind::Command).record(obs::nowNanos() - t0);
+        if (rid != 0) {
+            if (obs::tail::PendingTrace p = obs::tail::endRequest())
+                tailPending_.push_back(std::move(p));
+        }
     };
     auto flushQuietRun = [&]() {
         if (quietFrames == 0)
             return;
-        timedExec(true, quietRun);
+        timedExec(true, quietRun, quietT0);
         served_ += quietFrames;
         quietRun.clear();
         quietFrames = 0;
+        quietT0 = 0;
     };
     while (off < rbuf_.size()) {
         // Soft-cap check inside the burst too: a pipelined batch
@@ -234,6 +267,10 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
         // the batch buffered until the client drains us.
         if (pendingWrite() >= limits_.wbufSoftCap)
             break;
+        // Stamped before framing so the parse span covers the carve;
+        // disarmed, this is one relaxed load and no clock read.
+        const std::uint64_t parse_t0 =
+            obs::tail::tailArmed() ? obs::nowNanos() : 0;
         const bool binary =
             static_cast<std::uint8_t>(rbuf_[off]) ==
             static_cast<std::uint8_t>(mc::BinMagic::Request);
@@ -258,6 +295,8 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
         }
         const std::string frame = rbuf_.substr(off, fr.frameLen);
         if (binary && mc::binIsQuietGet(frame.data(), frame.size())) {
+            if (quietFrames == 0)
+                quietT0 = parse_t0;
             quietRun += frame;
             ++quietFrames;
             off += fr.frameLen;
@@ -272,7 +311,7 @@ Conn::drainFrames(std::uint32_t worker, const ExecFn &exec)
             ok = false;
             break;
         }
-        timedExec(binary, frame);
+        timedExec(binary, frame, parse_t0);
         ++served_;
         off += fr.frameLen;
     }

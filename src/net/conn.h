@@ -48,9 +48,11 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "mc/protocol.h"
 #include "mc/reply.h"
+#include "obs/tail.h"
 
 namespace tmemc::net
 {
@@ -189,6 +191,15 @@ class Conn
     /** Drain-and-discard mode reads. @return false at peer EOF. */
     bool discardInput();
 
+    /**
+     * Close the flush span of every traced request whose reply has
+     * fully left the out-queue and offer the traces to the tail
+     * reservoir. Called after every flush; a partial flush leaves the
+     * traces pending so EPOLLOUT wait time lands in the flush span.
+     * @p force finalizes regardless (connection teardown).
+     */
+    void finishTailPending(bool force = false);
+
     int fd_;
     std::uint64_t id_;
     const ConnLimits &limits_;
@@ -200,6 +211,9 @@ class Conn
      *  item reference. */
     std::deque<mc::Reply::Seg> outq_;
     std::size_t pending_ = 0;  //!< Unwritten bytes across outq_.
+    /** Traced requests (tail tracer armed) whose replies are still
+     *  flushing; empty whenever the tracer is disarmed. */
+    std::vector<obs::tail::PendingTrace> tailPending_;
     std::uint64_t served_ = 0;
     std::chrono::steady_clock::time_point lastActivity_;
     CloseReason closeReason_ = CloseReason::None;

@@ -21,6 +21,7 @@
 #include "mc/protocol.h"
 #include "net/sys.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 
 namespace tmemc::net
 {
@@ -75,6 +76,13 @@ bool
 frameIsMetrics(const std::string &frame)
 {
     return frame == "metrics\r\n" || frame == "metrics\n";
+}
+
+/** Is this ASCII frame the `tail` admin command? */
+bool
+frameIsTail(const std::string &frame)
+{
+    return frame == "tail\r\n" || frame == "tail\n";
 }
 
 } // namespace
@@ -146,6 +154,13 @@ Server::start()
             // only where a server (and its net counters) exists.
             out.append(obs::MetricsRegistry::get().snapshot().toJson() +
                        "\r\nEND\r\n");
+            return;
+        }
+        if (!binary && frameIsTail(frame)) {
+            // The tail tracer's merged reservoir as one
+            // tmemc-tail-v1 JSON line — the same document
+            // --tail-json writes at exit, fetchable live.
+            out.append(obs::tail::tailToJson() + "\r\nEND\r\n");
             return;
         }
         if (allow_pinned && !binary &&

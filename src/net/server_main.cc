@@ -8,6 +8,8 @@
  *                     [--idle-timeout MS] [--drain-ms MS]
  *                     [--io-backend epoll|writev|io_uring]
  *                     [--metrics-json PATH] [--trace] [--verbose]
+ *                     [--tail] [--tail-k N] [--tail-json PATH]
+ *                     [--slow-shard IDX:DELAY_US[:EVERY_N]]
  *
  * Serves both protocols on one port until SIGINT/SIGTERM, then drains
  * gracefully (flushes queued replies) for --drain-ms before exiting.
@@ -15,6 +17,13 @@
  * same JSON the `metrics` admin command serves) to PATH after the
  * drain; --trace arms the flight recorder, whose ring is dumped to
  * stderr on panic/fatal.
+ * --tail arms the per-request tail tracer (obs/tail.h): the K slowest
+ * requests (--tail-k, default 32 per thread) keep their full
+ * parse→flush span chains, served live via `stats tail` or the `tail`
+ * admin command and written as tmemc-tail-v1 JSON to --tail-json PATH
+ * after the drain (either flag arms the tracer). --slow-shard arms
+ * the mc.shard<IDX>.op fault site with a DELAY_US stall every EVERY_N
+ * ops (default 1) — the injected slow shard the tail soak blames.
  * Try:
  *   ./build/src/net/tmemc_server --branch IT-onCommit --port 11211 &
  *   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
@@ -29,9 +38,12 @@
 #include <string>
 #include <thread>
 
+#include "common/fault.h"
 #include "mc/cache_iface.h"
+#include "mc/sharded_cache.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "tm/api.h"
 
@@ -64,6 +76,10 @@ main(int argc, char **argv)
     net::IoBackend io_backend = net::IoBackend::Epoll;
     std::string metrics_json;
     bool trace = false;
+    bool tail = false;
+    std::size_t tail_k = 0;  // 0: obs::tail::kDefaultTailK.
+    std::string tail_json;
+    std::string slow_shard;
     int verbose = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -100,6 +116,15 @@ main(int argc, char **argv)
             metrics_json = next();
         else if (a == "--trace")
             trace = true;
+        else if (a == "--tail")
+            tail = true;
+        else if (a == "--tail-k")
+            tail_k = static_cast<std::size_t>(std::atoi(next()));
+        else if (a == "--tail-json") {
+            tail_json = next();
+            tail = true;
+        } else if (a == "--slow-shard")
+            slow_shard = next();
         else if (a == "--verbose")
             verbose = 1;
         else {
@@ -110,7 +135,9 @@ main(int argc, char **argv)
                          "[--drain-ms MS] "
                          "[--io-backend epoll|writev|io_uring] "
                          "[--metrics-json PATH] "
-                         "[--trace] [--verbose]\n",
+                         "[--trace] [--verbose] "
+                         "[--tail] [--tail-k N] [--tail-json PATH] "
+                         "[--slow-shard IDX:DELAY_US[:EVERY_N]]\n",
                          argv[0]);
             return 2;
         }
@@ -121,6 +148,39 @@ main(int argc, char **argv)
     tm::Runtime::get().configure(mc::runtimeCfgFor(branch));
     if (trace)
         obs::armTrace();
+    if (tail) {
+        obs::tail::armTail(tail_k != 0 ? tail_k
+                                       : obs::tail::kDefaultTailK);
+        obs::tail::setTailLabel(
+            branch,
+            tm::algoKindName(tm::Runtime::get().cfg().algo));
+    }
+    if (!slow_shard.empty()) {
+        unsigned idx = 0;
+        unsigned long long delay_us = 0;
+        unsigned long long every_n = 1;
+        const int got = std::sscanf(slow_shard.c_str(), "%u:%llu:%llu",
+                                    &idx, &delay_us, &every_n);
+        if (got < 2 || delay_us == 0 || every_n == 0) {
+            std::fprintf(stderr,
+                         "bad --slow-shard '%s' (want "
+                         "IDX:DELAY_US[:EVERY_N])\n",
+                         slow_shard.c_str());
+            return 2;
+        }
+        if (idx >= shards) {
+            std::fprintf(stderr,
+                         "--slow-shard index %u out of range "
+                         "(--shards %u)\n",
+                         idx, shards);
+            return 2;
+        }
+        fault::Policy policy;
+        policy.trigger = fault::Trigger::EveryNth;
+        policy.n = every_n;
+        policy.delayUs = delay_us;
+        fault::arm(mc::shardFaultSite(idx), policy);
+    }
 
     mc::Settings settings;
     settings.maxBytes = mem_mb * 1024 * 1024;
@@ -163,6 +223,11 @@ main(int argc, char **argv)
         !obs::MetricsRegistry::get().writeJsonFile(metrics_json)) {
         std::fprintf(stderr, "tmemc_server: cannot write %s\n",
                      metrics_json.c_str());
+    }
+    if (!tail_json.empty() &&
+        !obs::tail::writeTailJsonFile(tail_json)) {
+        std::fprintf(stderr, "tmemc_server: cannot write %s\n",
+                     tail_json.c_str());
     }
     std::printf("tmemc_server: %llu connections, %llu requests%s\n",
                 static_cast<unsigned long long>(server.accepted()),

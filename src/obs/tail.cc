@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Tail-tracer implementation: the thread-local request builder, the
+ * per-thread top-K reservoirs, the registry that keeps them alive
+ * past thread exit, and the ASCII / tmemc-tail-v1 renders.
+ */
+
+#include "obs/tail.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "obs/hist.h"
+
+namespace tmemc::obs::tail
+{
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Parse:
+        return "parse";
+      case SpanKind::Exec:
+        return "exec";
+      case SpanKind::Tx:
+        return "tx";
+      case SpanKind::Flush:
+        return "flush";
+    }
+    return "?";
+}
+
+const char *
+txOutcomeName(TxOutcome outcome, bool serial)
+{
+    switch (outcome) {
+      case TxOutcome::None:
+        return "open";
+      case TxOutcome::Commit:
+        return serial ? "serial-commit" : "commit";
+      case TxOutcome::Abort:
+        return "abort";
+      case TxOutcome::Switch:
+        return "serial-switch";
+      case TxOutcome::Promote:
+        return "ro-promote";
+      case TxOutcome::Retry:
+        return "retry";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * One thread's reservoir: a min-heap (by total latency) of the K
+ * slowest finished requests this thread served. minNs caches the
+ * heap minimum once the reservoir is full, so the common case — a
+ * request faster than everything kept — is rejected with one relaxed
+ * load and no lock. 0 means "not full yet: always take the lock".
+ */
+struct Reservoir
+{
+    std::mutex mu;
+    std::atomic<std::uint64_t> minNs{0};
+    std::vector<PendingTrace> keep;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<Reservoir>> reservoirs;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+Reservoir &
+myReservoir()
+{
+    thread_local std::shared_ptr<Reservoir> res = [] {
+        auto r = std::make_shared<Reservoir>();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> guard(reg.mu);
+        reg.reservoirs.push_back(r);
+        return r;
+    }();
+    return *res;
+}
+
+/** Heap order: smallest total latency at the front, so the cheapest
+ *  kept trace is the one a slower newcomer evicts. */
+bool
+slowerThan(const PendingTrace &a, const PendingTrace &b)
+{
+    return a->totalNs() > b->totalNs();
+}
+
+std::atomic<std::uint64_t> g_nextId{1};
+std::atomic<std::uint64_t> g_considered{0};
+std::atomic<std::size_t> g_tailK{kDefaultTailK};
+
+std::mutex g_labelMu;
+std::string g_branchLabel;
+std::string g_algoLabel;
+
+/** The request currently being recorded on this thread, plus the
+ *  indices of its open exec / tx spans. Only the owning thread ever
+ *  touches it, so recording takes no lock. */
+struct Builder
+{
+    PendingTrace cur;
+    std::ptrdiff_t execIdx = -1;
+    std::ptrdiff_t txIdx = -1;
+    std::uint32_t curShard = 0;
+
+    void
+    reset()
+    {
+        cur.reset();
+        execIdx = -1;
+        txIdx = -1;
+        curShard = 0;
+    }
+};
+
+thread_local Builder tlsBuilder;
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; s != nullptr && *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_tailArmed{false};
+
+std::uint64_t
+beginRequestSlow(std::uint32_t worker, bool binary,
+                 std::uint64_t parse_t0)
+{
+    Builder &b = tlsBuilder;
+    // A stale in-flight trace (arm/disarm raced a request) is dropped;
+    // requests on one thread never overlap otherwise.
+    b.reset();
+    const std::uint64_t now = nowNanos();
+    if (parse_t0 == 0 || parse_t0 > now)
+        parse_t0 = now;
+    auto trace = std::make_shared<RequestTrace>();
+    trace->id = g_nextId.fetch_add(1, std::memory_order_relaxed);
+    trace->worker = worker;
+    trace->binary = binary;
+    trace->startNs = parse_t0;
+    Span parse;
+    parse.kind = SpanKind::Parse;
+    parse.t0 = parse_t0;
+    parse.t1 = now;
+    trace->spans.push_back(parse);
+    Span exec;
+    exec.kind = SpanKind::Exec;
+    exec.t0 = now;
+    trace->spans.push_back(exec);
+    b.execIdx = 1;
+    b.cur = std::move(trace);
+    g_considered.fetch_add(1, std::memory_order_relaxed);
+    return b.cur->id;
+}
+
+void
+noteShardSlow(std::uint32_t shard)
+{
+    Builder &b = tlsBuilder;
+    if (b.cur == nullptr)
+        return;
+    b.curShard = shard;
+    b.cur->shard = shard;
+}
+
+void
+noteTxBeginSlow(const char *site, bool serial, std::uint32_t attempt)
+{
+    Builder &b = tlsBuilder;
+    if (b.cur == nullptr)
+        return;
+    if (b.cur->spans.size() >= kMaxTailSpans) {
+        b.cur->overflow = true;
+        b.txIdx = -1;
+        return;
+    }
+    Span s;
+    s.kind = SpanKind::Tx;
+    s.t0 = nowNanos();
+    s.site = site;
+    s.serial = serial;
+    s.attempt = attempt;
+    s.shard = b.curShard;
+    b.txIdx = static_cast<std::ptrdiff_t>(b.cur->spans.size());
+    b.cur->spans.push_back(s);
+}
+
+void
+noteTxCauseSlow(const char *cause)
+{
+    Builder &b = tlsBuilder;
+    if (b.cur == nullptr || b.txIdx < 0)
+        return;
+    b.cur->spans[static_cast<std::size_t>(b.txIdx)].cause = cause;
+}
+
+void
+noteTxEndSlow(TxOutcome outcome, bool serial)
+{
+    Builder &b = tlsBuilder;
+    if (b.cur == nullptr || b.txIdx < 0)
+        return;
+    Span &s = b.cur->spans[static_cast<std::size_t>(b.txIdx)];
+    s.t1 = nowNanos();
+    s.outcome = outcome;
+    s.serial = s.serial || serial;
+    s.shard = b.curShard;
+    if (s.cause == nullptr) {
+        switch (outcome) {
+          case TxOutcome::Abort:
+            s.cause = "conflict";
+            break;
+          case TxOutcome::Switch:
+            s.cause = "unsafe-op";
+            break;
+          case TxOutcome::Promote:
+            s.cause = "ro-promotion";
+            break;
+          case TxOutcome::Retry:
+            s.cause = "tm::retry";
+            break;
+          case TxOutcome::Commit:
+          case TxOutcome::None:
+            break;
+        }
+    }
+    b.txIdx = -1;
+}
+
+PendingTrace
+endRequestSlow()
+{
+    Builder &b = tlsBuilder;
+    if (b.cur == nullptr)
+        return nullptr;
+    const std::uint64_t now = nowNanos();
+    // An attempt still open here means the tracer was toggled
+    // mid-transaction; leave the span open rather than invent an end.
+    b.txIdx = -1;
+    if (b.execIdx >= 0) {
+        Span &e = b.cur->spans[static_cast<std::size_t>(b.execIdx)];
+        e.t1 = now;
+        e.shard = b.curShard;
+    }
+    if (b.cur->spans.size() < kMaxTailSpans) {
+        Span f;
+        f.kind = SpanKind::Flush;
+        f.t0 = now;
+        f.shard = b.curShard;
+        b.cur->spans.push_back(f);
+    } else {
+        b.cur->overflow = true;
+    }
+    PendingTrace out = std::move(b.cur);
+    b.reset();
+    return out;
+}
+
+void
+offerTrace(PendingTrace trace)
+{
+    if (trace == nullptr)
+        return;
+    const std::size_t k = g_tailK.load(std::memory_order_relaxed);
+    if (k == 0)
+        return;
+    Reservoir &r = myReservoir();
+    const std::uint64_t total = trace->totalNs();
+    const std::uint64_t floor = r.minNs.load(std::memory_order_relaxed);
+    if (floor != 0 && total <= floor)
+        return;  // Faster than everything kept: no lock taken.
+    std::lock_guard<std::mutex> guard(r.mu);
+    r.keep.push_back(std::move(trace));
+    std::push_heap(r.keep.begin(), r.keep.end(), slowerThan);
+    while (r.keep.size() > k) {
+        std::pop_heap(r.keep.begin(), r.keep.end(), slowerThan);
+        r.keep.pop_back();
+    }
+    r.minNs.store(r.keep.size() >= k ? r.keep.front()->totalNs() : 0,
+                  std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+finishRequest(PendingTrace trace, std::uint64_t end_ns)
+{
+    if (trace == nullptr)
+        return;
+    if (end_ns < trace->startNs)
+        end_ns = trace->startNs;
+    trace->endNs = end_ns;
+    if (!trace->spans.empty()) {
+        Span &last = trace->spans.back();
+        if (last.kind == SpanKind::Flush && last.t1 == 0)
+            last.t1 = end_ns;
+    }
+    detail::offerTrace(std::move(trace));
+}
+
+void
+armTail(std::size_t k)
+{
+    g_tailK.store(k == 0 ? kDefaultTailK : k,
+                  std::memory_order_relaxed);
+    resetTail();
+    detail::g_tailArmed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarmTail()
+{
+    detail::g_tailArmed.store(false, std::memory_order_relaxed);
+}
+
+void
+resetTail()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mu);
+    for (auto &r : reg.reservoirs) {
+        std::lock_guard<std::mutex> rg(r->mu);
+        r->keep.clear();
+        r->minNs.store(0, std::memory_order_relaxed);
+    }
+    g_considered.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+tailK()
+{
+    return g_tailK.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+tailConsidered()
+{
+    return g_considered.load(std::memory_order_relaxed);
+}
+
+void
+setTailLabel(const std::string &branch, const std::string &algo)
+{
+    std::lock_guard<std::mutex> guard(g_labelMu);
+    g_branchLabel = branch;
+    g_algoLabel = algo;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>>
+snapshotTail()
+{
+    // Copy the reservoir list under the registry lock, then fold each
+    // under its own lock, exactly like the flight recorder's dump.
+    std::vector<std::shared_ptr<Reservoir>> reservoirs;
+    {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> guard(reg.mu);
+        reservoirs = reg.reservoirs;
+    }
+    std::vector<std::shared_ptr<const RequestTrace>> all;
+    for (auto &r : reservoirs) {
+        std::lock_guard<std::mutex> guard(r->mu);
+        all.insert(all.end(), r->keep.begin(), r->keep.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto &a, const auto &b) {
+                  if (a->totalNs() != b->totalNs())
+                      return a->totalNs() > b->totalNs();
+                  return a->id < b->id;
+              });
+    const std::size_t k = g_tailK.load(std::memory_order_relaxed);
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+namespace
+{
+
+std::uint64_t
+spanDurNs(const Span &s)
+{
+    return s.t1 > s.t0 ? s.t1 - s.t0 : 0;
+}
+
+void
+appendSpanAscii(std::ostringstream &os, const Span &s)
+{
+    char buf[192];
+    if (s.kind == SpanKind::Tx) {
+        std::snprintf(buf, sizeof(buf), "tx%u:%s:%s:%s:s%u:%llu",
+                      s.attempt, txOutcomeName(s.outcome, s.serial),
+                      s.cause != nullptr ? s.cause : "-",
+                      s.site != nullptr ? s.site : "-", s.shard,
+                      static_cast<unsigned long long>(spanDurNs(s) /
+                                                      1000));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s:s%u:%llu",
+                      spanKindName(s.kind), s.shard,
+                      static_cast<unsigned long long>(spanDurNs(s) /
+                                                      1000));
+    }
+    os << buf;
+}
+
+} // namespace
+
+std::string
+tailAsciiRows()
+{
+    const auto traces = snapshotTail();
+    std::ostringstream os;
+    os << "STAT tail_armed " << (tailArmed() ? 1 : 0) << "\r\n"
+       << "STAT tail_k " << tailK() << "\r\n"
+       << "STAT tail_considered " << tailConsidered() << "\r\n"
+       << "STAT tail_kept " << traces.size() << "\r\n";
+    std::size_t rank = 0;
+    for (const auto &t : traces) {
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "STAT tail%zu id=%llu worker=%u shard=%u "
+                      "binary=%d total_us=%llu spans=",
+                      rank, static_cast<unsigned long long>(t->id),
+                      t->worker, t->shard, t->binary ? 1 : 0,
+                      static_cast<unsigned long long>(t->totalNs() /
+                                                      1000));
+        os << head;
+        for (std::size_t i = 0; i < t->spans.size(); ++i) {
+            if (i != 0)
+                os << ';';
+            appendSpanAscii(os, t->spans[i]);
+        }
+        if (t->overflow)
+            os << ";...";
+        os << "\r\n";
+        ++rank;
+    }
+    return os.str();
+}
+
+std::string
+tailToJson()
+{
+    const auto traces = snapshotTail();
+    std::string branch;
+    std::string algo;
+    {
+        std::lock_guard<std::mutex> guard(g_labelMu);
+        branch = g_branchLabel;
+        algo = g_algoLabel;
+    }
+    std::ostringstream os;
+    os << "{\"schema\":\"tmemc-tail-v1\""
+       << ",\"branch\":\"" << jsonEscape(branch.c_str()) << "\""
+       << ",\"algo\":\"" << jsonEscape(algo.c_str()) << "\""
+       << ",\"armed\":" << (tailArmed() ? "true" : "false")
+       << ",\"k\":" << tailK()
+       << ",\"considered\":" << tailConsidered()
+       << ",\"kept\":" << traces.size() << ",\"requests\":[";
+    bool first_req = true;
+    for (const auto &t : traces) {
+        if (!first_req)
+            os << ',';
+        first_req = false;
+        os << "{\"id\":" << t->id << ",\"worker\":" << t->worker
+           << ",\"shard\":" << t->shard
+           << ",\"binary\":" << (t->binary ? "true" : "false")
+           << ",\"start_ns\":" << t->startNs
+           << ",\"total_ns\":" << t->totalNs()
+           << ",\"overflow\":" << (t->overflow ? "true" : "false")
+           << ",\"spans\":[";
+        bool first_span = true;
+        for (const Span &s : t->spans) {
+            if (!first_span)
+                os << ',';
+            first_span = false;
+            // t0 is trace-relative so timelines read from zero.
+            const std::uint64_t rel =
+                s.t0 > t->startNs ? s.t0 - t->startNs : 0;
+            os << "{\"kind\":\"" << spanKindName(s.kind) << "\""
+               << ",\"shard\":" << s.shard << ",\"t0_ns\":" << rel
+               << ",\"dur_ns\":" << spanDurNs(s);
+            if (s.kind == SpanKind::Tx) {
+                os << ",\"attempt\":" << s.attempt
+                   << ",\"outcome\":\""
+                   << txOutcomeName(s.outcome, s.serial) << "\""
+                   << ",\"serial\":" << (s.serial ? "true" : "false")
+                   << ",\"site\":\""
+                   << jsonEscape(s.site != nullptr ? s.site : "") << "\""
+                   << ",\"cause\":\""
+                   << jsonEscape(s.cause != nullptr ? s.cause : "")
+                   << "\"";
+            }
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+writeTailJsonFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = tailToJson();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace tmemc::obs::tail

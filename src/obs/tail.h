@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Per-request tail-latency tracer: request-scoped span chains kept
+ * only for the slowest requests, merged on demand.
+ *
+ * The histograms in obs/metrics.h say *that* p99 regressed; this
+ * tracer says *which requests* and *why*. Conn::drainFrames mints a
+ * request ID when a frame becomes executable and records a span chain
+ * across the whole serving path — parse, execute, every transaction
+ * attempt (with its outcome, abort cause, serial mode and shard), and
+ * the I/O-backend flush wait until the reply's last byte left the
+ * socket queue. Only requests slow enough for the top-K reservoir
+ * survive, so the memory cost is K traces per serving thread, not one
+ * per request (the llvm14-ldb tail-latency-debugger shape the ROADMAP
+ * asks for).
+ *
+ * Cost model mirrors trace.h / fault.h: while disarmed (the default;
+ * arm with tmemc_server --tail or obs::tail::armTail()), every hook is
+ * one relaxed load of a global flag and a predictable branch. Armed,
+ * the per-request state is a thread-local builder (the serving thread
+ * owns the request end to end, so no lock is taken while recording),
+ * and the reservoir insert takes a per-thread mutex — uncontended
+ * except while a snapshot is folding the reservoirs — *after* a
+ * relaxed threshold check rejects requests faster than the thread's
+ * current K-th slowest without locking anything.
+ *
+ * Reservoirs outlive their threads, exactly like the flight-recorder
+ * rings: the registry keeps shared ownership, so `stats tail` after a
+ * worker exited still shows its slow requests.
+ *
+ * Transactions run outside a traced request (maintenance threads,
+ * benches driving the cache in-process) hit the armed fast path and
+ * then find no active builder; they record nothing.
+ */
+
+#ifndef TMEMC_OBS_TAIL_H
+#define TMEMC_OBS_TAIL_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tmemc::obs::tail
+{
+
+/** What one span covers. Exec overlaps the tx attempts it contains;
+ *  spans are kept in open order, so the chain reads as a timeline. */
+enum class SpanKind : std::uint8_t
+{
+    Parse,  //!< Frame carved out of the read buffer.
+    Exec,   //!< Executor call: dispatch through cache and protocol.
+    Tx,     //!< One top-level transaction attempt.
+    Flush,  //!< Reply enqueued until its last byte left the out-queue.
+};
+
+/** How a Tx span's attempt ended. */
+enum class TxOutcome : std::uint8_t
+{
+    None,      //!< Span still open (disarm mid-request, crash dump).
+    Commit,    //!< Attempt committed.
+    Abort,     //!< Data conflict (or CM decision) rolled it back.
+    Switch,    //!< unsafeOp() forced a serial restart.
+    Promote,   //!< Invisible-reader fast path promoted to full path.
+    Retry,     //!< tm::retry(): rolled back and waited for a commit.
+};
+
+const char *spanKindName(SpanKind kind);
+const char *txOutcomeName(TxOutcome outcome, bool serial);
+
+/** One span. Site/cause are static strings (TxnAttr names, literals);
+ *  the span stores the pointer, never a copy. */
+struct Span
+{
+    std::uint64_t t0 = 0;        //!< nowNanos() at open.
+    std::uint64_t t1 = 0;        //!< nowNanos() at close (0: open).
+    const char *site = nullptr;  //!< Tx: attr name.
+    const char *cause = nullptr; //!< Tx: abort/switch/promote cause.
+    std::uint32_t shard = 0;     //!< Shard routed when the span closed.
+    std::uint32_t attempt = 0;   //!< Tx: 1-based attempt number.
+    SpanKind kind = SpanKind::Exec;
+    TxOutcome outcome = TxOutcome::None;
+    bool serial = false;         //!< Tx: ran serial-irrevocable.
+};
+
+/** Spans kept per request before the chain stops growing (a retry
+ *  storm must not grow one trace without bound). */
+constexpr std::size_t kMaxTailSpans = 96;
+
+/** Default reservoir depth per thread (and merged snapshot size). */
+constexpr std::size_t kDefaultTailK = 32;
+
+/** One traced request: identity plus its complete span chain. */
+struct RequestTrace
+{
+    std::uint64_t id = 0;       //!< Process-wide mint order, from 1.
+    std::uint64_t startNs = 0;  //!< Parse began (nowNanos clock).
+    std::uint64_t endNs = 0;    //!< Flush drained (or conn died).
+    std::uint32_t worker = 0;   //!< Event-loop worker index.
+    std::uint32_t shard = 0;    //!< Last shard the request routed to.
+    bool binary = false;        //!< Protocol of the request frame.
+    bool overflow = false;      //!< Spans dropped past kMaxTailSpans.
+    std::vector<Span> spans;
+
+    std::uint64_t totalNs() const { return endNs - startNs; }
+};
+
+/** Handle for a request whose reply is still flushing: the Conn holds
+ *  it until the out-queue drains, then finishRequest() closes the
+ *  flush span and offers the trace to the reservoir. */
+using PendingTrace = std::shared_ptr<RequestTrace>;
+
+namespace detail
+{
+
+extern std::atomic<bool> g_tailArmed;
+
+std::uint64_t beginRequestSlow(std::uint32_t worker, bool binary,
+                               std::uint64_t parse_t0);
+void noteShardSlow(std::uint32_t shard);
+void noteTxBeginSlow(const char *site, bool serial,
+                     std::uint32_t attempt);
+void noteTxCauseSlow(const char *cause);
+void noteTxEndSlow(TxOutcome outcome, bool serial);
+PendingTrace endRequestSlow();
+
+/** Direct reservoir insert, bypassing the builder: the unit tests
+ *  drive top-K/merge/wraparound invariants with fabricated traces. */
+void offerTrace(PendingTrace trace);
+
+} // namespace detail
+
+/** One relaxed load: is the tail tracer armed? */
+inline bool
+tailArmed()
+{
+    return detail::g_tailArmed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Start tracing a request on this thread. @p parse_t0 is the stamp
+ * taken before framing began; the parse span covers [parse_t0, now]
+ * and the exec span opens at now. Returns the minted request ID, or 0
+ * while disarmed (no state was touched).
+ */
+inline std::uint64_t
+beginRequest(std::uint32_t worker, bool binary, std::uint64_t parse_t0)
+{
+    if (!tailArmed())
+        return 0;
+    return detail::beginRequestSlow(worker, binary, parse_t0);
+}
+
+/** The request routed to @p shard (stamped into subsequent spans). */
+inline void
+noteShard(std::uint32_t shard)
+{
+    if (tailArmed())
+        detail::noteShardSlow(shard);
+}
+
+/** A top-level transaction attempt began on this thread. */
+inline void
+noteTxBegin(const char *site, bool serial, std::uint32_t attempt)
+{
+    if (tailArmed())
+        detail::noteTxBeginSlow(site, serial, attempt);
+}
+
+/** Why the open attempt is about to end (switch blame, promotion
+ *  cause, conflict). @p cause must be a static string. */
+inline void
+noteTxCause(const char *cause)
+{
+    if (tailArmed())
+        detail::noteTxCauseSlow(cause);
+}
+
+/** The open attempt ended. @p serial: it ran serial-irrevocable. */
+inline void
+noteTxEnd(TxOutcome outcome, bool serial)
+{
+    if (tailArmed())
+        detail::noteTxEndSlow(outcome, serial);
+}
+
+/**
+ * Execution finished; the reply is queued but not yet on the wire.
+ * Closes the exec span, opens the flush span, and detaches the trace
+ * from the thread (a new request may begin). Returns null while
+ * disarmed or when no request was being traced.
+ */
+inline PendingTrace
+endRequest()
+{
+    if (!tailArmed())
+        return nullptr;
+    return detail::endRequestSlow();
+}
+
+/**
+ * The connection's out-queue drained (or the connection died) at
+ * @p end_ns: close the flush span and offer the finished trace to
+ * this thread's reservoir. Null @p trace is ignored.
+ */
+void finishRequest(PendingTrace trace, std::uint64_t end_ns);
+
+/** Arm the tracer with per-thread reservoir depth @p k (also resets
+ *  all reservoirs and the considered/kept counters). */
+void armTail(std::size_t k = kDefaultTailK);
+
+/** Disarm; reservoirs keep their contents for a later dump. */
+void disarmTail();
+
+/** Discard every reservoir's contents and counters (test isolation). */
+void resetTail();
+
+/** Reservoir depth currently armed (or last armed). */
+std::size_t tailK();
+
+/** Requests traced since the last arm/reset (kept or not). */
+std::uint64_t tailConsidered();
+
+/** Label the dumps with the serving branch and TM algorithm (the
+ *  process-wide context every span chain shares). */
+void setTailLabel(const std::string &branch, const std::string &algo);
+
+/**
+ * Merge every thread's reservoir into the K slowest traces overall,
+ * slowest first. Traces are immutable once offered, so the returned
+ * pointers are safe to render without any lock.
+ */
+std::vector<std::shared_ptr<const RequestTrace>> snapshotTail();
+
+/**
+ * `stats tail` body: STAT tail_armed/tail_k/tail_considered/tail_kept
+ * rows, then one "STAT tail<rank> id=... spans=..." row per kept
+ * request, slowest first. Span tokens are ';'-joined, each
+ * "<kind>:<detail>:s<shard>:<dur_us>" — e.g.
+ * "tx1:abort:conflict:mc.assoc.set:s3:412".
+ */
+std::string tailAsciiRows();
+
+/** The whole snapshot as one tmemc-tail-v1 JSON object. */
+std::string tailToJson();
+
+/** Write tailToJson() to @p path. @return false on I/O error. */
+bool writeTailJsonFile(const std::string &path);
+
+} // namespace tmemc::obs::tail
+
+#endif // TMEMC_OBS_TAIL_H

@@ -108,6 +108,25 @@ enum class AlgoKind : std::uint8_t
     RA,
 };
 
+/** Printable name for @p kind (metrics and tail-trace labels). */
+inline const char *
+algoKindName(AlgoKind kind)
+{
+    switch (kind) {
+      case AlgoKind::GccEager:
+        return "gcc-eager";
+      case AlgoKind::Lazy:
+        return "lazy";
+      case AlgoKind::NOrec:
+        return "norec";
+      case AlgoKind::Serial:
+        return "serial";
+      case AlgoKind::RA:
+        return "ra";
+    }
+    return "?";
+}
+
 /** Selectable contention managers (paper Figure 11). */
 enum class CmKind : std::uint8_t
 {

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "obs/hist.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "tm/api.h"
 #include "tm/strict.h"
@@ -306,6 +307,10 @@ beginAttempt(Runtime &rt, TxDesc &d)
     // begin stamp may only predate the attempt's first access.
     opacity::beginRecord(d);
     obs::traceRecord(obs::TraceEvent::TxBegin, d.attr->name);
+    // Tail span opens before any lock wait: a serial attempt's wait
+    // for the write lock is part of the serialization cost the span
+    // must attribute.
+    obs::tail::noteTxBegin(d.attr->name, serial, d.obsAttempts);
     if (serial) {
         // Serial-mode time includes the wait for the write lock: that
         // wait is part of the serialization cost the paper measures.
@@ -413,6 +418,8 @@ finishCommit(Runtime &rt, TxDesc &d)
     obs::hist(obs::HistKind::TxAttempts)
         .record(std::uint64_t{d.obsAttempts} * 1000);
     obs::traceRecord(obs::TraceEvent::TxCommit, d.attr->name);
+    obs::tail::noteTxEnd(obs::tail::TxOutcome::Commit,
+                         d.state == RunState::SerialIrrevocable);
 
     d.state = RunState::Inactive;
     d.nesting = 0;
@@ -463,6 +470,7 @@ handleAbort(Runtime &rt, TxDesc &d)
         // The rollback exists only to restart in serial mode; it does
         // not feed the contention manager.
         d.abortIsSwitch = false;
+        obs::tail::noteTxEnd(obs::tail::TxOutcome::Switch, false);
         return;
     }
     if (was_ro_fast && d.roPromote) {
@@ -471,6 +479,7 @@ handleAbort(Runtime &rt, TxDesc &d)
         // instrumented; the contention manager is not consulted.
         d.stats.total.roPromotions++;
         d.stats.site(d.attr).roPromotions++;
+        obs::tail::noteTxEnd(obs::tail::TxOutcome::Promote, false);
         return;
     }
     if (was_ro_fast) {
@@ -482,6 +491,7 @@ handleAbort(Runtime &rt, TxDesc &d)
     }
 
     obs::traceRecord(obs::TraceEvent::TxAbort, d.attr->name);
+    obs::tail::noteTxEnd(obs::tail::TxOutcome::Abort, false);
     d.stats.total.aborts++;
     d.stats.site(d.attr).aborts++;
     d.consecAborts++;
@@ -496,6 +506,7 @@ void
 promoteRoFast(TxDesc &d, const char *what)
 {
     obs::traceRecord(obs::TraceEvent::TxAbort, what);
+    obs::tail::noteTxCause(what);
     d.roPromote = true;
     throw TxAbort{};
 }
@@ -543,9 +554,12 @@ handleRetry(Runtime &rt, TxDesc &d)
     for (;;) {
         if (dom.clock.load(std::memory_order_acquire) != clock_then ||
             dom.norecSeq.load(std::memory_order_acquire) != seq_then)
-            return;
+            break;
         std::this_thread::yield();
     }
+    // Closed after the wait: the blocked time is the retry's cost,
+    // and the tail span chain must show where it went.
+    obs::tail::noteTxEnd(obs::tail::TxOutcome::Retry, false);
 }
 
 } // namespace detail
@@ -586,6 +600,7 @@ unsafeOp(TxDesc &d, const char *what)
     // Record what forced the switch (the diagnostic the paper had to
     // build into GCC via execinfo).
     obs::traceRecord(obs::TraceEvent::TxSerialSwitch, what);
+    obs::tail::noteTxCause(what);
     d.stats.switchBlame[d.attr][what]++;
     d.pendingSerialRestart = true;
     d.abortIsSwitch = true;
