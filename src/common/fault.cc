@@ -43,9 +43,11 @@ registry()
 }
 
 /** Armed-site count mirrored into an atomic for the fast path. */
+// atom-protocol: armed-latch
 std::atomic<bool> g_enabled{false};
 
 /** Armed-site hit observer (see setHitHook). */
+// atom-protocol: release-acquire-pair
 std::atomic<HitHook> g_hitHook{nullptr};
 
 } // namespace

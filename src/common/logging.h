@@ -30,6 +30,7 @@ using CrashHook = void (*)();
 
 namespace detail
 {
+// atom-protocol: release-acquire-pair
 inline std::atomic<CrashHook> g_crashHook{nullptr};
 } // namespace detail
 
@@ -94,7 +95,9 @@ fatal(const char *fmt, ...)
     vreport("fatal", fmt, ap);
     va_end(ap);
     runCrashHook();
-    std::exit(1);
+    // exit (not abort) so atexit-registered reporters flush; the
+    // process is single-threaded-by-fiat once fatal() fires.
+    std::exit(1); // NOLINT(concurrency-mt-unsafe)
 }
 
 /** Report a suspicious-but-survivable condition. */

@@ -1451,6 +1451,7 @@ class CacheCore
     std::vector<Padded<ThreadStatsBlock>> tstats_;
     std::uint64_t casCounter_ = 0;
 
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> opTicks_{0};
     std::uint64_t currentTime_ = 1;  //!< Volatile category.
 

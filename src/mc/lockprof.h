@@ -55,20 +55,28 @@ class ProfiledMutex
     void unlock() { mu_.unlock(); }
 
     const char *name() const { return name_; }
-    std::uint64_t acquisitions() const { return acquisitions_.load(); }
-    std::uint64_t contended() const { return contended_.load(); }
+    std::uint64_t acquisitions() const
+    {
+        return acquisitions_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t contended() const
+    {
+        return contended_.load(std::memory_order_relaxed);
+    }
 
     void
     resetCounters()
     {
-        acquisitions_.store(0);
-        contended_.store(0);
+        acquisitions_.store(0, std::memory_order_relaxed);
+        contended_.store(0, std::memory_order_relaxed);
     }
 
   private:
     const char *name_;
     std::mutex mu_;
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> acquisitions_{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> contended_{0};
 };
 

@@ -132,6 +132,7 @@ class Worklist
     std::vector<WorkQueue> queues_;
     Handler handler_;
     std::vector<std::thread> threads_;
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> nextConn_{0};
 };
 

@@ -194,19 +194,29 @@ class Cluster
     std::vector<std::unique_ptr<Node>> nodes_;
     /** Sorted ring: (hash point, node index). */
     std::vector<std::pair<std::uint32_t, std::uint32_t>> ring_;
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> jitterSeq_{0};
     std::uint64_t metricsToken_ = 0;
 
     struct AtomicStats
     {
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> requests{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> retries{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> netErrors{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> ejections{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> probes{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> readmissions{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> failovers{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> readRepairs{0};
+        // atom-protocol: relaxed-counter
         std::atomic<std::uint64_t> replicaLag{0};
     };
     AtomicStats stats_;

@@ -53,12 +53,19 @@ namespace tmemc::net
  */
 struct NetCounters
 {
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> currConnections{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> totalConnections{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> rejectedConnections{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> idleKicks{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> backpressureCloses{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> oomErrors{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> acceptFailures{0};
 };
 
@@ -143,7 +150,9 @@ class EventLoop
     std::unique_ptr<Poller> poller_;
     int wakefd_ = -1;
     std::thread thread_;
+    // atom-protocol: release-acquire-pair
     std::atomic<bool> stopping_{false};
+    // atom-protocol: release-acquire-pair
     std::atomic<bool> draining_{false};
 
     std::mutex pendingMu_;
@@ -151,7 +160,9 @@ class EventLoop
 
     std::unordered_map<int, std::unique_ptr<Conn>> conns_;
     std::uint64_t nextConnId_ = 1;
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> served_{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::size_t> open_{0};
 };
 

@@ -151,6 +151,7 @@ class Server
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
     std::thread acceptThread_;
+    // atom-protocol: release-acquire-pair
     std::atomic<bool> stopping_{false};
     NetCounters counters_;
     /** Metrics-registry token for the "net" counter source; 0 when
@@ -158,6 +159,7 @@ class Server
      *  destructor so post-drain metrics dumps keep the net totals. */
     std::uint64_t metricsToken_ = 0;
     /** Requests served by loops already torn down in stop(). */
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> servedFinal_{0};
     std::vector<std::unique_ptr<EventLoop>> loops_;
     std::uint64_t rr_ = 0;  //!< Round-robin cursor (accept thread only).

@@ -50,12 +50,14 @@
 namespace
 {
 
+// atom-protocol: relaxed-ok(signal-to-main stop flag; the poll loop
+// only needs eventual visibility, no data is published through it)
 std::atomic<bool> g_stop{false};
 
 void
 onSignal(int)
 {
-    g_stop.store(true);
+    g_stop.store(true, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -213,7 +215,7 @@ main(int argc, char **argv)
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 
-    while (!g_stop.load())
+    while (!g_stop.load(std::memory_order_relaxed))
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
     const bool drained = server.drain(drain_ms);

@@ -212,6 +212,7 @@ class Histogram
   private:
     struct alignas(cachelineBytes) Stripe
     {
+        // atom-protocol: relaxed-counter
         std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
     };
 
@@ -221,6 +222,7 @@ class Histogram
         // One registration per thread; the counter spreads threads
         // round-robin across stripes, so the common case is a
         // single-writer stripe.
+        // atom-protocol: relaxed-counter
         static std::atomic<unsigned> next{0};
         thread_local unsigned mine =
             next.fetch_add(1, std::memory_order_relaxed) % kStripes;

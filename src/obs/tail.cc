@@ -66,6 +66,8 @@ namespace
 struct Reservoir
 {
     std::mutex mu;
+    // atom-protocol: relaxed-ok(lock-free fast-reject floor only; a
+    // stale read just means taking mu, the exact value lives under mu)
     std::atomic<std::uint64_t> minNs{0};
     std::vector<PendingTrace> keep;
 };
@@ -104,8 +106,12 @@ slowerThan(const PendingTrace &a, const PendingTrace &b)
     return a->totalNs() > b->totalNs();
 }
 
+// atom-protocol: relaxed-counter
 std::atomic<std::uint64_t> g_nextId{1};
+// atom-protocol: relaxed-counter
 std::atomic<std::uint64_t> g_considered{0};
+// atom-protocol: relaxed-ok(config written before g_tailArmed's
+// release store; readers acquire the latch in beginRequestSlow)
 std::atomic<std::size_t> g_tailK{kDefaultTailK};
 
 std::mutex g_labelMu;
@@ -160,12 +166,19 @@ jsonEscape(const char *s)
 namespace detail
 {
 
+// atom-protocol: armed-latch
 std::atomic<bool> g_tailArmed{false};
 
 std::uint64_t
 beginRequestSlow(std::uint32_t worker, bool binary,
                  std::uint64_t parse_t0)
 {
+    // Acquire re-read of the latch: synchronizes with armTail()'s
+    // release store, so the g_tailK/reservoir configuration written
+    // before arming is visible to everything this request does. The
+    // caller's relaxed fast-path gate proves nothing about that.
+    if (!g_tailArmed.load(std::memory_order_acquire))
+        return 0;
     Builder &b = tlsBuilder;
     // A stale in-flight trace (arm/disarm raced a request) is dropped;
     // requests on one thread never overlap otherwise.
@@ -344,13 +357,17 @@ armTail(std::size_t k)
     g_tailK.store(k == 0 ? kDefaultTailK : k,
                   std::memory_order_relaxed);
     resetTail();
-    detail::g_tailArmed.store(true, std::memory_order_relaxed);
+    // Release publishes the K/reservoir configuration written above:
+    // a worker that acquires the latch in beginRequestSlow() must see
+    // it (armed-latch protocol; was relaxed — a worker could trace
+    // against the previous arm's K).
+    detail::g_tailArmed.store(true, std::memory_order_release);
 }
 
 void
 disarmTail()
 {
-    detail::g_tailArmed.store(false, std::memory_order_relaxed);
+    detail::g_tailArmed.store(false, std::memory_order_release);
 }
 
 void

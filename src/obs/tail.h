@@ -114,6 +114,7 @@ using PendingTrace = std::shared_ptr<RequestTrace>;
 namespace detail
 {
 
+// atom-protocol: armed-latch
 extern std::atomic<bool> g_tailArmed;
 
 std::uint64_t beginRequestSlow(std::uint32_t worker, bool binary,

@@ -101,6 +101,7 @@ faultHit(const char *site)
 namespace detail
 {
 
+// atom-protocol: armed-latch
 std::atomic<bool> g_traceArmed{false};
 
 void
@@ -123,13 +124,16 @@ armTrace()
 {
     setCrashHook(&crashDump);
     fault::setHitHook(&faultHit);
-    detail::g_traceArmed.store(true, std::memory_order_relaxed);
+    // Release: the hooks installed above (their own release stores)
+    // plus any future arm-time config must be published before the
+    // latch reads true (armed-latch protocol).
+    detail::g_traceArmed.store(true, std::memory_order_release);
 }
 
 void
 disarmTrace()
 {
-    detail::g_traceArmed.store(false, std::memory_order_relaxed);
+    detail::g_traceArmed.store(false, std::memory_order_release);
 }
 
 void

@@ -62,6 +62,7 @@ constexpr std::size_t kTraceCapacity = 4096;
 namespace detail
 {
 
+// atom-protocol: armed-latch
 extern std::atomic<bool> g_traceArmed;
 
 /** Slow path: append to this thread's ring (registers it on first

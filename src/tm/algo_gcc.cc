@@ -60,6 +60,7 @@ class GccEagerAlgo : public Algo
             const std::uint64_t val =
                 rawLoad(reinterpret_cast<void *>(word_addr));
             std::atomic_thread_fence(std::memory_order_acquire);
+            // atom-allow: relaxed re-read ordered by the fence above
             if (o.load(std::memory_order_relaxed) != w1)
                 continue;  // Raced with a commit; re-sample.
             if (s1.version() > d.startTime)
@@ -83,6 +84,7 @@ class GccEagerAlgo : public Algo
             const std::uint64_t val =
                 rawLoad(reinterpret_cast<void *>(word_addr));
             std::atomic_thread_fence(std::memory_order_acquire);
+            // atom-allow: relaxed re-read ordered by the fence above
             const std::uint64_t w2 = o.load(std::memory_order_relaxed);
             if (w1 != w2)
                 continue;  // Raced with a commit; re-sample.

@@ -54,6 +54,7 @@ class LazyAlgo : public Algo
             const std::uint64_t mem =
                 rawLoad(reinterpret_cast<void *>(word_addr));
             std::atomic_thread_fence(std::memory_order_acquire);
+            // atom-allow: relaxed re-read ordered by the fence above
             if (o.load(std::memory_order_relaxed) != w1)
                 continue;
             if (s1.version() > d.startTime)
@@ -80,6 +81,7 @@ class LazyAlgo : public Algo
             const std::uint64_t mem =
                 rawLoad(reinterpret_cast<void *>(word_addr));
             std::atomic_thread_fence(std::memory_order_acquire);
+            // atom-allow: relaxed re-read ordered by the fence above
             const std::uint64_t w2 = o.load(std::memory_order_relaxed);
             if (w1 != w2)
                 continue;

@@ -58,6 +58,7 @@ class NOrecAlgo : public Algo
         const std::uint64_t mem =
             rawLoad(reinterpret_cast<void *>(word_addr));
         std::atomic_thread_fence(std::memory_order_acquire);
+        // atom-allow: relaxed re-read ordered by the fence above
         if (d.dom().norecSeq.load(std::memory_order_relaxed) !=
             d.norecSnapshot)
             throw TxAbort{};
@@ -75,6 +76,7 @@ class NOrecAlgo : public Algo
 
         std::uint64_t mem = rawLoad(reinterpret_cast<void *>(word_addr));
         std::atomic_thread_fence(std::memory_order_acquire);
+        // atom-allow: relaxed re-read ordered by the fence above
         while (d.dom().norecSeq.load(std::memory_order_relaxed) !=
                d.norecSnapshot) {
             d.norecSnapshot = validate(rt, d);
@@ -156,6 +158,7 @@ class NOrecAlgo : public Algo
                     throw TxAbort{};
             }
             std::atomic_thread_fence(std::memory_order_acquire);
+            // atom-allow: relaxed re-read ordered by the fence above
             if (d.dom().norecSeq.load(std::memory_order_relaxed) == t) {
                 d.publishStart(t);
                 return t;

@@ -51,12 +51,15 @@ class TxDomain
      * fetch_add (the clock only orders snapshots there — data
      * visibility rides on the orec release/acquire pairs).
      */
+    // atom-protocol: release-acquire-pair
     std::atomic<std::uint64_t> clock{0};
     /** Sequence lock (NOrec). */
+    // atom-protocol: seqlock
     std::atomic<std::uint64_t> norecSeq{0};
     /** Readers/writer serialization lock. */
     SerialLock serialLock;
     /** Hourglass neck: when set, only the owner may begin. */
+    // atom-protocol: release-acquire-pair
     std::atomic<TxDesc *> toxic{nullptr};
 
     /** Ownership-record table. */
@@ -67,9 +70,11 @@ class TxDomain
     reset(std::uint32_t orec_bits)
     {
         orecs_ = std::make_unique<OrecTable>(orec_bits);
-        clock.store(0, std::memory_order_relaxed);
-        norecSeq.store(0, std::memory_order_relaxed);
-        toxic.store(nullptr, std::memory_order_relaxed);
+        // Reconfiguration runs quiesced; release is free here and
+        // keeps the words at their protocol's store minimum.
+        clock.store(0, std::memory_order_release);
+        norecSeq.store(0, std::memory_order_release);
+        toxic.store(nullptr, std::memory_order_release);
     }
 
   private:

@@ -13,12 +13,16 @@
 namespace tmemc::tm::opacity
 {
 
+// atom-protocol: relaxed-ok(written under gRecordsLock; lock-free
+// readers tag records and finishRecord revalidates under the lock)
 std::atomic<std::uint64_t> gEpoch{0};
 
 namespace
 {
 
+// atom-protocol: release-acquire-pair
 std::atomic<std::uint64_t> gStamp{0};
+// atom-protocol: relaxed-ok(sticky overflow flag, read after join)
 std::atomic<bool> gOverflow{false};
 
 std::mutex gRecordsLock;

@@ -75,6 +75,8 @@ constexpr std::size_t kMaxRecords = 1u << 16;
  * straggler thread from a previous armed window that was never joined
  * cannot leak its stale history into the next window's collect().
  */
+// atom-protocol: relaxed-ok(written under gRecordsLock; lock-free
+// readers tag records and finishRecord revalidates under the lock)
 extern std::atomic<std::uint64_t> gEpoch;
 
 /** True while recording is armed (relaxed: per-attempt latch). */

@@ -31,7 +31,13 @@ namespace tmemc::tm
 
 class TxDesc;
 
-/** A single ownership record. */
+/** A single ownership record.
+ *  Ordering contract: acquiring the orec (CAS to a locked word) needs
+ *  the load side; releasing it (version store) publishes the covered
+ *  data and needs release. Validation loads need acquire unless a
+ *  trailing acquire fence supplies the edge (atom-allow'd per site).
+ */
+// atom-protocol: orec-lock
 using OrecWord = std::atomic<std::uint64_t>;
 
 /** Decoded view of an orec word. */
@@ -78,6 +84,7 @@ class OrecTable
         : mask_((std::size_t{1} << bits) - 1),
           table_(std::make_unique<OrecWord[]>(std::size_t{1} << bits))
     {
+        // atom-allow: pre-publication zeroing inside the constructor
         for (std::size_t i = 0; i <= mask_; ++i)
             table_[i].store(0, std::memory_order_relaxed);
     }

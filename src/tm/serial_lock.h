@@ -111,7 +111,9 @@ class SerialLock
     }
 
   private:
+    // atom-protocol: rw-lock
     alignas(cachelineBytes) std::atomic<std::uint32_t> writer_{0};
+    // atom-protocol: rw-lock
     alignas(cachelineBytes) std::atomic<std::uint32_t> readers_{0};
 };
 

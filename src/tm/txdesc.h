@@ -130,6 +130,8 @@ class alignas(cachelineBytes) TxDesc
      * start time is published; read concurrently by quiesce()). Points
      * at the runtime's home domain unless a DomainScope was in effect.
      */
+    // atom-protocol: relaxed-ok(ordering rides on pubStart: written
+    // before its release store, read after its acquire load)
     std::atomic<TxDomain *> domain{nullptr};
 
     /** The running transaction's domain (algorithm fast path). */
@@ -145,6 +147,7 @@ class alignas(cachelineBytes) TxDesc
     std::uint64_t norecSnapshot = 0;
     /** Published start time for commit-time quiescence; 0 = inactive.
      *  Stored as startTime + 1 so that startTime 0 is representable. */
+    // atom-protocol: release-acquire-pair
     std::atomic<std::uint64_t> pubStart{0};
 
     std::vector<ReadEntry> readSet;

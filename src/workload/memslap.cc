@@ -173,10 +173,15 @@ runMemslapCluster(const MemslapCfg &cfg)
 
     const std::uint64_t before_lag = cluster.stats().replica_lag;
 
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> hits{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> misses{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> failures{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> lost{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> lost_acked{0};
 
     // ------------------------------------------------------------------
@@ -310,11 +315,11 @@ runMemslapCluster(const MemslapCfg &cfg)
     MemslapResult res;
     res.seconds = measured;
     res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
-    res.hits = hits.load();
-    res.misses = misses.load();
-    res.failures = failures.load();
-    res.lostResponses = lost.load();
-    res.lostAckedUpdates = lost_acked.load();
+    res.hits = hits.load(std::memory_order_relaxed);
+    res.misses = misses.load(std::memory_order_relaxed);
+    res.failures = failures.load(std::memory_order_relaxed);
+    res.lostResponses = lost.load(std::memory_order_relaxed);
+    res.lostAckedUpdates = lost_acked.load(std::memory_order_relaxed);
     res.clusterStats = cluster.stats();
     res.degradedWrites = res.clusterStats.replica_lag - before_lag;
     return res;
@@ -329,6 +334,7 @@ runMemslapNet(const MemslapCfg &cfg)
     // ------------------------------------------------------------------
     // Warm phase over the wire (unmeasured).
     // ------------------------------------------------------------------
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> warm_lost{0};
     {
         std::vector<std::thread> warmers;
@@ -337,7 +343,8 @@ runMemslapNet(const MemslapCfg &cfg)
                 net::Client client;
                 if (!client.connect(cfg.serverHost, cfg.serverPort,
                                     cfg.connectTimeoutMs)) {
-                    warm_lost.fetch_add(cfg.windowSize);
+                    warm_lost.fetch_add(cfg.windowSize,
+                                        std::memory_order_relaxed);
                     return;
                 }
                 client.setRecvTimeout(cfg.recvTimeoutMs);
@@ -351,7 +358,7 @@ runMemslapNet(const MemslapCfg &cfg)
                            std::string(key.data(), cfg.keySize),
                            val.data(), cfg.valueSize, ctr);
                 }
-                warm_lost.fetch_add(ctr.lost);
+                warm_lost.fetch_add(ctr.lost, std::memory_order_relaxed);
             });
         }
         for (auto &w : warmers)
@@ -361,9 +368,13 @@ runMemslapNet(const MemslapCfg &cfg)
     // ------------------------------------------------------------------
     // Measured phase.
     // ------------------------------------------------------------------
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> hits{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> misses{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> failures{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> lost{0};
 
     WallTimer timer;
@@ -373,7 +384,8 @@ runMemslapNet(const MemslapCfg &cfg)
             net::Client client;
             if (!client.connect(cfg.serverHost, cfg.serverPort,
                                 cfg.connectTimeoutMs)) {
-                lost.fetch_add(cfg.executeNumber);
+                lost.fetch_add(cfg.executeNumber,
+                               std::memory_order_relaxed);
                 return;
             }
             client.setRecvTimeout(cfg.recvTimeoutMs);
@@ -426,10 +438,10 @@ runMemslapNet(const MemslapCfg &cfg)
     MemslapResult res;
     res.seconds = timer.elapsedSeconds();
     res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
-    res.hits = hits.load();
-    res.misses = misses.load();
-    res.failures = failures.load();
-    res.lostResponses = lost.load() + warm_lost.load();
+    res.hits = hits.load(std::memory_order_relaxed);
+    res.misses = misses.load(std::memory_order_relaxed);
+    res.failures = failures.load(std::memory_order_relaxed);
+    res.lostResponses = lost.load(std::memory_order_relaxed) + warm_lost.load(std::memory_order_relaxed);
     return res;
 }
 
@@ -467,8 +479,11 @@ runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg)
     // ------------------------------------------------------------------
     // Measured phase.
     // ------------------------------------------------------------------
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> hits{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> misses{0};
+    // atom-protocol: relaxed-counter
     std::atomic<std::uint64_t> failures{0};
 
     WallTimer timer;
@@ -556,9 +571,9 @@ runMemslap(mc::CacheIface &cache, const MemslapCfg &cfg)
     MemslapResult res;
     res.seconds = timer.elapsedSeconds();
     res.ops = static_cast<std::uint64_t>(threads) * cfg.executeNumber;
-    res.hits = hits.load();
-    res.misses = misses.load();
-    res.failures = failures.load();
+    res.hits = hits.load(std::memory_order_relaxed);
+    res.misses = misses.load(std::memory_order_relaxed);
+    res.failures = failures.load(std::memory_order_relaxed);
     return res;
 }
 

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * atomlint fixture: one variable bound to two different protocols
+ * (here an extern declaration and its definition disagree). The
+ * binding is project-wide by name, so the protocols must match.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+// atom-protocol: relaxed-counter
+extern std::atomic<std::uint64_t> twoFaced;
+
+// atom-protocol: release-acquire-pair
+std::atomic<std::uint64_t> twoFaced{0}; // atomlint-expect: AL1

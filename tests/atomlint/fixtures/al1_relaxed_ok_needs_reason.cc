@@ -1,0 +1,22 @@
+/**
+ * @file
+ * atomlint fixture: relaxed-ok is the "externally synchronized"
+ * escape hatch; it is meaningless without the reason naming the
+ * external synchronization (a lock, a fence, a quiesced phase).
+ */
+
+#include <atomic>
+
+namespace
+{
+
+// atom-protocol: relaxed-ok
+std::atomic<bool> because{false}; // atomlint-expect: AL1
+
+bool
+peek()
+{
+    return because.load(std::memory_order_relaxed);
+}
+
+} // namespace

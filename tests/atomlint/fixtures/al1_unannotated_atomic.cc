@@ -1,0 +1,22 @@
+/**
+ * @file
+ * atomlint fixture: a std::atomic declaration with no atom-protocol
+ * annotation. Every atomic in the tree must declare its ordering
+ * protocol; an unannotated one is unreviewable.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+std::atomic<std::uint64_t> orphan{0}; // atomlint-expect: AL1
+
+std::uint64_t
+peek()
+{
+    return orphan.load(std::memory_order_relaxed);
+}
+
+} // namespace

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * atomlint fixture: a relaxed load consuming a release-acquire pair.
+ * The guard's writer publishes with release; a relaxed read of the
+ * guard creates no happens-before edge, so the payload read after it
+ * can be stale — the classic MP relaxed outcome.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: release-acquire-pair
+std::atomic<std::uint64_t> guard{0};
+std::uint64_t payload = 0;
+
+void
+publish()
+{
+    payload = 42;
+    guard.store(1, std::memory_order_release);
+}
+
+std::uint64_t
+consumeBroken()
+{
+    if (guard.load(std::memory_order_relaxed) == 1) // atomlint-expect: AL2
+        return payload;
+    return 0;
+}
+
+} // namespace

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * atomlint fixture: the bug atomlint's first tree scan found in
+ * obs::armTail() — an armed-latch latch stored relaxed. Config is
+ * written before arming, but a relaxed arm store publishes nothing:
+ * a worker that sees the latch can still read stale configuration.
+ */
+
+#include <atomic>
+#include <cstddef>
+
+namespace
+{
+
+// atom-protocol: armed-latch
+std::atomic<bool> armed{false};
+std::size_t configK = 0;
+
+void
+armBroken(std::size_t k)
+{
+    configK = k;
+    armed.store(true, std::memory_order_relaxed); // atomlint-expect: AL2
+}
+
+void
+disarmBroken()
+{
+    armed.store(false, std::memory_order_relaxed); // atomlint-expect: AL2
+}
+
+bool
+fastGate()
+{
+    return armed.load(std::memory_order_relaxed); // relaxed gate is the point
+}
+
+} // namespace

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * atomlint fixture: a seq-cst-required variable accessed with
+ * acquire/release. SB-shaped algorithms (Dekker-style flags) need
+ * the single total order; release/acquire alone permits both
+ * threads to miss each other's store.
+ */
+
+#include <atomic>
+
+namespace
+{
+
+// atom-protocol: seq-cst-required
+std::atomic<bool> flagA{false};
+// atom-protocol: seq-cst-required
+std::atomic<bool> flagB{false};
+
+bool
+enterBroken()
+{
+    flagA.store(true, std::memory_order_release); // atomlint-expect: AL2
+    return !flagB.load(std::memory_order_acquire); // atomlint-expect: AL2
+}
+
+bool
+enterOk()
+{
+    flagA.store(true, std::memory_order_seq_cst);
+    return !flagB.load(); // implicit seq_cst is the protocol here
+}
+
+} // namespace

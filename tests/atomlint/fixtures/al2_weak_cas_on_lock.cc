@@ -1,0 +1,43 @@
+/**
+ * @file
+ * atomlint fixture: a fully-relaxed CAS acquiring an orec-lock word
+ * (bound through the annotated type alias, the way src/tm/orec.h
+ * binds OrecWord). A lock acquisition without the acquire side lets
+ * the critical section's reads float above the lock.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: orec-lock
+using LockWord = std::atomic<std::uint64_t>;
+
+LockWord word{0};
+
+bool
+tryLockBroken(LockWord &w)
+{
+    std::uint64_t expect = 0;
+    return w.compare_exchange_strong(expect, 1, // atomlint-expect: AL2
+                                     std::memory_order_relaxed);
+}
+
+void
+unlockOk(LockWord &w)
+{
+    w.store(0, std::memory_order_release);
+}
+
+bool
+driver()
+{
+    const bool got = tryLockBroken(word);
+    if (got)
+        unlockOk(word);
+    return got;
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * atomlint fixture: explicit over-ordering on a relaxed-counter. An
+ * acquire load / release RMW on a statistics counter orders nothing
+ * anyone relies on — the protocol says pay for relaxed only.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: relaxed-counter
+std::atomic<std::uint64_t> served{0};
+
+void
+bumpBroken()
+{
+    served.fetch_add(1, std::memory_order_release); // atomlint-expect: AL3
+}
+
+std::uint64_t
+readBroken()
+{
+    return served.load(std::memory_order_acquire); // atomlint-expect: AL3
+}
+
+std::uint64_t
+readOk()
+{
+    return served.load(std::memory_order_relaxed);
+}
+
+} // namespace

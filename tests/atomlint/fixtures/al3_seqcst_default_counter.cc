@@ -1,0 +1,41 @@
+/**
+ * @file
+ * atomlint fixture: implicit seq_cst on a relaxed-counter — both the
+ * no-argument member-call form and the operator form. Warn-tier
+ * (AL3): correct but pays a full fence per tick on x86/ARM.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: relaxed-counter
+std::atomic<std::uint64_t> ticks{0};
+
+void
+tickBroken()
+{
+    ticks.fetch_add(1); // atomlint-expect: AL3
+}
+
+void
+tickOperatorBroken()
+{
+    ++ticks; // atomlint-expect: AL3
+}
+
+std::uint64_t
+readBroken()
+{
+    return ticks.load(); // atomlint-expect: AL3
+}
+
+void
+tickOk()
+{
+    ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * atomlint fixture: an atomic RMW inside a checked (atomic) tm::run
+ * body. The order is protocol-correct, so AL2/AL3 stay quiet — but
+ * the RMW is immediately visible and survives abort, which tmlint
+ * flags as TM3; atomlint's AL4 is the inventory-side view of the
+ * same composition rule.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/api.h"
+
+namespace
+{
+
+// atom-protocol: relaxed-counter
+std::atomic<std::uint64_t> escapes{0};
+std::uint64_t cell;
+
+const tmemc::tm::TxnAttr kAttr{"fixture:al4-rmw",
+                               tmemc::tm::TxnKind::Atomic, false};
+
+void
+bumpInsideTx()
+{
+    namespace tm = tmemc::tm;
+    tm::run(kAttr, [&](tm::TxDesc &tx) {
+        escapes.fetch_add(1, std::memory_order_relaxed); // atomlint-expect: AL4
+        tm::txStore(tx, &cell, tm::txLoad(tx, &cell) + 1);
+    });
+}
+
+} // namespace

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * atomlint fixture: a guarded-by(statsMu) atomic accessed without
+ * the named lock held. The atomic type only makes the word tear-free;
+ * the protocol says its consistency comes from the mutex.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace
+{
+
+std::mutex statsMu;
+// atom-protocol: guarded-by(statsMu)
+std::atomic<std::uint64_t> epoch{0};
+
+void
+bumpHeldOk()
+{
+    std::lock_guard<std::mutex> g(statsMu);
+    epoch.store(epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+std::uint64_t
+peekBroken()
+{
+    return epoch.load(std::memory_order_relaxed); // atomlint-expect: AL5
+}
+
+} // namespace

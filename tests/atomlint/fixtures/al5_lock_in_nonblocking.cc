@@ -1,0 +1,29 @@
+/**
+ * @file
+ * atomlint fixture: a mutex acquired inside a function declared
+ * atom-nonblocking. The marker is for hot paths whose contract is
+ * "one relaxed load when disarmed" — taking a lock there turns every
+ * caller into a potential blocker (the blocking-in-loop lint).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace
+{
+
+std::mutex slowMu;
+// atom-protocol: relaxed-counter
+std::atomic<std::uint64_t> hits{0};
+
+// atom-nonblocking: per-op fast path, called from the event loop
+std::uint64_t
+recordBroken()
+{
+    hits.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(slowMu); // atomlint-expect: AL5
+    return hits.load(std::memory_order_relaxed);
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * atomlint fixture: protocol bound through an atomic type alias (the
+ * src/tm/orec.h OrecWord pattern). Accesses through alias-typed
+ * locals, references, and owned arrays all inherit the protocol and
+ * are all at their minima here. Must produce no diagnostics.
+ */
+
+// atomlint-expect: none
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace
+{
+
+// atom-protocol: orec-lock
+using VersionWord = std::atomic<std::uint64_t>;
+
+struct Table
+{
+    std::unique_ptr<VersionWord[]> words;
+};
+
+bool
+tryLock(VersionWord &w)
+{
+    std::uint64_t expect = 0;
+    return w.compare_exchange_strong(expect, 1,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed);
+}
+
+void
+unlock(VersionWord *w, std::uint64_t version)
+{
+    w->store(version, std::memory_order_release);
+}
+
+std::uint64_t
+sample(const Table &t, std::size_t i)
+{
+    return t.words[i].load(std::memory_order_acquire);
+}
+
+} // namespace

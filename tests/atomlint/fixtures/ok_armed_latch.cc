@@ -1,0 +1,57 @@
+/**
+ * @file
+ * atomlint fixture: the correct armed-latch idiom (src/common/fault.cc,
+ * src/obs/tail.cc after the PR-10 fix). Relaxed fast-path gate,
+ * release arm store publishing config, acquire re-read on the slow
+ * path before trusting the config. Must produce no diagnostics.
+ */
+
+// atomlint-expect: none
+
+#include <atomic>
+#include <cstddef>
+
+namespace
+{
+
+// atom-protocol: armed-latch
+std::atomic<bool> armed{false};
+std::size_t configK = 0;
+
+void
+arm(std::size_t k)
+{
+    configK = k;
+    armed.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    armed.store(false, std::memory_order_release);
+}
+
+bool
+fastGate()
+{
+    return armed.load(std::memory_order_relaxed);
+}
+
+std::size_t
+slowPath()
+{
+    if (!armed.load(std::memory_order_acquire))
+        return 0;
+    return configK; // Published by the release arm store.
+}
+
+std::size_t
+driver()
+{
+    arm(5);
+    const std::size_t k = fastGate() ? slowPath() : 0;
+    disarm();
+    return k;
+}
+
+} // namespace

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * atomlint fixture: guarded-by accesses with the named lock held —
+ * both through an RAII guard and through explicit lock()/unlock()
+ * bracketing. Must produce no diagnostics.
+ */
+
+// atomlint-expect: none
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace
+{
+
+std::mutex healthMu;
+// atom-protocol: guarded-by(healthMu)
+std::atomic<std::uint64_t> failures{0};
+
+void
+recordGuard()
+{
+    std::lock_guard<std::mutex> g(healthMu);
+    failures.store(failures.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+}
+
+std::uint64_t
+recordExplicit()
+{
+    healthMu.lock();
+    const std::uint64_t n = failures.load(std::memory_order_relaxed);
+    healthMu.unlock();
+    return n;
+}
+
+} // namespace

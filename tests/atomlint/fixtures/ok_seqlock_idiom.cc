@@ -1,0 +1,52 @@
+/**
+ * @file
+ * atomlint fixture: the NOrec-style seqlock at its protocol minima —
+ * acquire reads of the sequence word, acquire CAS to enter the
+ * writer section, release store to exit, and a release RMW unlock
+ * variant (the acq_or_rel RMW rule accepts either side). Must
+ * produce no diagnostics.
+ */
+
+// atomlint-expect: none
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: seqlock
+std::atomic<std::uint64_t> seq{0};
+std::uint64_t payload = 0;
+
+bool
+enterWriter(std::uint64_t snapshot)
+{
+    std::uint64_t expect = snapshot;
+    return seq.compare_exchange_strong(expect, snapshot + 1,
+                                       std::memory_order_acquire);
+}
+
+void
+exitWriter(std::uint64_t snapshot)
+{
+    payload += 1;
+    seq.store(snapshot + 2, std::memory_order_release);
+}
+
+std::uint64_t
+reader()
+{
+    const std::uint64_t s1 = seq.load(std::memory_order_acquire);
+    const std::uint64_t v = payload;
+    const std::uint64_t s2 = seq.load(std::memory_order_acquire);
+    return (s1 == s2 && (s1 & 1) == 0) ? v : 0;
+}
+
+std::uint64_t
+readerTicket()
+{
+    return seq.fetch_add(0, std::memory_order_acq_rel);
+}
+
+} // namespace

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * atomlint fixture: an atom-allow waiver on an access that would be
+ * AL2 — the fence-ordered relaxed re-read idiom from the TM
+ * algorithms' validation loops. The waiver covers its line plus the
+ * two following, so a standalone marker line covers a wrapped
+ * statement. Must produce no diagnostics.
+ */
+
+// atomlint-expect: none
+
+#include <atomic>
+#include <cstdint>
+
+namespace
+{
+
+// atom-protocol: release-acquire-pair
+std::atomic<std::uint64_t> version{0};
+
+std::uint64_t
+revalidate(std::uint64_t seen)
+{
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // atom-allow: relaxed re-read ordered by the fence above
+    if (version.load(std::memory_order_relaxed) != seen)
+        return 0;
+    return seen;
+}
+
+void
+publish(std::uint64_t v)
+{
+    version.store(v, std::memory_order_release);
+}
+
+} // namespace

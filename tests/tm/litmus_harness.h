@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared litmus-test round harness: persistent threads released per
+ * round through atomic go/done counters used as barriers (thread
+ * churn would dominate at thousands of rounds). Extracted from
+ * test_litmus.cc so the skeletons atomlint generates with
+ * --emit-litmus (tools/atomlint/litmus_gen.py) compile standalone,
+ * without gtest.
+ *
+ * Per round the driving thread calls `reset`, releases the workers,
+ * waits for all of them, then calls `check(round)` — results written
+ * by workers before the done-barrier are visible to check via the
+ * acq_rel counter. `keepGoing` lets a gtest caller stop after a fatal
+ * assertion (pass `[] { return !::testing::Test::HasFatalFailure(); }`);
+ * standalone callers omit it.
+ */
+
+#ifndef TMEMC_TESTS_TM_LITMUS_HARNESS_H
+#define TMEMC_TESTS_TM_LITMUS_HARNESS_H
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace tmemc::litmus
+{
+
+inline void
+litmusRun(int rounds, const std::function<void()> &reset,
+          const std::vector<std::function<void(unsigned)>> &bodies,
+          const std::function<void(int)> &check,
+          const std::function<bool()> &keepGoing = {})
+{
+    const int n = static_cast<int>(bodies.size());
+    std::atomic<int> go{0};
+    std::atomic<int> done{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned ti = 0; ti < bodies.size(); ++ti) {
+        const auto &body = bodies[ti];
+        threads.emplace_back([&go, &done, &body, rounds, ti] {
+            for (int r = 1; r <= rounds; ++r) {
+                while (go.load(std::memory_order_acquire) < r)
+                    std::this_thread::yield();
+                body(ti);
+                done.fetch_add(1, std::memory_order_acq_rel);
+            }
+        });
+    }
+    for (int r = 1; r <= rounds; ++r) {
+        reset();
+        done.store(0, std::memory_order_relaxed);
+        go.store(r, std::memory_order_release);
+        while (done.load(std::memory_order_acquire) < n)
+            std::this_thread::yield();
+        check(r);
+        if (keepGoing && !keepGoing())
+            break;
+    }
+    // On early exit, release the workers through their remaining
+    // rounds (without resets) so join() cannot hang.
+    go.store(rounds, std::memory_order_release);
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace tmemc::litmus
+
+#endif // TMEMC_TESTS_TM_LITMUS_HARNESS_H

@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "litmus_harness.h"
+#include "obs/tail.h"
 #include "tm/api.h"
 #include "tm_test_util.h"
 
@@ -65,44 +67,21 @@ txGet(tm::TmVar<std::uint64_t> &var)
                    [&](tm::TxDesc &tx) { return var.get(tx); });
 }
 
-/**
- * Run @p bodies (one per thread) for @p rounds rounds. Per round the
- * main thread calls @p reset, releases the workers, waits for all of
- * them, then calls @p check — results written by workers before the
- * done-barrier are visible to check via the acq_rel counter.
- */
+/** Round harness (tests/tm/litmus_harness.h), stopping after the
+ *  first fatal gtest failure. The worker bodies here ignore the
+ *  harness's thread-index parameter. */
 void
 litmusRun(int rounds, const std::function<void()> &reset,
           const std::vector<std::function<void()>> &bodies,
           const std::function<void(int)> &check)
 {
-    const int n = static_cast<int>(bodies.size());
-    std::atomic<int> go{0};
-    std::atomic<int> done{0};
-
-    std::vector<std::thread> threads;
-    for (const auto &body : bodies) {
-        threads.emplace_back([&go, &done, &body, rounds] {
-            for (int r = 1; r <= rounds; ++r) {
-                while (go.load(std::memory_order_acquire) < r)
-                    std::this_thread::yield();
-                body();
-                done.fetch_add(1, std::memory_order_acq_rel);
-            }
-        });
-    }
-    for (int r = 1; r <= rounds; ++r) {
-        reset();
-        done.store(0, std::memory_order_relaxed);
-        go.store(r, std::memory_order_release);
-        while (done.load(std::memory_order_acquire) < n)
-            std::this_thread::yield();
-        check(r);
-        if (::testing::Test::HasFatalFailure())
-            break;
-    }
-    for (auto &t : threads)
-        t.join();
+    std::vector<std::function<void(unsigned)>> wrapped;
+    wrapped.reserve(bodies.size());
+    for (const auto &body : bodies)
+        wrapped.emplace_back([&body](unsigned) { body(); });
+    litmus::litmusRun(rounds, reset, wrapped, check, [] {
+        return !::testing::Test::HasFatalFailure();
+    });
 }
 
 class LitmusTest : public ::testing::TestWithParam<tm::AlgoKind>
@@ -223,6 +202,44 @@ TEST_P(LitmusTest, Iriw)
                 << "IRIW relaxed outcome at round " << round
                 << " (readers disagree on the write order)";
         });
+}
+
+TEST(ArmedLatchLitmus, ArmedLatchPublishesConfig)
+{
+    // From atomlint's initial tree scan (AL2, armed-latch protocol):
+    // obs::armTail() stored both g_tailK and the g_tailArmed latch
+    // relaxed, so a worker whose relaxed fast-path gate saw the latch
+    // could trace against a stale K. The fix (tail.cc) made the arm
+    // store release and added an acquire re-read of the latch in
+    // beginRequestSlow(); this MP-shaped test pins it: whenever a
+    // request is admitted (nonzero id), the K configured by that arm
+    // must be visible.
+    int roundK = 0;  // Written in reset, read after the go barrier.
+    std::uint64_t r_id = 0;
+    std::size_t r_k = 0;
+    obs::tail::disarmTail();
+    litmusRun(
+        litmusRounds(),
+        [&] {
+            obs::tail::disarmTail();
+            roundK = 5 + (std::rand() & 7);
+            r_id = 0;
+            r_k = 0;
+        },
+        {[&] { obs::tail::armTail(static_cast<std::size_t>(roundK)); },
+         [&] {
+             r_id = obs::tail::beginRequest(0, false, 0);
+             // Sequenced after beginRequestSlow's acquire re-read of
+             // the latch, so the arm's configuration is visible.
+             r_k = obs::tail::tailK();
+         }},
+        [&](int round) {
+            if (r_id != 0)
+                ASSERT_EQ(r_k, static_cast<std::size_t>(roundK))
+                    << "admitted request saw a stale tail K at round "
+                    << round;
+        });
+    obs::tail::disarmTail();
 }
 
 INSTANTIATE_TEST_SUITE_P(Algos, LitmusTest,

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""atomlint: whole-tree atomics-protocol checking for tmemc.
+
+PR 8 took the STM below seq_cst; the RA algorithm's correctness now
+rests on hand-reasoned release/acquire pairings that nothing
+machine-checks. atomlint restores that check as a protocol lint: every
+std::atomic in src/ declares its ordering protocol with an
+`// atom-protocol:` annotation, and atomlint inventories every atomic
+access, fence, CAS, and mutex site and enforces the declared protocol
+(AL1-AL5; see atomrules.py and docs/architecture.md section 14).
+
+It is a sibling of tools/tmlint and shares its token front end
+(tmlexer.py); the clang backend refinement (clang_backend.py) applies
+to tmlint's annotation index, not to the atomics inventory, so
+atomlint is ctok-only by design.
+
+Exit status: 0 clean, 1 diagnostics (AL1/AL2/AL4/AL5, or AL3 under
+--werror, or selftest mismatch), 2 usage.
+
+Usage:
+  atomlint.py --src src                        lint the tree
+  atomlint.py --src src --werror               promote AL3 warnings
+  atomlint.py --selftest-fixtures tests/atomlint/fixtures
+  atomlint.py --src src --json report.json     machine-readable report
+  atomlint.py --src src --emit-litmus DIR      AL2 -> litmus skeletons
+  atomlint.py --src src --dump-inventory       list every atomic site
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import atommodel
+import atomrules
+import litmus_gen
+
+SOURCE_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+WARN_RULES = {"AL3"}
+
+
+def find_sources(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in ("build", ".git") and not d.startswith("build-"))
+        for f in sorted(filenames):
+            if f.endswith(SOURCE_EXTS):
+                out.append(os.path.join(dirpath, f))
+    return out
+
+
+def relpath(path, base):
+    try:
+        return os.path.relpath(path, base)
+    except ValueError:
+        return path
+
+
+def dump_inventory(project, base):
+    for af in sorted(project.files, key=lambda f: f.path):
+        for d in af.decls:
+            kind = "alias" if d.is_alias else "var"
+            proto = d.protocol or "<unannotated>"
+            arg = f"({d.protocol_arg})" if d.protocol_arg else ""
+            print(f"{relpath(af.path, base)}:{d.line}: {kind} "
+                  f"{d.name} -> {proto}{arg}")
+        for a in sorted(af.accesses, key=lambda a: a.line):
+            form = "call" if a.explicit_call else "op"
+            print(f"{relpath(af.path, base)}:{a.line}:   {a.cls:<5} "
+                  f"{a.recv} @ {a.order} [{form}]")
+        for fe in af.fences:
+            print(f"{relpath(af.path, base)}:{fe.line}:   fence "
+                  f"@ {fe.order}")
+        for ls in af.locks:
+            print(f"{relpath(af.path, base)}:{ls.line}:   lock  "
+                  f"{ls.mutex} [{ls.kind}]")
+
+
+def lint_tree(opts):
+    src_files = find_sources(opts.src)
+    if not src_files:
+        print(f"atomlint: no sources under {opts.src}",
+              file=sys.stderr)
+        return 2
+    project = atommodel.build_project(src_files)
+    base = os.getcwd()
+    if opts.dump_inventory:
+        dump_inventory(project, base)
+        return 0
+    checker = atomrules.Checker(project)
+    diags = sorted(checker.run(), key=lambda d: (d.file, d.line, d.rule))
+    errors = 0
+    warnings = 0
+    for d in diags:
+        tier = "warning" if d.rule in WARN_RULES and not opts.werror \
+            else "error"
+        if tier == "error":
+            errors += 1
+        else:
+            warnings += 1
+        print(f"{relpath(d.file, base)}:{d.line}: [{d.rule}] {d.msg}")
+    summary = {
+        "files_checked": len(src_files),
+        "atomics": sum(len(af.decls) for af in project.files),
+        "accesses": sum(len(af.accesses) for af in project.files),
+        "errors": errors,
+        "warnings": warnings,
+        "diagnostics": [
+            {"file": relpath(d.file, base), "line": d.line,
+             "rule": d.rule, "message": d.msg}
+            for d in diags
+        ],
+    }
+    if opts.json:
+        with open(opts.json, "w", encoding="utf-8") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+    if opts.emit_litmus:
+        written = litmus_gen.emit(checker.al2_findings,
+                                  opts.emit_litmus)
+        for p in written:
+            print(f"atomlint: wrote {relpath(p, base)}")
+        print(f"atomlint: {len(written)} litmus skeleton(s) emitted")
+    print(f"atomlint: {errors} error(s), {warnings} warning(s) across "
+          f"{len(src_files)} file(s), "
+          f"{summary['atomics']} atomic decl(s), "
+          f"{summary['accesses']} access(es)")
+    return 1 if errors else 0
+
+
+def expected_from_markers(af):
+    """Fixture expectations from `// atomlint-expect: ...` markers."""
+    expected = set()
+    saw_none = False
+    for m in af.markers:
+        if m.name != "atomlint-expect":
+            continue
+        if m.arg.strip().lower() == "none":
+            saw_none = True
+            continue
+        for rule in m.arg.split():
+            expected.add((m.line, rule.strip()))
+    return expected, saw_none
+
+
+def selftest(opts):
+    fixture_files = find_sources(opts.selftest_fixtures)
+    if not fixture_files:
+        print(f"atomlint: no fixtures under {opts.selftest_fixtures}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for fixture in fixture_files:
+        # Fixtures are self-contained translation units: each declares
+        # its own atomics, protocols, and (for AL4) tm::run shapes.
+        project = atommodel.build_project([fixture])
+        checker = atomrules.Checker(project, check_paths=[fixture])
+        diags = checker.run()
+        af = next(f for f in project.files if f.path == fixture)
+        expected, saw_none = expected_from_markers(af)
+        got = {(d.line, d.rule) for d in diags}
+        name = os.path.basename(fixture)
+        if not expected and not saw_none:
+            print(f"FAIL {name}: fixture declares no atomlint-expect "
+                  "markers (add `// atomlint-expect: none` if clean)")
+            failures += 1
+            continue
+        if got == expected:
+            label = "none" if saw_none and not expected else ", ".join(
+                sorted(f"{r}@{ln}" for ln, r in expected))
+            print(f"ok   {name}: {label}")
+            continue
+        failures += 1
+        print(f"FAIL {name}:")
+        for ln, rule in sorted(expected - got):
+            print(f"  missing expected {rule} at line {ln}")
+        for ln, rule in sorted(got - expected):
+            msg = next(d.msg for d in diags
+                       if (d.line, d.rule) == (ln, rule))
+            print(f"  unexpected {rule} at line {ln}: {msg}")
+    total = len(fixture_files)
+    print(f"atomlint selftest: {total - failures}/{total} fixtures ok")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="atomlint.py",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("--src", default="src",
+                    help="source tree to lint (default: src)")
+    ap.add_argument("--json", default=None,
+                    help="write a JSON report to this path")
+    ap.add_argument("--werror", action="store_true",
+                    help="treat AL3 warnings as errors (CI mode)")
+    ap.add_argument("--emit-litmus", default=None, metavar="DIR",
+                    help="write a litmus-test skeleton per AL2 "
+                         "finding into DIR")
+    ap.add_argument("--dump-inventory", action="store_true",
+                    help="print the atomics inventory and exit")
+    ap.add_argument("--selftest-fixtures", default=None,
+                    help="run the fixture selftest over this "
+                         "directory instead of linting --src")
+    opts = ap.parse_args(argv)
+    if opts.selftest_fixtures:
+        return selftest(opts)
+    return lint_tree(opts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,530 @@
+"""Source model for atomlint: the atomics inventory.
+
+Builds, from the shared tmlexer token stream, an inventory of every
+std::atomic declaration, every atomic access (load / store / RMW /
+CAS, member-call or operator form), every std::atomic_thread_fence,
+and every std::mutex declaration and lock site under the checked
+tree. Protocol annotations (`// atom-protocol: ...` markers) are bound
+to declarations here; the rule layer (atomrules.py) checks accesses
+against them.
+
+Like tmmodel, the model is approximate but conservative for the code
+shapes this repository uses: clang-format enforced, atomics accessed
+through explicit .load()/.store()/RMW member calls (operator forms are
+still detected and flagged — they spell seq_cst implicitly), and one
+declaration per marker.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                 "tmlint"))
+
+from tmlexer import match_paren, tokenize  # noqa: E402
+
+# Atomic member-call spellings, classified by access class.
+LOAD_METHODS = {"load"}
+STORE_METHODS = {"store"}
+RMW_METHODS = {
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "exchange", "compare_exchange_weak", "compare_exchange_strong",
+}
+ALL_METHODS = LOAD_METHODS | STORE_METHODS | RMW_METHODS
+
+ORDER_NAMES = {
+    "memory_order_relaxed": "relaxed",
+    "memory_order_consume": "consume",
+    "memory_order_acquire": "acquire",
+    "memory_order_release": "release",
+    "memory_order_acq_rel": "acq_rel",
+    "memory_order_seq_cst": "seq_cst",
+}
+
+LOCK_GUARDS = {"lock_guard", "unique_lock", "scoped_lock",
+               "shared_lock"}
+
+_DECL_KEYWORDS = {
+    "static", "extern", "inline", "mutable", "thread_local", "const",
+    "constexpr", "alignas", "volatile",
+}
+
+
+@dataclass
+class AtomicDecl:
+    """One textual declaration of a std::atomic variable (or an alias
+    of std::atomic, when is_alias)."""
+    name: str
+    file: str
+    line: int
+    is_alias: bool = False          # `using X = std::atomic<...>`
+    protocol: str = ""              # bound protocol name, '' if none
+    protocol_arg: str = ""          # guarded-by lock / reason text
+    marker_line: int = 0
+
+
+@dataclass
+class Access:
+    """One atomic access site."""
+    recv: str                       # receiver identifier
+    cls: str                        # 'load' | 'store' | 'rmw'
+    order: str                      # parsed order or 'seq_cst_default'
+    explicit_call: bool             # member call vs operator form
+    file: str = ""
+    line: int = 0
+    tok_idx: int = 0
+
+
+@dataclass
+class FenceSite:
+    order: str
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class MutexDecl:
+    name: str
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class LockSite:
+    """A mutex acquisition: an RAII guard or a .lock() call."""
+    mutex: str                      # mutex identifier being locked
+    kind: str                       # 'guard' | 'call'
+    file: str = ""
+    line: int = 0
+    tok_idx: int = 0
+
+
+@dataclass
+class AtomFile:
+    path: str
+    tokens: list = field(default_factory=list)
+    markers: list = field(default_factory=list)
+    decls: list = field(default_factory=list)
+    accesses: list = field(default_factory=list)
+    fences: list = field(default_factory=list)
+    mutexes: list = field(default_factory=list)
+    locks: list = field(default_factory=list)
+    # Lines covered by recognized atomic declarations, so operator-form
+    # detection does not misread `std::atomic<bool> x{false};` parts.
+    decl_lines: set = field(default_factory=set)
+
+
+@dataclass
+class AtomProject:
+    files: list = field(default_factory=list)
+    # variable name -> protocol ('' while unresolved)
+    bindings: dict = field(default_factory=dict)
+    # variable name -> guarded-by lock / relaxed-ok reason text
+    binding_args: dict = field(default_factory=dict)
+    # alias type name -> protocol (e.g. OrecWord -> orec-lock)
+    type_bindings: dict = field(default_factory=dict)
+    type_binding_args: dict = field(default_factory=dict)
+    mutex_names: set = field(default_factory=set)
+    conflicts: list = field(default_factory=list)  # (decl, other_proto)
+    dangling_markers: list = field(default_factory=list)
+
+
+def _is_atomic_head(tokens, k):
+    """tokens[k] is an `atomic` id opening a template: atomic<...>."""
+    t = tokens[k]
+    if t.kind != "id" or t.text != "atomic":
+        return False
+    nxt = tokens[k + 1] if k + 1 < len(tokens) else None
+    return nxt is not None and nxt.kind == "punct" and nxt.text == "<"
+
+
+def _match_angle(tokens, open_idx):
+    """Index just past the '>' matching tokens[open_idx] == '<'."""
+    depth = 0
+    k = open_idx
+    n = len(tokens)
+    while k < n:
+        t = tokens[k]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text in (">", ">>"):
+                depth -= 2 if t.text == ">>" else 1
+                if depth <= 0:
+                    return k + 1
+            elif t.text in (";", "{"):
+                return k  # malformed; bail at statement boundary
+        k += 1
+    return n
+
+
+def _statement_bounds(tokens, k):
+    """Token range [lo, hi) of the statement containing index k:
+    back to the previous ';'/'{'/'}' and forward to the next ';'
+    (balanced through parens/braces/angles)."""
+    lo = k
+    while lo > 0:
+        t = tokens[lo - 1]
+        if t.kind == "punct" and t.text in (";", "{", "}"):
+            break
+        lo -= 1
+    hi = k
+    n = len(tokens)
+    depth = 0
+    while hi < n:
+        t = tokens[hi]
+        if t.kind == "punct":
+            if t.text in ("(", "{", "["):
+                depth += 1
+            elif t.text in (")", "}", "]"):
+                if depth == 0 and t.text == ")":
+                    break  # inside a parameter list; stop early
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                break
+        hi += 1
+    return lo, hi
+
+
+def _declared_name(tokens, lo, hi, after_idx):
+    """Best-effort declared variable name of the declaration statement
+    [lo, hi): the id at group-depth 0 after `after_idx` that is
+    followed by an initializer / terminator / array bound."""
+    depth = 0
+    k = after_idx
+    while k < hi:
+        t = tokens[k]
+        if t.kind == "punct":
+            if t.text in ("(", "{", "["):
+                depth += 1
+            elif t.text in (")", "}", "]"):
+                depth -= 1
+            elif t.text == "<":
+                k = _match_angle(tokens, k)
+                continue
+            k += 1
+            continue
+        if t.kind == "id" and depth == 0 \
+                and t.text not in _DECL_KEYWORDS:
+            nxt = tokens[k + 1] if k + 1 < hi else None
+            if nxt is not None and nxt.kind == "punct" and nxt.text in (
+                    "{", "=", ";", "[", ","):
+                return t.text, t.line
+        k += 1
+    # Declaration ends at hi (e.g. `extern std::atomic<bool> x;` where
+    # hi sits on the ';'): the last id before hi is the name.
+    for k in range(hi - 1, after_idx - 1, -1):
+        if tokens[k].kind == "id" and tokens[k].text not in _DECL_KEYWORDS:
+            return tokens[k].text, tokens[k].line
+    return None, 0
+
+
+def _scan_atomic_decls(af):
+    tokens = af.tokens
+    n = len(tokens)
+    seen_stmts = set()
+    for k in range(n):
+        if not _is_atomic_head(tokens, k):
+            continue
+        lo, hi = _statement_bounds(tokens, k)
+        if (lo, hi) in seen_stmts:
+            continue  # one decl statement, one inventory entry
+        seen_stmts.add((lo, hi))
+        # `using X = std::atomic<...>;` binds the TYPE name.
+        first = tokens[lo]
+        if first.kind == "id" and first.text in ("using", "typedef"):
+            if first.text == "using" and lo + 1 < n \
+                    and tokens[lo + 1].kind == "id":
+                af.decls.append(AtomicDecl(
+                    name=tokens[lo + 1].text, file=af.path,
+                    line=tokens[lo + 1].line, is_alias=True))
+                for ln in range(first.line, tokens[k].line + 1):
+                    af.decl_lines.add(ln)
+            continue
+        close = _match_angle(tokens, k + 1)
+        name, line = _declared_name(tokens, lo, hi, close)
+        if name is None:
+            continue
+        # Reference/pointer parameters (`std::atomic<int> &x` inside a
+        # function signature) are uses, not storage declarations; the
+        # early ')' break in _statement_bounds already drops most.
+        af.decls.append(AtomicDecl(name=name, file=af.path, line=line))
+        for ln in range(tokens[lo].line, tokens[min(hi, n - 1)].line + 1):
+            af.decl_lines.add(ln)
+
+
+def _receiver_of(tokens, dot_idx):
+    """Identifier receiving a member access ending at tokens[dot_idx]
+    ('.' or '->'): walks back over one balanced [..] index chain."""
+    k = dot_idx - 1
+    guard = 0
+    while k >= 0 and guard < 32:
+        guard += 1
+        t = tokens[k]
+        if t.kind == "punct" and t.text == "]":
+            depth = 0
+            while k >= 0:
+                if tokens[k].text == "]":
+                    depth += 1
+                elif tokens[k].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            k -= 1
+            continue
+        if t.kind == "id":
+            return t.text
+        return None
+    return None
+
+
+def _call_orders(tokens, open_idx):
+    """Memory orders named inside the call parens, in argument order."""
+    close = match_paren(tokens, open_idx)
+    orders = []
+    k = open_idx + 1
+    while k < close:
+        t = tokens[k]
+        if t.kind == "id" and t.text in ORDER_NAMES:
+            orders.append(ORDER_NAMES[t.text])
+        elif t.kind == "id" and t.text == "memory_order" \
+                and k + 2 < close and tokens[k + 1].text == "::":
+            short = tokens[k + 2].text
+            if "memory_order_" + short in ORDER_NAMES:
+                orders.append(short)
+            k += 2
+        k += 1
+    return orders, close
+
+
+def _scan_accesses(af, known_names, op_names):
+    """Member-call accesses on known receivers + operator-form accesses
+    on atomic variable names declared in this file (operator forms are
+    not matched cross-file: generic names bound through type aliases —
+    `o`, `w` — would false-positive all over the tree)."""
+    tokens = af.tokens
+    n = len(tokens)
+    k = 0
+    while k < n:
+        t = tokens[k]
+        if t.kind != "id":
+            k += 1
+            continue
+        nxt = tokens[k + 1] if k + 1 < n else None
+        prev = tokens[k - 1] if k > 0 else None
+        is_member = prev is not None and prev.kind == "punct" \
+            and prev.text in (".", "->")
+        if is_member and t.text in ALL_METHODS and nxt is not None \
+                and nxt.kind == "punct" and nxt.text == "(":
+            recv = _receiver_of(tokens, k - 1)
+            if recv is not None and recv in known_names:
+                orders, close = _call_orders(tokens, k + 1)
+                if t.text in LOAD_METHODS:
+                    cls = "load"
+                elif t.text in STORE_METHODS:
+                    cls = "store"
+                else:
+                    cls = "rmw"
+                # CAS: the first named order is the success order.
+                order = orders[0] if orders else "seq_cst_default"
+                af.accesses.append(Access(
+                    recv=recv, cls=cls, order=order, explicit_call=True,
+                    file=af.path, line=t.line, tok_idx=k))
+                k = close + 1
+                continue
+            k += 1
+            continue
+        # Operator-form access on a known atomic variable: implicit
+        # seq_cst. Only declarations from this file are matched, and
+        # declaration lines are excluded.
+        if not is_member and t.text in op_names \
+                and t.line not in af.decl_lines \
+                and (nxt is None or nxt.text not in (".", "->", "::")) \
+                and (prev is None or prev.kind != "id") \
+                and (prev is None or prev.text not in
+                     (".", "->", "::", "&", "<", ">")):
+            cls = None
+            if nxt is not None and nxt.kind == "punct":
+                if nxt.text == "=":
+                    cls = "store"
+                elif nxt.text in ("++", "--", "+=", "-=", "&=", "|=",
+                                  "^="):
+                    cls = "rmw"
+            if cls is None and prev is not None and prev.kind == "punct" \
+                    and prev.text in ("++", "--"):
+                cls = "rmw"
+            if cls is not None:
+                af.accesses.append(Access(
+                    recv=t.text, cls=cls, order="seq_cst_default",
+                    explicit_call=False, file=af.path, line=t.line,
+                    tok_idx=k))
+        k += 1
+
+
+def _scan_fences_mutexes_locks(af):
+    tokens = af.tokens
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id":
+            continue
+        nxt = tokens[k + 1] if k + 1 < n else None
+        if t.text == "atomic_thread_fence" and nxt is not None \
+                and nxt.text == "(":
+            orders, _ = _call_orders(tokens, k + 1)
+            af.fences.append(FenceSite(
+                order=orders[0] if orders else "seq_cst_default",
+                file=af.path, line=t.line))
+            continue
+        if t.text in ("mutex", "shared_mutex", "recursive_mutex") \
+                and nxt is not None and nxt.kind == "id":
+            # `std::mutex name;` (the id after the type is the name).
+            af.mutexes.append(MutexDecl(
+                name=nxt.text, file=af.path, line=nxt.line))
+            continue
+        if t.text in LOCK_GUARDS:
+            # lock_guard<...> NAME(mutexExpr) — the last id inside the
+            # constructor parens is the mutex being acquired.
+            j = k + 1
+            if j < n and tokens[j].kind == "punct" and tokens[j].text == "<":
+                j = _match_angle(tokens, j)
+            if j < n and tokens[j].kind == "id":
+                j += 1
+            if j < n and tokens[j].kind == "punct" and tokens[j].text == "(":
+                close = match_paren(tokens, j)
+                mutex = None
+                for q in range(close - 1, j, -1):
+                    if tokens[q].kind == "id":
+                        mutex = tokens[q].text
+                        break
+                if mutex is not None:
+                    af.locks.append(LockSite(
+                        mutex=mutex, kind="guard", file=af.path,
+                        line=t.line, tok_idx=k))
+            continue
+        if t.text in ("lock", "try_lock") and nxt is not None \
+                and nxt.text == "(" and k > 0 \
+                and tokens[k - 1].kind == "punct" \
+                and tokens[k - 1].text in (".", "->"):
+            recv = _receiver_of(tokens, k - 1)
+            if recv is not None:
+                af.locks.append(LockSite(
+                    mutex=recv, kind="call", file=af.path, line=t.line,
+                    tok_idx=k))
+
+
+def parse_file(path, text=None):
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    tokens, markers = tokenize(text)
+    af = AtomFile(path=path, tokens=tokens, markers=markers)
+    _scan_atomic_decls(af)
+    _scan_fences_mutexes_locks(af)
+    return af
+
+
+_PROTO_ARG_RE = re.compile(
+    r"([A-Za-z0-9_-]+)\s*(?:\(([^)]*)\)?)?\s*(.*)", re.S)
+
+
+def _parse_protocol_arg(arg):
+    """Split an atom-protocol marker arg into (protocol, paren_arg,
+    reason): `guarded-by(node.mu) health state` ->
+    ('guarded-by', 'node.mu', 'health state'). A paren arg left open
+    (the comment continues on the next line, which the marker regex
+    cannot see) still captures the rest of the line as the arg."""
+    m = _PROTO_ARG_RE.match(arg.strip())
+    if m is None:
+        return arg.strip(), "", ""
+    return m.group(1), (m.group(2) or "").strip(), m.group(3).strip()
+
+
+def _bind_markers(proj, af):
+    """Bind each atom-protocol marker to the declaration whose name
+    line falls in [marker.line, marker.line + 2]."""
+    for m in af.markers:
+        if m.name != "atom-protocol":
+            continue
+        proto, paren, reason = _parse_protocol_arg(m.arg)
+        target = None
+        for d in af.decls:
+            if m.line <= d.line <= m.line + 2 and d.marker_line == 0:
+                target = d
+                break
+        if target is None:
+            proj.dangling_markers.append(
+                (af.path, m.line, proto or m.arg.strip()))
+            continue
+        target.protocol = proto
+        target.protocol_arg = paren or reason
+        target.marker_line = m.line
+        table = proj.type_bindings if target.is_alias else proj.bindings
+        args = proj.type_binding_args if target.is_alias \
+            else proj.binding_args
+        existing = table.get(target.name)
+        if existing is not None and existing != proto:
+            proj.conflicts.append((target, existing))
+        else:
+            table[target.name] = proto
+            args[target.name] = target.protocol_arg
+
+
+def _scan_typed_decls(proj, af):
+    """Declarations whose type names an annotated alias (OrecWord &o,
+    OrecWord *orec, unique_ptr<OrecWord[]> table_) bind the declared
+    name to the alias's protocol."""
+    tokens = af.tokens
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text not in proj.type_bindings:
+            continue
+        prev = tokens[k - 1] if k > 0 else None
+        if prev is not None and prev.kind == "punct" \
+                and prev.text in (".", "->"):
+            continue
+        # Skip the alias definition itself (`using OrecWord = ...`).
+        lo, hi = _statement_bounds(tokens, k)
+        if tokens[lo].kind == "id" and tokens[lo].text in ("using",
+                                                           "typedef"):
+            continue
+        name, _ = _declared_name(tokens, lo, hi, k + 1)
+        if name is None or name == t.text:
+            continue
+        proto = proj.type_bindings[t.text]
+        existing = proj.bindings.get(name)
+        if existing is None:
+            proj.bindings[name] = proto
+            proj.binding_args[name] = proj.type_binding_args.get(
+                t.text, "")
+
+
+def build_project(paths, texts=None):
+    proj = AtomProject()
+    for p in paths:
+        af = parse_file(p, None if texts is None else texts.get(p))
+        proj.files.append(af)
+    for af in proj.files:
+        _bind_markers(proj, af)
+    for af in proj.files:
+        _scan_typed_decls(proj, af)
+    for af in proj.files:
+        for md in af.mutexes:
+            proj.mutex_names.add(md.name)
+    known = set(proj.bindings)
+    # Unannotated declarations still get their accesses inventoried so
+    # --dump-inventory shows them; AL1 fires on the declaration.
+    for af in proj.files:
+        for d in af.decls:
+            if not d.is_alias:
+                known.add(d.name)
+    for af in proj.files:
+        op_names = {d.name for d in af.decls if not d.is_alias}
+        _scan_accesses(af, known, op_names)
+    return proj

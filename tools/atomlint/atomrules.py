@@ -1,0 +1,376 @@
+"""atomlint rule engine: AL1-AL5 over the atommodel inventory.
+
+Rule families (docs/architecture.md section 14 has the protocol
+catalogue):
+
+  AL1  unannotated atomic — a std::atomic declaration with no
+       `// atom-protocol:` marker, a marker naming an unknown
+       protocol, a protocol missing its required argument
+       (relaxed-ok needs a reason, guarded-by needs a lock), a
+       conflict (same name bound to two protocols), or a dangling
+       marker that binds no declaration.
+  AL2  access order weaker than the declared protocol's minimum for
+       that access class (load / store / RMW). Every AL2 is a
+       candidate forbidden outcome; --emit-litmus turns each into a
+       litmus-test skeleton.
+  AL3  excess ordering, warn-tier perf lint: an implicit seq_cst
+       default (no memory_order argument, or an operator-form access)
+       on a variable whose protocol does not require seq_cst, or an
+       explicit order stronger than relaxed on a relaxed-counter.
+  AL4  atomic RMW inside a checked TM region (tm::run atomic body) —
+       composes with tmlint TM3: an RMW is an irrevocable
+       side-effect a speculative transaction cannot roll back.
+  AL5  blocking-protocol violation — a guarded-by(<lock>) variable
+       accessed outside a scope holding the named lock, or a mutex
+       acquired inside a function marked `// atom-nonblocking:`.
+
+Waivers: `// atom-allow: <reason>` covers its own line plus the two
+following lines and waives AL2/AL3/AL4/AL5 there (mirrors tmlint's
+tm-captured scope). AL1 is never waivable — annotate the variable.
+
+Protocol minima are (load_min, store_min, rmw_min). An RMW order is
+split into its load and store sides; `rmw_min` names the sides the
+RMW must provide (acquire -> load side, release -> store side,
+acq_rel -> both).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import namedtuple
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                 "tmlint"))
+
+import tmmodel  # noqa: E402
+
+Diagnostic = namedtuple("Diagnostic", ["file", "line", "rule", "msg"])
+
+# protocol -> (load_min, store_min, rmw_min). None = no RMW/... expected
+# but legal at any order (checked only against the other minima).
+PROTOCOLS = {
+    # Monotonic statistics counter: no ordering carried, everything
+    # relaxed; anything stronger is paid-for-nothing (AL3).
+    "relaxed-counter": ("relaxed", "relaxed", "relaxed"),
+    # Arm/disarm gate read on every operation: relaxed fast-path load
+    # is the point; arming stores publish configuration and must be
+    # release. A config consumer must re-read the latch with acquire
+    # before trusting config written before arm (fault.cc idiom).
+    "armed-latch": ("relaxed", "release", "release"),
+    # Classic message-passing pair: release store publishes, acquire
+    # load consumes. RMWs publish (release side required).
+    "release-acquire-pair": ("acquire", "release", "release"),
+    # Lock/version words: acquiring CAS needs the load side (acquire);
+    # releasing store needs release; an RMW is either a lock (acquire
+    # side) or an unlock (release side) — relaxed is always wrong.
+    # seqlock / rw-lock are the same shape under different names.
+    "orec-lock": ("acquire", "release", "acq_or_rel"),
+    "seqlock": ("acquire", "release", "acq_or_rel"),
+    "rw-lock": ("acquire", "release", "acq_or_rel"),
+    # Total order required; implicit seq_cst default is fine here.
+    "seq-cst-required": ("seq_cst", "seq_cst", "seq_cst"),
+    # Externally synchronized (a lock, a fence, single-threaded
+    # phase): any order legal, but the marker must say why.
+    "relaxed-ok": ("relaxed", "relaxed", "relaxed"),
+    # Accesses legal only under the named lock (AL5, not AL2).
+    "guarded-by": ("relaxed", "relaxed", "relaxed"),
+}
+
+_PROTOCOLS_NEEDING_ARG = {"relaxed-ok", "guarded-by"}
+
+# Ranks along the load-capable and store-capable chains.
+_LOAD_RANK = {"relaxed": 0, "consume": 1, "acquire": 2, "seq_cst": 3}
+_STORE_RANK = {"relaxed": 0, "release": 1, "seq_cst": 2}
+
+# RMW order -> (load side, store side).
+_RMW_SIDES = {
+    "relaxed": ("relaxed", "relaxed"),
+    "consume": ("consume", "relaxed"),
+    "acquire": ("acquire", "relaxed"),
+    "release": ("relaxed", "release"),
+    "acq_rel": ("acquire", "release"),
+    "seq_cst": ("seq_cst", "seq_cst"),
+}
+
+
+def _effective(order):
+    return "seq_cst" if order == "seq_cst_default" else order
+
+
+def load_satisfies(order, minimum):
+    order = _effective(order)
+    return _LOAD_RANK.get(order, -1) >= _LOAD_RANK[minimum]
+
+
+def store_satisfies(order, minimum):
+    order = _effective(order)
+    return _STORE_RANK.get(order, -1) >= _STORE_RANK[minimum]
+
+
+def rmw_satisfies(order, minimum):
+    ld, st = _RMW_SIDES[_effective(order)]
+    if minimum == "acq_or_rel":
+        return (ld, st) != ("relaxed", "relaxed")
+    need_ld, need_st = _RMW_SIDES[minimum]
+    return load_satisfies(ld, need_ld) and store_satisfies(st, need_st)
+
+
+def access_satisfies(access, minima):
+    load_min, store_min, rmw_min = minima
+    if access.cls == "load":
+        return load_satisfies(access.order, load_min)
+    if access.cls == "store":
+        return store_satisfies(access.order, store_min)
+    return rmw_satisfies(access.order, rmw_min)
+
+
+def _minimum_for(access, minima):
+    return {"load": minima[0], "store": minima[1],
+            "rmw": minima[2]}[access.cls]
+
+
+class Checker:
+    def __init__(self, project, check_paths=None):
+        self.project = project
+        self.check_paths = set(check_paths) if check_paths else None
+        self.diags = []
+        # AL2 findings with context, for the litmus generator:
+        # (Access, var_protocol, minimum).
+        self.al2_findings = []
+
+    def _checked(self, path):
+        return self.check_paths is None or path in self.check_paths
+
+    def _emit(self, file, line, rule, msg, waived):
+        if not self._checked(file):
+            return
+        if rule != "AL1" and line in waived:
+            return
+        self.diags.append(Diagnostic(file, line, rule, msg))
+
+    def run(self):
+        tm_regions = self._tm_atomic_regions()
+        for af in self.project.files:
+            waived = _waived_lines(af)
+            self._check_decls(af, waived)
+            self._check_accesses(af, waived,
+                                 tm_regions.get(af.path, []))
+            self._check_guarded_by(af, waived)
+            self._check_nonblocking(af, waived)
+        for path, line, proto in self.project.dangling_markers:
+            if self._checked(path):
+                self.diags.append(Diagnostic(
+                    path, line, "AL1",
+                    f"atom-protocol marker '{proto}' binds no atomic "
+                    "declaration on this line or the next two"))
+        return self.diags
+
+    # -- AL1 ----------------------------------------------------------
+
+    def _check_decls(self, af, waived):
+        for d in af.decls:
+            if not d.protocol:
+                kind = "type alias" if d.is_alias else "variable"
+                self._emit(
+                    af.path, d.line, "AL1",
+                    f"atomic {kind} '{d.name}' has no atom-protocol "
+                    "annotation (see docs/architecture.md section 14 "
+                    "for the catalogue)", waived)
+                continue
+            if d.protocol not in PROTOCOLS:
+                self._emit(
+                    af.path, d.line, "AL1",
+                    f"'{d.name}': unknown protocol '{d.protocol}' "
+                    f"(known: {', '.join(sorted(PROTOCOLS))})", waived)
+                continue
+            if d.protocol in _PROTOCOLS_NEEDING_ARG \
+                    and not d.protocol_arg:
+                what = "a reason" if d.protocol == "relaxed-ok" \
+                    else "a lock name"
+                self._emit(
+                    af.path, d.line, "AL1",
+                    f"'{d.name}': protocol '{d.protocol}' requires "
+                    f"{what}, e.g. {d.protocol}(...)", waived)
+        for decl, other in self.project.conflicts:
+            if decl.file == af.path:
+                self._emit(
+                    af.path, decl.line, "AL1",
+                    f"'{decl.name}' bound to protocol "
+                    f"'{decl.protocol}' here but '{other}' elsewhere",
+                    waived)
+
+    # -- AL2 / AL3 / AL4 ---------------------------------------------
+
+    def _check_accesses(self, af, waived, atomic_ranges):
+        bindings = self.project.bindings
+        for a in af.accesses:
+            proto = bindings.get(a.recv)
+            if proto is None or proto not in PROTOCOLS:
+                continue  # AL1 already fired on the declaration
+            minima = PROTOCOLS[proto]
+            if proto == "guarded-by":
+                continue  # AL5 path
+            if not access_satisfies(a, minima):
+                need = _minimum_for(a, minima)
+                msg = (f"'{a.recv}' ({proto}): {a.cls} is "
+                       f"{_effective(a.order)}, protocol requires "
+                       f">= {need}")
+                self._emit(af.path, a.line, "AL2", msg, waived)
+                if self._checked(af.path) and a.line not in waived:
+                    self.al2_findings.append((a, proto, need))
+            else:
+                self._check_al3(af, a, proto, waived)
+            if a.cls == "rmw":
+                for lo, hi in atomic_ranges:
+                    if lo <= a.line <= hi:
+                        self._emit(
+                            af.path, a.line, "AL4",
+                            f"atomic RMW on '{a.recv}' inside a "
+                            "checked TM region — an irrevocable "
+                            "side-effect the transaction cannot roll "
+                            "back (cf. tmlint TM3)", waived)
+                        break
+
+    def _check_al3(self, af, a, proto, waived):
+        if proto == "seq-cst-required":
+            return
+        if a.order == "seq_cst_default":
+            how = "operator-form access (implicit seq_cst)" \
+                if not a.explicit_call else \
+                "no memory_order argument (seq_cst by default)"
+            self._emit(
+                af.path, a.line, "AL3",
+                f"'{a.recv}' ({proto}): {how}; spell the intended "
+                "order explicitly", waived)
+            return
+        if proto == "relaxed-counter" \
+                and _effective(a.order) != "relaxed":
+            self._emit(
+                af.path, a.line, "AL3",
+                f"'{a.recv}' (relaxed-counter): {a.cls} is "
+                f"{_effective(a.order)} but the protocol carries no "
+                "ordering — pay for relaxed only", waived)
+
+    def _tm_atomic_regions(self):
+        """path -> [(lo_line, hi_line)] of checked (atomic) tm::run
+        bodies, from the tmlint source model."""
+        ranges = {}
+        proj = tmmodel.build_project(
+            [af.path for af in self.project.files])
+        for sf in proj.files:
+            spans = []
+            for r in sf.regions:
+                if r.kind != "atomic":
+                    continue
+                lo, hi = r.body
+                if lo >= len(sf.tokens):
+                    continue
+                hi = min(hi, len(sf.tokens) - 1)
+                spans.append((sf.tokens[lo].line, sf.tokens[hi].line))
+            if spans:
+                ranges[sf.path] = spans
+        return ranges
+
+    # -- AL5: guarded-by ---------------------------------------------
+
+    def _check_guarded_by(self, af, waived):
+        guarded = {
+            name: self.project.binding_args.get(name, "")
+            for name, proto in self.project.bindings.items()
+            if proto == "guarded-by"
+        }
+        if not guarded:
+            return
+        held = _lock_intervals(af)
+        for a in af.accesses:
+            lock = guarded.get(a.recv)
+            if lock is None:
+                continue
+            want = lock.split(".")[-1].split("->")[-1]
+            ok = any(m == want and lo <= a.tok_idx <= hi
+                     for m, lo, hi in held)
+            if not ok:
+                self._emit(
+                    af.path, a.line, "AL5",
+                    f"'{a.recv}' is guarded-by({lock}) but accessed "
+                    "without the lock held in this scope", waived)
+
+    # -- AL5: atom-nonblocking ---------------------------------------
+
+    def _check_nonblocking(self, af, waived):
+        tokens = af.tokens
+        for m in af.markers:
+            if m.name != "atom-nonblocking":
+                continue
+            open_idx = None
+            for k, t in enumerate(tokens):
+                if t.line >= m.line and t.kind == "punct" \
+                        and t.text == "{":
+                    open_idx = k
+                    break
+            if open_idx is None:
+                continue
+            from tmlexer import match_brace
+            close_idx = match_brace(tokens, open_idx)
+            for ls in af.locks:
+                if open_idx <= ls.tok_idx <= close_idx:
+                    self._emit(
+                        af.path, ls.line, "AL5",
+                        f"mutex '{ls.mutex}' acquired inside a "
+                        "function marked atom-nonblocking "
+                        f"({m.arg or 'no reason given'})", waived)
+
+
+def _waived_lines(af):
+    """Lines covered by atom-allow markers: marker line + 2 following
+    (a standalone comment line can cover a two-line statement)."""
+    waived = set()
+    for m in af.markers:
+        if m.name == "atom-allow":
+            waived.update(range(m.line, m.line + 3))
+    return waived
+
+
+def _lock_intervals(af):
+    """[(mutex, lo_tok, hi_tok)] token intervals during which a lock
+    is held in this file: RAII guards hold to the end of their
+    enclosing block; explicit .lock() holds to the next .unlock() on
+    the same receiver, else to the end of the enclosing block."""
+    from tmlexer import match_brace
+    tokens = af.tokens
+    # Enclosing-block end for each token index, via a brace stack.
+    ends = {}
+    stack = []
+    for k, t in enumerate(tokens):
+        if t.kind == "punct":
+            if t.text == "{":
+                stack.append(match_brace(tokens, k))
+            elif t.text == "}":
+                if stack:
+                    stack.pop()
+        ends[k] = stack[-1] if stack else len(tokens) - 1
+    out = []
+    unlocks = [
+        (k, _recv_before(tokens, k))
+        for k, t in enumerate(tokens)
+        if t.kind == "id" and t.text == "unlock" and k > 0
+        and tokens[k - 1].kind == "punct"
+        and tokens[k - 1].text in (".", "->")
+    ]
+    for ls in af.locks:
+        hi = ends.get(ls.tok_idx, len(tokens) - 1)
+        if ls.kind == "call":
+            for uk, urecv in unlocks:
+                if uk > ls.tok_idx and urecv == ls.mutex and uk < hi:
+                    hi = uk
+                    break
+        out.append((ls.mutex, ls.tok_idx, hi))
+    return out
+
+
+def _recv_before(tokens, method_idx):
+    from atommodel import _receiver_of
+    return _receiver_of(tokens, method_idx - 1)

@@ -39,8 +39,17 @@ _NUM_RE = re.compile(r"(?:0[xXbB])?[0-9](?:[0-9a-fA-F'.]|[eEpP][+-])*[uUlLzZfF]*
 #   tmlint-expect: none           (fixture must produce no diagnostics)
 #   tm-captured: <reason>         (TM1 waiver: fresh/captured memory)
 #   tm-pure-local: <reason>       (TM1 waiver: std call on private data)
+# The atomics-protocol checker (tools/atomlint) shares this lexer and
+# adds its own marker family:
+#   atom-protocol: <protocol>     (binds the declaration on this line
+#                                  or the next two to a protocol)
+#   atom-allow: <reason>          (per-site waiver, this line + two)
+#   atom-nonblocking: <reason>    (function must stay mutex-free)
+#   atomlint-expect: AL2          (atomlint fixture expectation)
 _MARKER_RE = re.compile(
-    r"(tmlint-expect|tm-captured|tm-pure-local)\s*:\s*([^\n*]*)")
+    r"(tmlint-expect|tm-captured|tm-pure-local"
+    r"|atomlint-expect|atom-protocol|atom-allow|atom-nonblocking)"
+    r"\s*:\s*([^\n*]*)")
 
 
 def tokenize(text):
